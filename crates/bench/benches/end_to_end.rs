@@ -1,0 +1,53 @@
+//! Criterion end-to-end benchmarks: simulate a 400-request Azure-sampled
+//! workload per scheduling policy, measuring simulator throughput (how fast
+//! this reproduction regenerates the paper's experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sfs_core::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_sched::MachineParams;
+use sfs_workload::{Workload, WorkloadSpec};
+
+const CORES: usize = 8;
+const REQUESTS: usize = 400;
+
+fn workload() -> Workload {
+    WorkloadSpec::azure_sampled(REQUESTS, 42).with_load(CORES, 0.9).generate()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
+        g.bench_with_input(BenchmarkId::new("baseline", b.name()), &b, |bench, &b| {
+            bench.iter(|| black_box(run_baseline(b, CORES, &w)));
+        });
+    }
+    g.bench_function("sfs", |bench| {
+        bench.iter(|| {
+            let sim = SfsSimulator::new(
+                SfsConfig::new(CORES),
+                MachineParams::linux(CORES),
+                w.clone(),
+            );
+            black_box(sim.run().outcomes.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload/generate_10k", |b| {
+        let spec = WorkloadSpec::azure_sampled(10_000, 7).with_load(16, 0.8);
+        b.iter(|| black_box(spec.generate().len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baselines, bench_workload_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: single global queue (the paper's design, §VI) vs static
+//! per-worker queues.
+//!
+//! The paper argues the global queue "guarantees natural work conservation
+//! with good load balancing" and cites per-core-queue downsides (load
+//! imbalance, core under-utilisation). This harness quantifies them on the
+//! standalone workload at 90% load.
+
+use sfs_bench::{banner, save, section, turnarounds_ms};
+use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_metrics::{cdf_chart, PercentileTable};
+use sfs_sched::MachineParams;
+use sfs_workload::WorkloadSpec;
+
+const CORES: usize = 16;
+
+fn main() {
+    let n = sfs_bench::n_requests(10_000);
+    let seed = sfs_bench::seed();
+    banner("Ablation", "global queue vs per-worker queues @90% load", n, seed);
+
+    let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, 0.9).generate();
+    let global = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
+        .run();
+    let per = SfsSimulator::new(
+        SfsConfig::new(CORES).per_worker_queues(),
+        MachineParams::linux(CORES),
+        w,
+    )
+    .run();
+
+    let g = turnarounds_ms(&global.outcomes);
+    let p = turnarounds_ms(&per.outcomes);
+
+    section("percentiles (ms)");
+    let mut t = PercentileTable::new();
+    t.push("global queue", g.clone());
+    t.push("per-worker queues", p.clone());
+    println!("{}", t.to_markdown());
+    save("ablation_queues.csv", &t.to_csv());
+
+    println!(
+        "mean: global {:.1} ms vs per-worker {:.1} ms",
+        global.mean_turnaround_ms(),
+        per.mean_turnaround_ms()
+    );
+    println!(
+        "peak queue delay: global {:.2}s vs per-worker {:.2}s",
+        global.queue_delay_series.max_value(),
+        per.queue_delay_series.max_value()
+    );
+
+    section("duration CDF (log-x)");
+    println!(
+        "{}",
+        cdf_chart(&[("global", g.as_slice()), ("per-worker", p.as_slice())], 64, 14)
+    );
+}

@@ -1,0 +1,66 @@
+//! Extension: multi-server offloading of long functions (the paper's
+//! stated future work, §VIII-A): a global dispatcher steering predicted
+//! long functions to the lightest host of an SFS cluster.
+
+use sfs_bench::{banner, save, section};
+use sfs_faas::{Cluster, Placement};
+use sfs_metrics::MarkdownTable;
+use sfs_simcore::Samples;
+use sfs_workload::WorkloadSpec;
+
+const HOSTS: usize = 4;
+const CORES_PER_HOST: usize = 8;
+
+fn main() {
+    let n = sfs_bench::n_requests(10_000);
+    let seed = sfs_bench::seed();
+    banner(
+        "Extension: cluster",
+        "global long-function offloading across SFS hosts",
+        n,
+        seed,
+    );
+
+    let w = WorkloadSpec::azure_sampled(n, seed)
+        .with_load(HOSTS * CORES_PER_HOST, 1.0)
+        .generate();
+    let cluster = Cluster::new(HOSTS, CORES_PER_HOST);
+
+    let mut table = MarkdownTable::new(&[
+        "placement",
+        "short mean (ms)",
+        "long mean (ms)",
+        "long p99 (ms)",
+        "per-host counts",
+    ]);
+    for p in [
+        Placement::RoundRobin,
+        Placement::LeastLoaded,
+        Placement::LongToLightest,
+    ] {
+        let run = cluster.run(p, &w);
+        let mut long_samples = Samples::from_vec(
+            run.outcomes
+                .iter()
+                .filter(|o| o.ideal.as_millis_f64() >= 1550.0)
+                .map(|o| o.turnaround.as_millis_f64())
+                .collect(),
+        );
+        table.row(&[
+            p.name().into(),
+            format!("{:.1}", run.short_mean_ms()),
+            format!("{:.1}", run.long_mean_ms()),
+            format!("{:.1}", long_samples.percentile(99.0)),
+            format!("{:?}", run.per_host),
+        ]);
+    }
+
+    section("placement comparison at 100% cluster load");
+    println!("{}", table.to_markdown());
+    save("extension_cluster.csv", &table.to_csv());
+    println!(
+        "Reading: long-to-lightest should trim the long-function mean/p99\n\
+         relative to round-robin without hurting the short population —\n\
+         the mitigation the paper sketches for SFS's long-function penalty."
+    );
+}

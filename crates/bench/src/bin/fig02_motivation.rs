@@ -1,0 +1,66 @@
+//! Fig. 2: performance and RTE of an Azure-sampled workload under Linux's
+//! schedulers (FIFO / RR / CFS), the SRTF oracle, and IDEAL, at 80% and
+//! 100% load on a 12-core OpenLambda host (§IV-B).
+//!
+//! Expected shape (paper observations 1–4): SRTF ≈ IDEAL; CFS best among
+//! Linux policies but with a large RTE < 0.2 mass at 100%; FIFO worst
+//! (convoy effect).
+
+use sfs_bench::{banner, rtes, save, section, turnarounds_ms};
+use sfs_core::{run_baseline, run_ideal, Baseline};
+use sfs_metrics::{cdf_chart, CdfReport, MarkdownTable};
+use sfs_workload::WorkloadSpec;
+
+const CORES: usize = 12;
+
+fn main() {
+    let n = sfs_bench::n_requests(49_712);
+    let seed = sfs_bench::seed();
+    banner("Fig. 2", "Linux schedulers vs SRTF vs IDEAL on 12 cores", n, seed);
+
+    let mut duration_report = CdfReport::new("duration_ms");
+    let mut rte_report = CdfReport::new("rte");
+    let mut rte_twenty = MarkdownTable::new(&["series", "fraction RTE < 0.2"]);
+    let mut chart_series: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for &load in &[0.8, 1.0] {
+        let w = WorkloadSpec::azure_replay(n, seed).with_load(CORES, load).generate();
+        for b in [Baseline::Srtf, Baseline::Cfs, Baseline::Fifo, Baseline::Rr] {
+            let out = run_baseline(b, CORES, &w);
+            let label = format!("{} {:.0}%", b.name(), load * 100.0);
+            let durs = turnarounds_ms(&out);
+            let rt = rtes(&out);
+            let below = rt.iter().filter(|&&x| x < 0.2).count() as f64 / rt.len() as f64;
+            rte_twenty.row(&[label.clone(), format!("{below:.3}")]);
+            duration_report.push(label.clone(), durs.clone());
+            rte_report.push(label.clone(), rt);
+            if load == 1.0 {
+                chart_series.push((label, durs));
+            }
+        }
+        // IDEAL is load-independent.
+        if load == 1.0 {
+            let ideal = run_ideal(&w);
+            duration_report.push("IDEAL", turnarounds_ms(&ideal));
+            rte_report.push("IDEAL", rtes(&ideal));
+        }
+    }
+
+    section("Fig. 2(a) duration CDF quantiles (ms)");
+    println!("{}", duration_report.to_markdown());
+    save("fig02a_duration_cdf.csv", &duration_report.to_csv());
+
+    section("Fig. 2(b) RTE CDF quantiles");
+    println!("{}", rte_report.to_markdown());
+    save("fig02b_rte_cdf.csv", &rte_report.to_csv());
+
+    section("fraction of requests with RTE < 0.2 (paper: CFS 11.4% @80%, 89.9% @100%)");
+    println!("{}", rte_twenty.to_markdown());
+
+    section("duration CDF at 100% load (log-x)");
+    let refs: Vec<(&str, &[f64])> = chart_series
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
+    println!("{}", cdf_chart(&refs, 64, 16));
+}

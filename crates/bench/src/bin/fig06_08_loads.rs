@@ -1,0 +1,97 @@
+//! Fig. 6 / 7 / 8: standalone SFS vs CFS under loads 50–100% on a 16-vCPU
+//! host (§VIII-A): duration CDF, RTE CDF, and percentile breakdowns.
+//!
+//! Expected shape: SFS ≈ CFS at 50%; SFS flat across loads for ~83% of
+//! requests (median ~constant); CFS median and tail grow with load; SFS
+//! tail slightly above CFS's at matched load.
+
+use sfs_bench::{banner, rtes, save, section, split_short_long, turnarounds_ms};
+use sfs_core::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_metrics::{cdf_chart, CdfReport, MarkdownTable, PercentileTable};
+use sfs_sched::MachineParams;
+use sfs_workload::WorkloadSpec;
+
+const CORES: usize = 16;
+const LOADS: [f64; 5] = [0.5, 0.65, 0.8, 0.9, 1.0];
+
+fn main() {
+    let n = sfs_bench::n_requests(10_000);
+    let seed = sfs_bench::seed();
+    banner("Fig. 6-8", "standalone SFS vs CFS across loads (16 vCPUs)", n, seed);
+
+    let mut dur_report = CdfReport::new("duration_ms");
+    let mut rte_report = CdfReport::new("rte");
+    let mut pct = PercentileTable::new();
+    let mut rte95 = MarkdownTable::new(&["series", "fraction RTE >= 0.95"]);
+    let mut medians = MarkdownTable::new(&["load", "SFS p50 (ms)", "CFS p50 (ms)"]);
+    let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for &load in &LOADS {
+        let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, load).generate();
+        let sfs = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
+            .run();
+        let cfs = run_baseline(Baseline::Cfs, CORES, &w);
+
+        for (name, outs) in [("SFS", &sfs.outcomes), ("CFS", &cfs)] {
+            let label = format!("{name} {:.0}%", load * 100.0);
+            let durs = turnarounds_ms(outs);
+            let rt = rtes(outs);
+            let at95 = rt.iter().filter(|&&x| x >= 0.95).count() as f64 / rt.len() as f64;
+            rte95.row(&[label.clone(), format!("{at95:.3}")]);
+            pct.push(label.clone(), durs.clone());
+            dur_report.push(label.clone(), durs.clone());
+            rte_report.push(label.clone(), rt);
+            if (load - 0.8).abs() < 1e-9 || (load - 1.0).abs() < 1e-9 {
+                chart.push((label, durs.clone()));
+            }
+        }
+        let mut s_samples = sfs_simcore::Samples::from_vec(turnarounds_ms(&sfs.outcomes));
+        let mut c_samples = sfs_simcore::Samples::from_vec(turnarounds_ms(&cfs));
+        medians.row(&[
+            format!("{:.0}%", load * 100.0),
+            format!("{:.1}", s_samples.percentile(50.0)),
+            format!("{:.1}", c_samples.percentile(50.0)),
+        ]);
+
+        // Short/long split at 100% for the headline cross-check.
+        if (load - 1.0).abs() < 1e-9 {
+            let (s_short, s_long) = split_short_long(&sfs.outcomes);
+            let (c_short, c_long) = split_short_long(&cfs);
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            section("100% load short/long means (ms)");
+            println!(
+                "short: SFS {:.1} vs CFS {:.1} ({:.1}x)",
+                mean(&s_short),
+                mean(&c_short),
+                mean(&c_short) / mean(&s_short)
+            );
+            println!(
+                "long : SFS {:.1} vs CFS {:.1} ({:.2}x, paper: 1.29x)",
+                mean(&s_long),
+                mean(&c_long),
+                mean(&s_long) / mean(&c_long)
+            );
+        }
+    }
+
+    section("Fig. 6 duration CDF quantiles (ms)");
+    println!("{}", dur_report.to_markdown());
+    save("fig06_duration_cdf.csv", &dur_report.to_csv());
+
+    section("Fig. 7 RTE CDF quantiles");
+    println!("{}", rte_report.to_markdown());
+    save("fig07_rte_cdf.csv", &rte_report.to_csv());
+    section("fraction RTE >= 0.95 (paper: SFS 93%@65 88%@80; CFS 55%@65 35%@80)");
+    println!("{}", rte95.to_markdown());
+
+    section("Fig. 8 percentile breakdown (ms)");
+    println!("{}", pct.to_markdown());
+    save("fig08_percentiles.csv", &pct.to_csv());
+
+    section("median duration by load (paper: SFS ~0.1s flat)");
+    println!("{}", medians.to_markdown());
+
+    section("duration CDF at 80%/100% (log-x)");
+    let refs: Vec<(&str, &[f64])> = chart.iter().map(|(l, v)| (l.as_str(), v.as_slice())).collect();
+    println!("{}", cdf_chart(&refs, 64, 16));
+}

@@ -1,0 +1,72 @@
+//! Fig. 11: handling I/O — polling intervals 1/4/8 ms vs I/O-oblivious SFS
+//! (§VIII-B).
+//!
+//! Workload: 75% of requests get one leading I/O operation of 10–100 ms.
+//! Expected shape: the three polling intervals are nearly indistinguishable;
+//! I/O-oblivious SFS is clearly worse (blocked functions burn their FILTER
+//! slice and get demoted).
+
+use sfs_bench::{banner, save, section, turnarounds_ms};
+use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_metrics::{cdf_chart, CdfReport};
+use sfs_sched::MachineParams;
+use sfs_simcore::SimDuration;
+use sfs_workload::WorkloadSpec;
+
+const CORES: usize = 16;
+
+fn main() {
+    let n = sfs_bench::n_requests(10_000);
+    let seed = sfs_bench::seed();
+    banner("Fig. 11", "I/O handling: polling intervals vs oblivious", n, seed);
+
+    // The paper replays the Azure-sampled (bursty) arrival pattern here;
+    // burstiness matters because the adaptive slice S dips during spikes,
+    // which is exactly when an I/O-oblivious FILTER pool wastes slice
+    // credit on sleeping functions.
+    let mut spec = WorkloadSpec::azure_replay(n, seed);
+    spec.io_fraction = 0.75;
+    spec.io_range_ms = (10.0, 100.0);
+    let w = spec.with_load(CORES, 0.8).generate();
+
+    let mut report = CdfReport::new("duration_ms");
+    let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for (label, cfg) in [
+        ("SFS + 1ms", poll_cfg(1)),
+        ("SFS + 4ms", poll_cfg(4)),
+        ("SFS + 8ms", poll_cfg(8)),
+        ("I/O-oblivious SFS", SfsConfig::new(CORES).io_oblivious()),
+        // Regime probe: with the slice forced to the I/O scale (50 ms),
+        // the oblivious variant burns whole slices on sleeping functions —
+        // the mechanism behind the paper's Fig. 11 gap. See EXPERIMENTS.md.
+        ("SFS 50ms aware", poll_cfg(4).with_fixed_slice(50)),
+        ("SFS 50ms oblivious", SfsConfig::new(CORES).io_oblivious().with_fixed_slice(50)),
+    ] {
+        let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
+        let io_blocks: u32 = r.outcomes.iter().map(|o| o.io_blocks).sum();
+        println!(
+            "{label:>18}: mean {:.1} ms, io-blocks detected {}, demoted {}",
+            r.mean_turnaround_ms(),
+            io_blocks,
+            r.demoted
+        );
+        let durs = turnarounds_ms(&r.outcomes);
+        report.push(label, durs.clone());
+        chart.push((label.to_string(), durs));
+    }
+
+    section("duration CDF quantiles (ms)");
+    println!("{}", report.to_markdown());
+    save("fig11_io_cdf.csv", &report.to_csv());
+
+    section("duration CDF (log-x)");
+    let refs: Vec<(&str, &[f64])> = chart.iter().map(|(l, v)| (l.as_str(), v.as_slice())).collect();
+    println!("{}", cdf_chart(&refs, 64, 16));
+}
+
+fn poll_cfg(ms: u64) -> SfsConfig {
+    let mut c = SfsConfig::new(CORES);
+    c.poll_interval = SimDuration::from_millis(ms);
+    c
+}

@@ -1,0 +1,58 @@
+//! Table I: probability distribution of function duration ranges and the
+//! corresponding `fib` N values, verified against a generated workload.
+
+use sfs_bench::{banner, section};
+use sfs_metrics::MarkdownTable;
+use sfs_simcore::SimRng;
+use sfs_workload::{Table1Sampler, TABLE1};
+
+fn main() {
+    let n = sfs_bench::n_requests(200_000);
+    let seed = sfs_bench::seed();
+    banner("Table I", "duration-range probabilities and fib N mapping", n, seed);
+
+    let sampler = Table1Sampler::new();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; TABLE1.len()];
+    for _ in 0..n {
+        let (_, idx) = sampler.sample_with_bucket(&mut rng);
+        counts[idx] += 1;
+    }
+    let total_w: f64 = TABLE1.iter().map(|b| b.probability_pct).sum();
+
+    let mut t = MarkdownTable::new(&[
+        "paper probability",
+        "duration range",
+        "fib N",
+        "renormalised target",
+        "measured frequency",
+    ]);
+    for (b, &c) in TABLE1.iter().zip(counts.iter()) {
+        let range = if b.range_ms.1 >= 3500.0 {
+            format!(">= {:.0} ms", b.range_ms.0)
+        } else {
+            format!("{:.0}-{:.0} ms", b.range_ms.0, b.range_ms.1)
+        };
+        let fib = if b.fib_n.0 == b.fib_n.1 {
+            format!("{}", b.fib_n.0)
+        } else {
+            format!("{}-{}", b.fib_n.0, b.fib_n.1)
+        };
+        t.row(&[
+            format!("{:.1}%", b.probability_pct),
+            range,
+            fib,
+            format!("{:.3}", b.probability_pct / total_w),
+            format!("{:.3}", c as f64 / n as f64),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    sfs_bench::save("table1_durations.csv", &t.to_csv());
+
+    section("derived quantities");
+    println!("analytic mean duration : {:.1} ms", sampler.mean_ms());
+    println!(
+        "short (<1550 ms) share : {:.1}% (paper: ~83%)",
+        sfs_workload::table1::short_fraction() * 100.0
+    );
+}

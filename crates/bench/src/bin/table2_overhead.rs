@@ -1,0 +1,74 @@
+//! Table II: SFS's (relative) CPU overhead supporting a 72-core OpenLambda
+//! deployment, by polling interval (§IX-B).
+//!
+//! Two measurements:
+//! 1. the *modelled* overhead from the simulator's poll/action counts with
+//!    per-operation costs calibrated in `SfsRunResult::overhead_fraction`;
+//! 2. the *live* cost of one `/proc` status poll on this machine
+//!    (`sfs_host::measure_poll_cost`), the real-world analogue of the
+//!    paper's gopsutil reads.
+//!
+//! Expected shape: a few percent, dominated by polling, and only weakly
+//! dependent on the polling interval (the paper measures 3.4–3.8% average).
+
+use sfs_bench::{banner, save, section};
+use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_metrics::MarkdownTable;
+use sfs_sched::MachineParams;
+use sfs_simcore::SimDuration;
+use sfs_workload::WorkloadSpec;
+
+const CORES: usize = 72;
+
+fn main() {
+    let n = sfs_bench::n_requests(10_000);
+    let seed = sfs_bench::seed();
+    banner("Table II", "SFS CPU overhead by polling interval (72 cores)", n, seed);
+
+    // I/O-heavy mix so the blocked-set polling is exercised like the OL run.
+    let w = WorkloadSpec::openlambda(n, seed).with_load(CORES, 0.9).generate();
+
+    let poll_cost = SimDuration::from_micros(120);
+    let action_cost = SimDuration::from_micros(150);
+
+    let mut t = MarkdownTable::new(&[
+        "interval",
+        "polls",
+        "status reads",
+        "sched actions",
+        "overhead (avg)",
+        "polling share",
+    ]);
+    for ms in [1u64, 4, 8] {
+        let mut cfg = SfsConfig::new(CORES);
+        cfg.poll_interval = SimDuration::from_millis(ms);
+        let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
+        let f = r.overhead_fraction(poll_cost, action_cost);
+        let share = r.polling_overhead_share(poll_cost, action_cost);
+        t.row(&[
+            format!("{ms} ms"),
+            format!("{}", r.polls),
+            format!("{}", r.polled_tasks),
+            format!("{}", r.sched_actions),
+            format!("{:.1}%", f * 100.0),
+            format!("{:.1}%", share * 100.0),
+        ]);
+    }
+    section("modelled overhead (paper Table II: avg 3.8% / 3.6% / 3.4%; ~74% polling)");
+    println!("{}", t.to_markdown());
+    save("table2_overhead.csv", &t.to_csv());
+
+    section("live /proc poll cost on this machine");
+    let live = sfs_host::measure_poll_cost(2_000);
+    println!(
+        "one status poll: {:.1} us ({} per second per monitored task at 4 ms)",
+        live.as_secs_f64() * 1e6,
+        250
+    );
+    println!(
+        "implied overhead for 72 monitored tasks at 4 ms: {:.2}% of one core x 72 = {:.2}% of the machine",
+        // 72 tasks * 250 polls/s * cost, relative to one core
+        72.0 * 250.0 * live.as_secs_f64() * 100.0,
+        72.0 * 250.0 * live.as_secs_f64() * 100.0 / 72.0
+    );
+}

@@ -1,0 +1,127 @@
+//! # sfs-bench — per-figure/table reproduction harnesses
+//!
+//! One binary per figure and table of the paper's evaluation (see
+//! DESIGN.md §4 for the full index). Every binary:
+//!
+//! 1. generates the experiment's workload deterministically (fixed seed),
+//! 2. runs the schedulers the figure compares,
+//! 3. prints the figure's series as markdown + an ASCII chart,
+//! 4. writes CSV under `results/`.
+//!
+//! Scale knobs come from the environment so CI and laptops can downsize:
+//! `SFS_BENCH_REQUESTS` (default figure-specific), `SFS_BENCH_SEED`.
+
+use sfs_core::RequestOutcome;
+use sfs_simcore::SimDuration;
+
+/// Number of requests for a harness, overridable via `SFS_BENCH_REQUESTS`.
+pub fn n_requests(default: usize) -> usize {
+    std::env::var("SFS_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Experiment seed, overridable via `SFS_BENCH_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("SFS_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5F5_2022)
+}
+
+/// Turnaround values (ms) of a run.
+pub fn turnarounds_ms(outcomes: &[RequestOutcome]) -> Vec<f64> {
+    outcomes
+        .iter()
+        .map(|o| o.turnaround.as_millis_f64())
+        .collect()
+}
+
+/// RTE values of a run.
+pub fn rtes(outcomes: &[RequestOutcome]) -> Vec<f64> {
+    outcomes.iter().map(|o| o.rte).collect()
+}
+
+/// Split turnarounds into (short, long) by ideal duration at the paper's
+/// 1550 ms Table-I boundary.
+pub fn split_short_long(outcomes: &[RequestOutcome]) -> (Vec<f64>, Vec<f64>) {
+    let thr = SimDuration::from_millis(1550);
+    let mut short = Vec::new();
+    let mut long = Vec::new();
+    for o in outcomes {
+        if o.ideal < thr {
+            short.push(o.turnaround.as_millis_f64());
+        } else {
+            long.push(o.turnaround.as_millis_f64());
+        }
+    }
+    (short, long)
+}
+
+/// Standard banner every harness prints.
+pub fn banner(figure: &str, what: &str, n: usize, seed: u64) {
+    println!("== {figure}: {what}");
+    println!("   requests={n} seed={seed:#x} (SFS_BENCH_REQUESTS / SFS_BENCH_SEED to override)");
+    println!();
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n--- {title} ---");
+}
+
+/// Save CSV via sfs-metrics and report the path.
+pub fn save(filename: &str, contents: &str) {
+    match sfs_metrics::write_results(filename, contents) {
+        Ok(p) => println!("[saved {}]", p.display()),
+        Err(e) => eprintln!("[warn] could not save {filename}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_simcore::SimTime;
+
+    fn outcome(ideal_ms: u64, turn_ms: u64) -> RequestOutcome {
+        RequestOutcome {
+            id: 0,
+            arrival: SimTime::ZERO,
+            finished: SimTime::ZERO + SimDuration::from_millis(turn_ms),
+            turnaround: SimDuration::from_millis(turn_ms),
+            ideal: SimDuration::from_millis(ideal_ms),
+            cpu_demand: SimDuration::from_millis(ideal_ms),
+            rte: ideal_ms as f64 / turn_ms as f64,
+            ctx_switches: 0,
+            queue_delay: SimDuration::ZERO,
+            demoted: false,
+            offloaded: false,
+            filter_rounds: 0,
+            io_blocks: 0,
+        }
+    }
+
+    #[test]
+    fn split_uses_table1_boundary() {
+        let outs = vec![outcome(100, 200), outcome(1549, 2000), outcome(1550, 1600), outcome(3000, 3000)];
+        let (s, l) = split_short_long(&outs);
+        assert_eq!(s.len(), 2);
+        assert_eq!(l.len(), 2);
+        assert_eq!(s, vec![200.0, 2000.0]);
+    }
+
+    #[test]
+    fn env_overrides_parse() {
+        // No env set in tests: defaults pass through.
+        assert_eq!(n_requests(1234), 1234);
+        assert_eq!(seed(), 0x5F5_2022);
+    }
+
+    #[test]
+    fn extractors_match_fields() {
+        let outs = vec![outcome(10, 20), outcome(30, 30)];
+        assert_eq!(turnarounds_ms(&outs), vec![20.0, 30.0]);
+        assert_eq!(rtes(&outs), vec![0.5, 1.0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Pre-warmed container pool.
+//!
+//! The paper disables OpenLambda's auto-scaling and pre-warms "enough
+//! function containers to simulate a stable-phase FaaS backend" (§VI), so
+//! cold starts never perturb the scheduling measurements. This module
+//! provides that pool: fixed capacity, acquire-at-dispatch,
+//! release-at-completion, with a FIFO wait queue and occupancy statistics so
+//! experiments can verify the pool was indeed never the bottleneck.
+
+use std::collections::VecDeque;
+
+use sfs_simcore::{SimDuration, SimTime};
+
+/// A fixed-capacity pre-warmed container pool.
+#[derive(Debug, Clone)]
+pub struct ContainerPool {
+    capacity: usize,
+    in_use: usize,
+    /// (request id, time it started waiting).
+    waiting: VecDeque<(u64, SimTime)>,
+    peak_in_use: usize,
+    total_waits: u64,
+    total_wait_time: SimDuration,
+    acquisitions: u64,
+}
+
+/// Result of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// A container was available immediately.
+    Granted,
+    /// The pool is exhausted; the request was queued.
+    Queued,
+}
+
+impl ContainerPool {
+    /// A pool of `capacity` pre-warmed containers.
+    pub fn new(capacity: usize) -> ContainerPool {
+        assert!(capacity >= 1, "pool needs at least one container");
+        ContainerPool {
+            capacity,
+            in_use: 0,
+            waiting: VecDeque::new(),
+            peak_in_use: 0,
+            total_waits: 0,
+            total_wait_time: SimDuration::ZERO,
+            acquisitions: 0,
+        }
+    }
+
+    /// Containers currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Requests waiting for a container.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Peak simultaneous occupancy observed.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use
+    }
+
+    /// Number of acquisitions that had to wait.
+    pub fn total_waits(&self) -> u64 {
+        self.total_waits
+    }
+
+    /// Total time spent waiting across all requests.
+    pub fn total_wait_time(&self) -> SimDuration {
+        self.total_wait_time
+    }
+
+    /// Total successful acquisitions (granted immediately or after a wait).
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// True iff the pool never blocked a request — what the paper's
+    /// pre-warmed setup guarantees.
+    pub fn never_blocked(&self) -> bool {
+        self.total_waits == 0
+    }
+
+    /// Try to take a container for request `id` at time `now`.
+    pub fn acquire(&mut self, id: u64, now: SimTime) -> Acquire {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.peak_in_use = self.peak_in_use.max(self.in_use);
+            self.acquisitions += 1;
+            Acquire::Granted
+        } else {
+            self.waiting.push_back((id, now));
+            self.total_waits += 1;
+            Acquire::Queued
+        }
+    }
+
+    /// Release a container at time `now`; if requests are waiting, the
+    /// container is handed to the head of the queue and that request id is
+    /// returned (its wait is accounted).
+    pub fn release(&mut self, now: SimTime) -> Option<u64> {
+        assert!(self.in_use > 0, "release without acquire");
+        if let Some((id, since)) = self.waiting.pop_front() {
+            // Hand-off: in_use stays the same.
+            self.total_wait_time += now.since(since);
+            self.acquisitions += 1;
+            Some(id)
+        } else {
+            self.in_use -= 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn grants_until_capacity() {
+        let mut p = ContainerPool::new(2);
+        assert_eq!(p.acquire(1, at(0)), Acquire::Granted);
+        assert_eq!(p.acquire(2, at(0)), Acquire::Granted);
+        assert_eq!(p.acquire(3, at(0)), Acquire::Queued);
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.queued(), 1);
+        assert_eq!(p.peak_in_use(), 2);
+        assert!(!p.never_blocked());
+    }
+
+    #[test]
+    fn release_hands_off_to_waiter() {
+        let mut p = ContainerPool::new(1);
+        assert_eq!(p.acquire(1, at(0)), Acquire::Granted);
+        assert_eq!(p.acquire(2, at(5)), Acquire::Queued);
+        let handed = p.release(at(20));
+        assert_eq!(handed, Some(2));
+        assert_eq!(p.in_use(), 1, "hand-off keeps the container busy");
+        assert_eq!(p.total_wait_time(), SimDuration::from_millis(15));
+        // No waiters: release frees the container.
+        assert_eq!(p.release(at(30)), None);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_underflow_panics() {
+        let mut p = ContainerPool::new(1);
+        p.release(at(0));
+    }
+
+    #[test]
+    fn ample_pool_never_blocks() {
+        let mut p = ContainerPool::new(1_000);
+        for i in 0..500 {
+            assert_eq!(p.acquire(i, at(i)), Acquire::Granted);
+        }
+        assert!(p.never_blocked());
+        assert_eq!(p.peak_in_use(), 500);
+        assert_eq!(p.acquisitions(), 500);
+    }
+
+    proptest! {
+        /// Occupancy never exceeds capacity and hand-offs preserve FIFO order.
+        #[test]
+        fn pool_invariants(cap in 1usize..8, ops in proptest::collection::vec(0u8..2, 1..200)) {
+            let mut p = ContainerPool::new(cap);
+            let mut next_id = 0u64;
+            let mut queued: std::collections::VecDeque<u64> = Default::default();
+            let mut t = 0u64;
+            for op in ops {
+                t += 1;
+                if op == 0 {
+                    let id = next_id;
+                    next_id += 1;
+                    if p.acquire(id, at(t)) == Acquire::Queued {
+                        queued.push_back(id);
+                    }
+                } else if p.in_use() > 0 {
+                    let handed = p.release(at(t));
+                    if let Some(id) = handed {
+                        prop_assert_eq!(Some(id), queued.pop_front(), "FIFO hand-off");
+                    }
+                }
+                prop_assert!(p.in_use() <= cap);
+                prop_assert_eq!(p.queued(), queued.len());
+            }
+        }
+    }
+}

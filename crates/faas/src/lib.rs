@@ -1,0 +1,22 @@
+//! # sfs-faas — OpenLambda-like FaaS platform substrate
+//!
+//! The backend platform the paper ports SFS to (§VI, §IX): a gateway, a
+//! pool of OpenLambda workers, HTTP sandbox servers managing pre-warmed
+//! Docker-like containers, and the UDP `(pid, T_inv)` notification path to
+//! SFS (Fig. 5).
+//!
+//! * [`pipeline`] — FCFS multi-server dispatch hops with jittered overheads;
+//! * [`containers`] — the pre-warmed container pool (acquire/release, FIFO
+//!   hand-off, occupancy stats);
+//! * [`platform`] — [`platform::OpenLambda`]: end-to-end dispatch + run under
+//!   SFS or a kernel baseline, with turnaround re-based to HTTP invocation.
+
+pub mod cluster;
+pub mod containers;
+pub mod pipeline;
+pub mod platform;
+
+pub use cluster::{Cluster, ClusterRun, Placement};
+pub use containers::{Acquire, ContainerPool};
+pub use pipeline::{Pipeline, Stage};
+pub use platform::{Dispatched, HostScheduler, OpenLambda, OpenLambdaParams};

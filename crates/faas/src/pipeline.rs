@@ -1,0 +1,172 @@
+//! FCFS multi-server dispatch stages.
+//!
+//! OpenLambda's request path (paper Fig. 5) passes through a gateway, an
+//! OpenLambda worker, and an HTTP sandbox server before the function process
+//! reaches the OS. Each hop is modelled as a first-come-first-served
+//! multi-server queue with a (jittered) per-request service overhead —
+//! enough to reproduce the paper's observation that "the OpenLambda
+//! deployment introduced extra overhead at various levels" which diminishes
+//! but does not erase SFS's benefit (§IX-A).
+
+use sfs_simcore::{SimDuration, SimRng, SimTime};
+
+/// One FCFS stage: `servers` parallel servers, each request holding a server
+/// for `service ± jitter`.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage name (diagnostics).
+    pub name: &'static str,
+    /// Parallel servers at this hop.
+    pub servers: usize,
+    /// Mean per-request service overhead.
+    pub service: SimDuration,
+    /// Relative jitter (0.5 = ±50%, uniform).
+    pub jitter: f64,
+}
+
+impl Stage {
+    /// Build a stage.
+    pub fn new(name: &'static str, servers: usize, service: SimDuration, jitter: f64) -> Stage {
+        assert!(servers >= 1, "stage needs at least one server");
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0,1]");
+        Stage {
+            name,
+            servers,
+            service,
+            jitter,
+        }
+    }
+
+    /// Push `arrivals` (ascending) through the stage, returning each
+    /// request's exit time (same order).
+    pub fn process(&self, arrivals: &[SimTime], rng: &mut SimRng) -> Vec<SimTime> {
+        // free_at[k] = when server k next becomes available; requests take
+        // the earliest-free server (FCFS across the stage).
+        let mut free_at = vec![SimTime::ZERO; self.servers];
+        let mut out = Vec::with_capacity(arrivals.len());
+        for &a in arrivals {
+            let (k, &free) = free_at
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .expect("at least one server");
+            let start = a.max(free);
+            let svc = if self.jitter > 0.0 {
+                let f = rng.uniform(1.0 - self.jitter, 1.0 + self.jitter);
+                self.service.mul_f64(f)
+            } else {
+                self.service
+            };
+            let end = start + svc;
+            free_at[k] = end;
+            out.push(end);
+        }
+        out
+    }
+}
+
+/// A chain of stages applied in order.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Empty pipeline (identity).
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Append a stage.
+    pub fn stage(mut self, s: Stage) -> Pipeline {
+        self.stages.push(s);
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True iff no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Process arrivals through all stages; returns final exit times.
+    pub fn process(&self, arrivals: &[SimTime], rng: &mut SimRng) -> Vec<SimTime> {
+        let mut t = arrivals.to_vec();
+        for s in &self.stages {
+            t = s.process(&t, rng);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn uncontended_stage_adds_service_time() {
+        let s = Stage::new("w", 4, SimDuration::from_millis(2), 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let out = s.process(&[at(0), at(100), at(200)], &mut rng);
+        assert_eq!(out, vec![at(2), at(102), at(202)]);
+    }
+
+    #[test]
+    fn single_server_queues_fcfs() {
+        let s = Stage::new("w", 1, SimDuration::from_millis(10), 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        // Three simultaneous arrivals: serialised.
+        let out = s.process(&[at(0), at(0), at(0)], &mut rng);
+        assert_eq!(out, vec![at(10), at(20), at(30)]);
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let s = Stage::new("w", 2, SimDuration::from_millis(10), 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let out = s.process(&[at(0), at(0), at(0), at(0)], &mut rng);
+        assert_eq!(out, vec![at(10), at(10), at(20), at(20)]);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let s = Stage::new("w", 8, SimDuration::from_millis(10), 0.5);
+        let mut rng = SimRng::seed_from_u64(3);
+        let arrivals: Vec<SimTime> = (0..1_000).map(|i| at(i * 100)).collect();
+        let out = s.process(&arrivals, &mut rng);
+        for (a, e) in arrivals.iter().zip(out.iter()) {
+            let d = (*e - *a).as_millis_f64();
+            assert!((5.0..=15.0).contains(&d), "jittered service {d}ms out of ±50%");
+        }
+    }
+
+    #[test]
+    fn pipeline_composes_stages() {
+        let p = Pipeline::new()
+            .stage(Stage::new("gw", 100, SimDuration::from_millis(1), 0.0))
+            .stage(Stage::new("worker", 100, SimDuration::from_millis(2), 0.0));
+        let mut rng = SimRng::seed_from_u64(1);
+        let out = p.process(&[at(0)], &mut rng);
+        assert_eq!(out, vec![at(3)]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn exit_order_preserved_for_equal_service() {
+        let s = Stage::new("w", 3, SimDuration::from_millis(5), 0.0);
+        let mut rng = SimRng::seed_from_u64(9);
+        let arrivals: Vec<SimTime> = (0..200).map(at).collect();
+        let out = s.process(&arrivals, &mut rng);
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1], "FCFS with equal service must preserve order");
+        }
+    }
+}

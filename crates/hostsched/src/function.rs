@@ -1,0 +1,194 @@
+//! Live "function processes": calibrated busy-loop threads.
+//!
+//! Real counterpart of the simulator's `sfs_sched::TaskSpec`: a thread
+//! that burns CPU for a target duration (fib-style) and optionally sleeps
+//! to emulate an I/O operation. Used by the live demo scheduler and the
+//! Table-II overhead measurements.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::sys::{gettid, pin_to_cpu, Tid};
+
+/// Spec for one live function invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveSpec {
+    /// CPU burst length.
+    pub cpu: Duration,
+    /// Optional leading I/O (sleep) phase.
+    pub io: Option<Duration>,
+    /// Pin the function to this CPU (contention experiments).
+    pub pin_cpu: Option<usize>,
+}
+
+impl LiveSpec {
+    /// Pure CPU function.
+    pub fn cpu_ms(ms: u64) -> LiveSpec {
+        LiveSpec {
+            cpu: Duration::from_millis(ms),
+            io: None,
+            pin_cpu: None,
+        }
+    }
+
+    /// Pin to a CPU.
+    pub fn pinned(mut self, cpu: usize) -> LiveSpec {
+        self.pin_cpu = Some(cpu);
+        self
+    }
+
+    /// Add a leading I/O sleep.
+    pub fn with_io_ms(mut self, ms: u64) -> LiveSpec {
+        self.io = Some(Duration::from_millis(ms));
+        self
+    }
+}
+
+/// Completion record of a live function.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOutcome {
+    /// Wall-clock turnaround (spawn → completion).
+    pub turnaround: Duration,
+    /// Requested CPU burst.
+    pub cpu_demand: Duration,
+    /// Requested I/O time.
+    pub io_demand: Duration,
+}
+
+impl LiveOutcome {
+    /// Live analogue of the paper's RTE: ideal isolated duration over
+    /// turnaround.
+    pub fn rte(&self) -> f64 {
+        let ideal = self.cpu_demand + self.io_demand;
+        (ideal.as_secs_f64() / self.turnaround.as_secs_f64()).min(1.0)
+    }
+}
+
+/// A running live function.
+pub struct LiveFunction {
+    /// Kernel tid of the function thread (valid once spawned).
+    pub tid: Tid,
+    /// When it was spawned.
+    pub spawned_at: Instant,
+    done: Arc<AtomicBool>,
+    handle: thread::JoinHandle<LiveOutcome>,
+}
+
+impl LiveFunction {
+    /// Spawn the function thread; blocks briefly until the thread reports
+    /// its tid (so the caller can immediately `schedtool` it).
+    pub fn spawn(spec: LiveSpec) -> LiveFunction {
+        let (tid_tx, tid_rx) = mpsc::channel();
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let spawned_at = Instant::now();
+        let handle = thread::spawn(move || {
+            let tid = gettid();
+            // Function processes start under CFS (paper §V-B step 2). This
+            // also sheds any inherited SCHED_FIFO policy from an RT spawner,
+            // which would otherwise block the monitor for the whole burst.
+            let _ = crate::sys::set_policy(tid, crate::sys::HostPolicy::Normal);
+            if let Some(cpu) = spec.pin_cpu {
+                let _ = pin_to_cpu(tid, cpu);
+            }
+            tid_tx.send(tid).expect("parent alive");
+            let start = Instant::now();
+            if let Some(io) = spec.io {
+                thread::sleep(io);
+            }
+            burn_cpu(spec.cpu);
+            done2.store(true, Ordering::Release);
+            LiveOutcome {
+                turnaround: start.elapsed(),
+                cpu_demand: spec.cpu,
+                io_demand: spec.io.unwrap_or(Duration::ZERO),
+            }
+        });
+        let tid = tid_rx.recv().expect("function thread reports tid");
+        LiveFunction {
+            tid,
+            spawned_at,
+            done,
+            handle,
+        }
+    }
+
+    /// Whether the function has completed its work.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Join and return the outcome.
+    pub fn join(self) -> LiveOutcome {
+        self.handle.join().expect("function thread must not panic")
+    }
+}
+
+/// Burn CPU for approximately `d` of *busy* wall time. Uses a checked spin
+/// so sleeps/preemption extend wall time but the work amount is what a
+/// calibrated fib(N) would do.
+fn burn_cpu(d: Duration) {
+    let start = Instant::now();
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    while start.elapsed() < d {
+        // A few hundred ns of real work per check keeps syscall overhead nil.
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        std::hint::black_box(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_completes_and_reports_duration() {
+        let f = LiveFunction::spawn(LiveSpec::cpu_ms(30));
+        assert!(f.tid > 0);
+        let out = f.join();
+        assert!(out.turnaround >= Duration::from_millis(30));
+        assert!(
+            out.turnaround < Duration::from_millis(600),
+            "30ms burst took {:?}",
+            out.turnaround
+        );
+        assert!(out.rte() > 0.0 && out.rte() <= 1.0);
+    }
+
+    #[test]
+    fn io_phase_adds_sleep_time() {
+        let f = LiveFunction::spawn(LiveSpec::cpu_ms(10).with_io_ms(50));
+        let out = f.join();
+        assert!(out.turnaround >= Duration::from_millis(60));
+        assert_eq!(out.io_demand, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn done_flag_flips_on_completion() {
+        let f = LiveFunction::spawn(LiveSpec::cpu_ms(20));
+        // It may or may not be done yet, but must be done after join-time.
+        while !f.is_done() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let out = f.join();
+        assert!(out.turnaround >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn uncontended_function_has_high_rte() {
+        // On an idle machine a solo function should be near RTE 1; allow
+        // generous slack for noisy CI machines.
+        let f = LiveFunction::spawn(LiveSpec::cpu_ms(50));
+        let out = f.join();
+        assert!(
+            out.rte() > 0.5,
+            "solo function RTE {} suspiciously low",
+            out.rte()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # sfs-host — live-Linux scheduling backend
+//!
+//! The real-OS counterpart of the simulator: the repro target's
+//! `schedtool`/`gopsutil` toolchain rebuilt on `libc`:
+//!
+//! * [`sys`] — `sched_setscheduler(2)` / `setpriority(2)` /
+//!   `sched_setaffinity(2)` wrappers and `/proc/<tid>/stat` parsing;
+//! * [`function`] — calibrated busy-loop "function" threads;
+//! * [`live`] — a demo-grade live SFS (FILTER promote → slice → demote),
+//!   with a `nice`-based fallback when CAP_SYS_NICE is unavailable, and the
+//!   Table-II poll-cost measurement.
+//!
+//! Figures are generated from the deterministic simulator; this crate
+//! demonstrates that the mechanism drives a real kernel and measures the
+//! real polling overhead.
+
+pub mod function;
+pub mod live;
+pub mod sys;
+
+pub use function::{LiveFunction, LiveOutcome, LiveSpec};
+pub use live::{measure_poll_cost, run_live_sfs, LiveRun, LiveSfsConfig, PriorityLever};
+pub use sys::{
+    gettid, get_policy, parse_stat_line, pin_to_cpu, probe_rt_permission, read_thread_stat,
+    set_policy, HostPolicy, ThreadStat, Tid,
+};

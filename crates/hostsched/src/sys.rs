@@ -1,0 +1,275 @@
+//! Thin safe wrappers over the Linux scheduling syscalls SFS uses.
+//!
+//! The paper's artifact drives `schedtool(8)` from Go; the equivalent raw
+//! interface is `sched_setscheduler(2)` plus `/proc/<pid>/stat` polling
+//! (what `gopsutil` reads). Everything here degrades gracefully when the
+//! process lacks `CAP_SYS_NICE` (as on a typical developer machine):
+//! [`probe_rt_permission`] reports whether FIFO promotion is possible, and
+//! callers fall back to `nice`-based priorities.
+
+use std::fs;
+use std::io;
+
+/// Linux thread id.
+pub type Tid = libc::pid_t;
+
+/// The calling thread's kernel tid.
+pub fn gettid() -> Tid {
+    // SAFETY: gettid has no preconditions and cannot fail.
+    unsafe { libc::syscall(libc::SYS_gettid) as Tid }
+}
+
+/// Scheduling policy to apply to a live thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostPolicy {
+    /// `SCHED_FIFO` at the given priority (1..=99). Needs CAP_SYS_NICE.
+    Fifo(u8),
+    /// `SCHED_OTHER` (CFS) at nice 0.
+    Normal,
+    /// `SCHED_OTHER` with an explicit nice value (fallback priority lever
+    /// when RT is unavailable).
+    Nice(i8),
+}
+
+/// Apply a policy to a thread. Returns `Err` with the OS error on failure
+/// (most commonly `EPERM` without CAP_SYS_NICE).
+pub fn set_policy(tid: Tid, policy: HostPolicy) -> io::Result<()> {
+    match policy {
+        HostPolicy::Fifo(prio) => {
+            let param = libc::sched_param {
+                sched_priority: prio.clamp(1, 99) as libc::c_int,
+            };
+            // SAFETY: param is a valid sched_param; tid is a live thread id
+            // (or 0 for self); the kernel validates everything else.
+            let rc = unsafe { libc::sched_setscheduler(tid, libc::SCHED_FIFO, &param) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+        HostPolicy::Normal => {
+            let param = libc::sched_param { sched_priority: 0 };
+            // SAFETY: as above.
+            let rc = unsafe { libc::sched_setscheduler(tid, libc::SCHED_OTHER, &param) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+        HostPolicy::Nice(n) => {
+            // SAFETY: setpriority with PRIO_PROCESS and a tid is the
+            // documented way to renice a single thread on Linux.
+            let rc = unsafe {
+                libc::setpriority(libc::PRIO_PROCESS, tid as libc::id_t, n as libc::c_int)
+            };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+    }
+}
+
+/// The policy a thread currently runs under, as reported by the kernel.
+pub fn get_policy(tid: Tid) -> io::Result<i32> {
+    // SAFETY: no memory is passed; the kernel validates tid.
+    let rc = unsafe { libc::sched_getscheduler(tid) };
+    if rc >= 0 {
+        Ok(rc)
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Pin a thread to one CPU (used by tests/examples to create contention on
+/// a single core deterministically).
+pub fn pin_to_cpu(tid: Tid, cpu: usize) -> io::Result<()> {
+    // SAFETY: cpu_set_t is POD; CPU_ZERO/CPU_SET initialise it fully before
+    // the kernel reads it.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(cpu, &mut set);
+        let rc = libc::sched_setaffinity(tid, std::mem::size_of::<libc::cpu_set_t>(), &set);
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+}
+
+/// Whether this process may promote threads to `SCHED_FIFO` (tries it on
+/// the calling thread and reverts).
+pub fn probe_rt_permission() -> bool {
+    let tid = gettid();
+    match set_policy(tid, HostPolicy::Fifo(1)) {
+        Ok(()) => {
+            let _ = set_policy(tid, HostPolicy::Normal);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// A `/proc/<pid>/task/<tid>/stat` snapshot — the fields SFS's monitor
+/// reads (state char, utime, stime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadStat {
+    /// Kernel state: 'R' running/runnable, 'S' sleeping, 'D' disk wait,
+    /// 'Z' zombie, ...
+    pub state: char,
+    /// User-mode CPU time in clock ticks.
+    pub utime_ticks: u64,
+    /// Kernel-mode CPU time in clock ticks.
+    pub stime_ticks: u64,
+}
+
+impl ThreadStat {
+    /// Whether the thread is off-CPU waiting (what SFS's I/O detection
+    /// looks for, §V-D).
+    pub fn is_sleeping(self) -> bool {
+        matches!(self.state, 'S' | 'D')
+    }
+}
+
+/// Read a thread's stat line (the poll SFS performs every 4 ms).
+pub fn read_thread_stat(tid: Tid) -> io::Result<ThreadStat> {
+    let path = format!("/proc/{}/task/{}/stat", std::process::id(), tid);
+    let content = fs::read_to_string(path)?;
+    parse_stat_line(&content)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed stat line"))
+}
+
+/// Parse a `/proc/.../stat` line. The comm field may contain spaces and
+/// parentheses, so fields are located after the *last* `)`.
+pub fn parse_stat_line(line: &str) -> Option<ThreadStat> {
+    let after = line.get(line.rfind(')')? + 2..)?;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    // after the comm field: state is field 0; utime/stime are fields 11/12
+    // (stat fields 14/15 in proc(5) numbering).
+    let state = fields.first()?.chars().next()?;
+    let utime = fields.get(11)?.parse().ok()?;
+    let stime = fields.get(12)?.parse().ok()?;
+    Some(ThreadStat {
+        state,
+        utime_ticks: utime,
+        stime_ticks: stime,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gettid_is_stable_within_a_thread() {
+        let a = gettid();
+        let b = gettid();
+        assert_eq!(a, b);
+        assert!(a > 0);
+        let other = std::thread::spawn(gettid).join().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn parse_stat_handles_spaces_in_comm() {
+        let line = "1234 (my (weird) comm) R 1 2 3 4 5 6 7 8 9 10 42 43 14 15 16 17 18 19 20";
+        let st = parse_stat_line(line).unwrap();
+        assert_eq!(st.state, 'R');
+        assert_eq!(st.utime_ticks, 42);
+        assert_eq!(st.stime_ticks, 43);
+        assert!(!st.is_sleeping());
+    }
+
+    #[test]
+    fn parse_stat_rejects_garbage() {
+        assert!(parse_stat_line("not a stat line").is_none());
+        assert!(parse_stat_line("1 (x) R").is_none());
+        assert!(parse_stat_line("").is_none());
+        assert!(parse_stat_line("1234 (comm)").is_none());
+        // Non-numeric utime.
+        assert!(
+            parse_stat_line("1 (c) R 1 2 3 4 5 6 7 8 9 10 xx 43 14 15 16 17 18 19 20").is_none()
+        );
+    }
+
+    #[test]
+    fn parse_stat_real_kernel_line() {
+        // A real(ish) stat line shape from a modern kernel (52 fields).
+        let line = "12345 (kworker/0:1-events) I 2 0 0 0 -1 69238880 0 0 0 0                     17 29 0 0 20 0 1 0 123456 0 0 18446744073709551615 0 0 0 0 0 0                     0 2147483647 0 1 0 0 17 0 0 0 0 0 0 0 0 0 0 0 0 0 0";
+        let st = parse_stat_line(line).unwrap();
+        assert_eq!(st.state, 'I');
+        assert_eq!(st.utime_ticks, 17);
+        assert_eq!(st.stime_ticks, 29);
+        assert!(!st.is_sleeping(), "idle kworker is not S/D");
+    }
+
+    #[test]
+    fn sleeping_states_cover_s_and_d() {
+        for (ch, sleeping) in [('S', true), ('D', true), ('R', false), ('Z', false), ('T', false)] {
+            let st = ThreadStat { state: ch, utime_ticks: 0, stime_ticks: 0 };
+            assert_eq!(st.is_sleeping(), sleeping, "state {ch}");
+        }
+    }
+
+    #[test]
+    fn read_own_stat() {
+        let st = read_thread_stat(gettid()).expect("own stat must be readable");
+        // We are on-CPU reading it.
+        assert_eq!(st.state, 'R');
+    }
+
+    #[test]
+    fn sleeping_thread_reports_s_state() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let h = std::thread::spawn(move || {
+            tx.send(gettid()).unwrap();
+            // Block until the test finishes observing.
+            let _ = done_rx.recv();
+        });
+        let tid = rx.recv().unwrap();
+        // Give it a moment to block.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let st = read_thread_stat(tid).expect("peer stat");
+        assert!(st.is_sleeping(), "blocked thread should be sleeping, got {:?}", st);
+        done_tx.send(()).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn get_policy_reports_normal_by_default() {
+        let p = get_policy(gettid()).unwrap();
+        assert_eq!(p, libc::SCHED_OTHER);
+    }
+
+    #[test]
+    fn probe_does_not_leave_rt_behind() {
+        let _ = probe_rt_permission();
+        assert_eq!(get_policy(gettid()).unwrap(), libc::SCHED_OTHER);
+    }
+
+    #[test]
+    fn fifo_roundtrip_when_permitted() {
+        if !probe_rt_permission() {
+            eprintln!("skipping: no CAP_SYS_NICE in this environment");
+            return;
+        }
+        let tid = gettid();
+        set_policy(tid, HostPolicy::Fifo(10)).unwrap();
+        assert_eq!(get_policy(tid).unwrap(), libc::SCHED_FIFO);
+        set_policy(tid, HostPolicy::Normal).unwrap();
+        assert_eq!(get_policy(tid).unwrap(), libc::SCHED_OTHER);
+    }
+
+    #[test]
+    fn pin_to_cpu_zero_succeeds() {
+        // CPU 0 always exists.
+        pin_to_cpu(gettid(), 0).expect("affinity to cpu0");
+        // Restore a full mask is not required for the test process.
+    }
+}

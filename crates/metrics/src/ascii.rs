@@ -1,0 +1,128 @@
+//! Minimal ASCII charts for terminal figure output.
+//!
+//! The bench binaries print each figure both as CSV (for plotting) and as a
+//! quick ASCII rendering so the shape is visible straight from
+//! `cargo run`. Log-x CDF plots and linear timelines are enough for every
+//! figure in the paper.
+
+/// Render a log-x CDF chart of several series.
+///
+/// `series` is `(label, sorted-or-unsorted samples)`; the x-axis spans the
+/// pooled sample range on a log scale; each series is drawn with its own
+/// glyph.
+pub fn cdf_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&', '~', '='];
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|x| *x > 0.0)
+        .collect();
+    if all.is_empty() || width < 8 || height < 2 {
+        return String::from("(no data)\n");
+    }
+    let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().cloned().fold(0.0f64, f64::max).max(lo * 1.0001);
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let mut grid = vec![vec![' '; width]; height];
+
+    for (si, (_, vals)) in series.iter().enumerate() {
+        let mut v: Vec<f64> = vals.iter().copied().filter(|x| *x > 0.0).collect();
+        if v.is_empty() {
+            continue;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let g = glyphs[si % glyphs.len()];
+        for (col, x) in (0..width)
+            .map(|c| (c, (llo + (lhi - llo) * c as f64 / (width - 1) as f64).exp()))
+        {
+            let frac = v.partition_point(|&s| s <= x) as f64 / v.len() as f64;
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = g;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{frac:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     +{}\n      {:<10.3}{:>width$.3}\n",
+        "-".repeat(width),
+        lo,
+        hi,
+        width = width.saturating_sub(10)
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("      {} {}\n", glyphs[si % glyphs.len()], label));
+    }
+    out
+}
+
+/// Render a linear timeline chart of `(x, y)` points.
+pub fn timeline_chart(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() || width < 8 || height < 2 {
+        return String::from("(no data)\n");
+    }
+    let xmin = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymax = points.iter().map(|p| p.1).fold(0.0f64, f64::max).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let col = if xmax > xmin {
+            ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize
+        } else {
+            0
+        };
+        let row = ((1.0 - y / ymax) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col.min(width - 1)] = '*';
+    }
+    let mut out = format!("ymax={ymax:.3}\n");
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("+{}\n x: {xmin:.1} .. {xmax:.1}\n", "-".repeat(width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_chart_contains_series_glyphs_and_legend() {
+        let a: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (1..=100).map(|i| i as f64 * 10.0).collect();
+        let chart = cdf_chart(&[("fast", &a), ("slow", &b)], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("fast"));
+        assert!(chart.contains("slow"));
+        assert!(chart.lines().count() > 10);
+    }
+
+    #[test]
+    fn cdf_chart_handles_empty() {
+        assert_eq!(cdf_chart(&[], 40, 10), "(no data)\n");
+        let empty: Vec<f64> = vec![];
+        assert_eq!(cdf_chart(&[("e", &empty)], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn timeline_chart_scales_to_peak() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i % 10) as f64)).collect();
+        let chart = timeline_chart(&pts, 50, 8);
+        assert!(chart.starts_with("ymax=9.000"));
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn timeline_chart_single_point() {
+        let chart = timeline_chart(&[(5.0, 2.0)], 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,193 @@
+//! FaaS performance SLOs (the paper's §I proposal).
+//!
+//! The paper observes there are no well-defined SLOs for short-job-dominant
+//! FaaS workloads and proposes one: *"X% of function invocations must be
+//! finished within a soft/hard-bounded ratio with respect to the duration
+//! that this function would observe if running in an ideally isolated
+//! environment."* This module implements exactly that rule so schedulers
+//! can be compared on SLO attainment rather than raw distributions.
+
+/// One SLO rule: `percentile`% of invocations must finish within
+/// `slowdown_bound ×` their isolated (ideal) duration, with short
+/// invocations granted a `grace_ms` absolute allowance (a 2 ms function
+/// cannot reasonably be held to 2× = 4 ms on a shared host).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRule {
+    /// Fraction of invocations that must comply, in the half-open unit range.
+    pub target_fraction: f64,
+    /// Allowed turnaround / ideal ratio.
+    pub slowdown_bound: f64,
+    /// Absolute grace added to the bound (ms).
+    pub grace_ms: f64,
+}
+
+impl SloRule {
+    /// A soft SLO: 95% of invocations within 2× isolated duration (+10 ms).
+    pub fn soft() -> SloRule {
+        SloRule {
+            target_fraction: 0.95,
+            slowdown_bound: 2.0,
+            grace_ms: 10.0,
+        }
+    }
+
+    /// A hard SLO: 99% within 10× (+10 ms) — the amplification ceiling the
+    /// paper's motivation says CFS blows through at load.
+    pub fn hard() -> SloRule {
+        SloRule {
+            target_fraction: 0.99,
+            slowdown_bound: 10.0,
+            grace_ms: 10.0,
+        }
+    }
+
+    /// Does a single invocation comply?
+    pub fn complies(&self, ideal_ms: f64, turnaround_ms: f64) -> bool {
+        turnaround_ms <= ideal_ms * self.slowdown_bound + self.grace_ms
+    }
+}
+
+/// Attainment of one rule over a set of invocations.
+#[derive(Debug, Clone, Copy)]
+pub struct SloReport {
+    /// The evaluated rule.
+    pub rule: SloRule,
+    /// Fraction of invocations that complied.
+    pub attained_fraction: f64,
+    /// Whether the rule's target was met.
+    pub met: bool,
+    /// Number of invocations evaluated.
+    pub evaluated: usize,
+    /// The worst observed slowdown (turnaround / ideal).
+    pub worst_slowdown: f64,
+}
+
+/// Evaluate a rule over `(ideal_ms, turnaround_ms)` pairs.
+pub fn evaluate_slo(rule: SloRule, invocations: &[(f64, f64)]) -> SloReport {
+    assert!(
+        rule.target_fraction > 0.0 && rule.target_fraction <= 1.0,
+        "target fraction out of range"
+    );
+    if invocations.is_empty() {
+        return SloReport {
+            rule,
+            attained_fraction: 1.0,
+            met: true,
+            evaluated: 0,
+            worst_slowdown: 1.0,
+        };
+    }
+    let mut ok = 0usize;
+    let mut worst = 1.0f64;
+    for &(ideal, turn) in invocations {
+        if rule.complies(ideal, turn) {
+            ok += 1;
+        }
+        if ideal > 0.0 {
+            worst = worst.max(turn / ideal);
+        }
+    }
+    let frac = ok as f64 / invocations.len() as f64;
+    SloReport {
+        rule,
+        attained_fraction: frac,
+        met: frac >= rule.target_fraction,
+        evaluated: invocations.len(),
+        worst_slowdown: worst,
+    }
+}
+
+/// The largest slowdown bound (at fixed grace) for which `target_fraction`
+/// of invocations would comply — i.e. the tightest SLO this scheduler could
+/// honour. Useful for "what SLO could we sell?" comparisons.
+pub fn tightest_bound(target_fraction: f64, grace_ms: f64, invocations: &[(f64, f64)]) -> f64 {
+    assert!(target_fraction > 0.0 && target_fraction <= 1.0);
+    if invocations.is_empty() {
+        return 1.0;
+    }
+    let mut ratios: Vec<f64> = invocations
+        .iter()
+        .map(|&(ideal, turn)| ((turn - grace_ms) / ideal.max(1e-9)).max(1.0))
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = (((target_fraction * ratios.len() as f64).ceil() as usize).max(1) - 1)
+        .min(ratios.len() - 1);
+    ratios[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compliance_respects_bound_and_grace() {
+        let rule = SloRule {
+            target_fraction: 0.9,
+            slowdown_bound: 2.0,
+            grace_ms: 10.0,
+        };
+        assert!(rule.complies(100.0, 200.0));
+        assert!(rule.complies(100.0, 210.0));
+        assert!(!rule.complies(100.0, 211.0));
+        // Tiny function: grace dominates.
+        assert!(rule.complies(1.0, 12.0));
+        assert!(!rule.complies(1.0, 12.1));
+    }
+
+    #[test]
+    fn evaluation_counts_attainment() {
+        let rule = SloRule {
+            target_fraction: 0.75,
+            slowdown_bound: 2.0,
+            grace_ms: 0.0,
+        };
+        let invocations = vec![
+            (100.0, 150.0), // ok
+            (100.0, 199.0), // ok
+            (100.0, 201.0), // violation
+            (50.0, 60.0),   // ok
+        ];
+        let r = evaluate_slo(rule, &invocations);
+        assert_eq!(r.evaluated, 4);
+        assert!((r.attained_fraction - 0.75).abs() < 1e-12);
+        assert!(r.met);
+        assert!((r.worst_slowdown - 2.01).abs() < 1e-9);
+
+        let strict = SloRule {
+            target_fraction: 0.9,
+            ..rule
+        };
+        assert!(!evaluate_slo(strict, &invocations).met);
+    }
+
+    #[test]
+    fn empty_input_trivially_met() {
+        let r = evaluate_slo(SloRule::soft(), &[]);
+        assert!(r.met);
+        assert_eq!(r.evaluated, 0);
+    }
+
+    #[test]
+    fn tightest_bound_is_the_quantile_of_slowdowns() {
+        let invocations: Vec<(f64, f64)> = (1..=100)
+            .map(|i| (100.0, 100.0 * i as f64 / 10.0))
+            .collect();
+        // Slowdowns 0.1..10 floored at 1. p90 slowdown = 9.
+        let b = tightest_bound(0.9, 0.0, &invocations);
+        assert!((b - 9.0).abs() < 1e-9, "bound {b}");
+        // Everything complies at the p100 bound.
+        let all = tightest_bound(1.0, 0.0, &invocations);
+        let rule = SloRule {
+            target_fraction: 1.0,
+            slowdown_bound: all,
+            grace_ms: 0.0,
+        };
+        assert!(evaluate_slo(rule, &invocations).met);
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(SloRule::soft().slowdown_bound < SloRule::hard().slowdown_bound);
+        assert!(SloRule::soft().target_fraction < SloRule::hard().target_fraction);
+    }
+}

@@ -1,0 +1,304 @@
+//! CFS (Completely Fair Scheduler) runqueue model.
+//!
+//! Per-core red-black-tree runqueue ordered by `vruntime` (§II-B of the
+//! paper), implemented with a `BTreeSet<(vruntime, Pid)>` which gives the
+//! same O(log n) pick-smallest discipline. Mirrors mainline defaults:
+//!
+//! * `sched_latency_ns`        = 24 ms (scheduling period for ≤ 8 runnable),
+//! * `sched_min_granularity`   = 3 ms  (slice floor; period stretches when
+//!   more than `sched_latency / min_granularity` tasks are runnable),
+//! * `sched_wakeup_granularity`= 4 ms  (preemption hysteresis on wakeup),
+//! * nice→weight table from `kernel/sched/core.c` (`sched_prio_to_weight`).
+//!
+//! The paper's core observation (§III) falls out of these rules: with `k`
+//! runnable tasks a short function receives only `period/k` of CPU every
+//! `period`, so its turnaround is roughly `k ×` its service time.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sfs_simcore::SimDuration;
+
+use crate::task::Pid;
+
+/// `sched_prio_to_weight`: weight for nice -20 (index 0) through 19 (39).
+/// NICE_0_LOAD is 1024.
+pub const NICE_TO_WEIGHT: [u32; 40] = [
+    88761, 71755, 56483, 46273, 36291, // -20 .. -16
+    29154, 23254, 18705, 14949, 11916, // -15 .. -11
+    9548, 7620, 6100, 4904, 3906, // -10 .. -6
+    3121, 2501, 1991, 1586, 1277, // -5 .. -1
+    1024, 820, 655, 526, 423, // 0 .. 4
+    335, 272, 215, 172, 137, // 5 .. 9
+    110, 87, 70, 56, 45, // 10 .. 14
+    36, 29, 23, 18, 15, // 15 .. 19
+];
+
+/// Weight of a nice-0 task.
+pub const NICE_0_WEIGHT: u32 = 1024;
+
+/// Weight for a nice level, clamped to the valid range.
+pub fn weight_of_nice(nice: i8) -> u32 {
+    let idx = (nice.clamp(-20, 19) as i32 + 20) as usize;
+    NICE_TO_WEIGHT[idx]
+}
+
+/// Tunables for the CFS model.
+#[derive(Debug, Clone, Copy)]
+pub struct CfsParams {
+    /// Target scheduling period when few tasks are runnable.
+    pub sched_latency: SimDuration,
+    /// Minimum slice any task receives before preemption.
+    pub min_granularity: SimDuration,
+    /// Wakeup preemption hysteresis: a waking task preempts the current one
+    /// only if its vruntime lags by more than this (weight-scaled in the
+    /// kernel; fixed here).
+    pub wakeup_granularity: SimDuration,
+}
+
+impl Default for CfsParams {
+    fn default() -> Self {
+        CfsParams {
+            sched_latency: SimDuration::from_millis(24),
+            min_granularity: SimDuration::from_millis(3),
+            wakeup_granularity: SimDuration::from_millis(4),
+        }
+    }
+}
+
+impl CfsParams {
+    /// The scheduling period for `nr_running` tasks: `sched_latency` while
+    /// `nr ≤ sched_latency/min_granularity`, else `nr × min_granularity`
+    /// (the kernel's `__sched_period`).
+    pub fn period(&self, nr_running: u64) -> SimDuration {
+        let nr_latency = (self.sched_latency.as_nanos() / self.min_granularity.as_nanos()).max(1);
+        if nr_running <= nr_latency {
+            self.sched_latency
+        } else {
+            self.min_granularity * nr_running
+        }
+    }
+
+    /// Time slice for a task of `weight` among `total_weight` of runnable
+    /// load with `nr_running` tasks (the kernel's `sched_slice`), floored at
+    /// `min_granularity`.
+    pub fn slice(&self, nr_running: u64, weight: u32, total_weight: u64) -> SimDuration {
+        if total_weight == 0 {
+            return self.sched_latency;
+        }
+        let period = self.period(nr_running);
+        let s = period.mul_f64(weight as f64 / total_weight as f64);
+        s.max(self.min_granularity)
+    }
+
+    /// vruntime delta for `exec` real runtime at `weight`
+    /// (`delta_exec × NICE_0_LOAD / weight`).
+    pub fn vruntime_delta(exec: SimDuration, weight: u32) -> u64 {
+        ((exec.as_nanos() as u128 * NICE_0_WEIGHT as u128) / weight.max(1) as u128) as u64
+    }
+}
+
+/// A per-core CFS runqueue: queued (not running) tasks ordered by vruntime.
+#[derive(Debug, Clone, Default)]
+pub struct CfsRunqueue {
+    tree: BTreeSet<(u64, Pid)>,
+    /// Weight of each queued task (captured at enqueue).
+    weights: HashMap<Pid, u32>,
+    /// Monotonic minimum vruntime floor for this queue (never decreases).
+    min_vruntime: u64,
+    /// Sum of weights of queued tasks.
+    total_weight: u64,
+}
+
+impl CfsRunqueue {
+    /// Empty runqueue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued (runnable, not running) tasks.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True iff no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Sum of queued task weights.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// The queue's monotonic min_vruntime floor. New/woken tasks are placed
+    /// at `max(task.vruntime, min_vruntime)` so sleepers cannot hoard an
+    /// arbitrarily small vruntime and starve the queue when they wake.
+    pub fn min_vruntime(&self) -> u64 {
+        self.min_vruntime
+    }
+
+    /// Normalise a task's vruntime for (re-)enqueue on this queue.
+    pub fn place_vruntime(&self, task_vruntime: u64) -> u64 {
+        task_vruntime.max(self.min_vruntime)
+    }
+
+    /// Insert a task with its (already normalised) vruntime.
+    pub fn enqueue(&mut self, pid: Pid, vruntime: u64, weight: u32) {
+        let inserted = self.tree.insert((vruntime, pid));
+        debug_assert!(inserted, "task {pid} double-enqueued");
+        self.weights.insert(pid, weight);
+        self.total_weight += weight as u64;
+    }
+
+    /// Remove a specific task (e.g. policy change while queued).
+    pub fn remove(&mut self, pid: Pid, vruntime: u64) -> bool {
+        let removed = self.tree.remove(&(vruntime, pid));
+        if removed {
+            let w = self.weights.remove(&pid).unwrap_or(0);
+            self.total_weight = self.total_weight.saturating_sub(w as u64);
+        }
+        removed
+    }
+
+    /// Peek the leftmost (smallest-vruntime) task.
+    pub fn peek(&self) -> Option<(u64, Pid)> {
+        self.tree.first().copied()
+    }
+
+    /// Pop the leftmost task and advance `min_vruntime` to it.
+    pub fn pop(&mut self) -> Option<(u64, Pid)> {
+        let entry = self.tree.pop_first()?;
+        let w = self.weights.remove(&entry.1).unwrap_or(0);
+        self.total_weight = self.total_weight.saturating_sub(w as u64);
+        self.advance_min_vruntime(entry.0);
+        Some(entry)
+    }
+
+    /// Pop the *rightmost* (largest-vruntime) task — used for idle stealing,
+    /// where taking the task that would run last disturbs the victim least.
+    pub fn pop_last(&mut self) -> Option<(u64, Pid)> {
+        let entry = self.tree.pop_last()?;
+        let w = self.weights.remove(&entry.1).unwrap_or(0);
+        self.total_weight = self.total_weight.saturating_sub(w as u64);
+        Some(entry)
+    }
+
+    /// Raise the monotonic floor (called as tasks run/pop).
+    pub fn advance_min_vruntime(&mut self, candidate: u64) {
+        if candidate > self.min_vruntime {
+            self.min_vruntime = candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn weight_table_spot_checks() {
+        assert_eq!(weight_of_nice(0), 1024);
+        assert_eq!(weight_of_nice(-20), 88761);
+        assert_eq!(weight_of_nice(19), 15);
+        // Each nice level is ~1.25x the next.
+        let r = weight_of_nice(0) as f64 / weight_of_nice(1) as f64;
+        assert!((r - 1.25).abs() < 0.01, "nice ratio {r}");
+        // Clamping out-of-range nice values.
+        assert_eq!(weight_of_nice(-100), 88761);
+        assert_eq!(weight_of_nice(100), 15);
+    }
+
+    #[test]
+    fn period_stretches_under_load() {
+        let p = CfsParams::default();
+        assert_eq!(p.period(1), ms(24));
+        assert_eq!(p.period(8), ms(24));
+        // Beyond sched_latency/min_granularity = 8 tasks the period grows.
+        assert_eq!(p.period(9), ms(27));
+        assert_eq!(p.period(100), ms(300));
+    }
+
+    #[test]
+    fn slice_is_proportional_and_floored() {
+        let p = CfsParams::default();
+        // Two equal nice-0 tasks: half the 24ms period each.
+        let s = p.slice(2, NICE_0_WEIGHT, 2 * NICE_0_WEIGHT as u64);
+        assert_eq!(s, ms(12));
+        // Many tasks: the floor kicks in.
+        let s = p.slice(1000, NICE_0_WEIGHT, 1000 * NICE_0_WEIGHT as u64);
+        assert_eq!(s, ms(3));
+        // Empty queue: full latency.
+        assert_eq!(p.slice(0, NICE_0_WEIGHT, 0), ms(24));
+    }
+
+    #[test]
+    fn vruntime_scales_inversely_with_weight() {
+        // nice 0: 1ms of runtime -> 1ms of vruntime.
+        assert_eq!(
+            CfsParams::vruntime_delta(ms(1), NICE_0_WEIGHT),
+            ms(1).as_nanos()
+        );
+        // High-priority (heavy) tasks accrue vruntime slower.
+        let d = CfsParams::vruntime_delta(ms(1), weight_of_nice(-5));
+        assert!(d < ms(1).as_nanos() / 3);
+        // Low-priority (light) tasks accrue faster.
+        let d = CfsParams::vruntime_delta(ms(1), weight_of_nice(5));
+        assert!(d > ms(3).as_nanos());
+    }
+
+    #[test]
+    fn runqueue_orders_by_vruntime() {
+        let mut rq = CfsRunqueue::new();
+        rq.enqueue(Pid(1), 300, 1024);
+        rq.enqueue(Pid(2), 100, 1024);
+        rq.enqueue(Pid(3), 200, 1024);
+        assert_eq!(rq.len(), 3);
+        assert_eq!(rq.total_weight(), 3 * 1024);
+        let (v, p) = rq.pop().unwrap();
+        assert_eq!((v, p), (100, Pid(2)));
+        assert_eq!(rq.min_vruntime(), 100);
+        let (v, p) = rq.pop().unwrap();
+        assert_eq!((v, p), (200, Pid(3)));
+        assert_eq!(rq.peek(), Some((300, Pid(1))));
+    }
+
+    #[test]
+    fn min_vruntime_floor_is_monotone() {
+        let mut rq = CfsRunqueue::new();
+        rq.enqueue(Pid(1), 1000, 1024);
+        rq.pop();
+        assert_eq!(rq.min_vruntime(), 1000);
+        // A task that slept with old vruntime 10 gets re-placed at the floor.
+        assert_eq!(rq.place_vruntime(10), 1000);
+        // A task already ahead keeps its own vruntime.
+        assert_eq!(rq.place_vruntime(5000), 5000);
+        rq.advance_min_vruntime(500); // lower candidate: no effect
+        assert_eq!(rq.min_vruntime(), 1000);
+    }
+
+    #[test]
+    fn remove_specific_entry() {
+        let mut rq = CfsRunqueue::new();
+        rq.enqueue(Pid(1), 10, 1024);
+        rq.enqueue(Pid(2), 20, 512);
+        assert!(rq.remove(Pid(2), 20));
+        assert!(!rq.remove(Pid(2), 20));
+        assert_eq!(rq.len(), 1);
+        assert_eq!(rq.total_weight(), 1024);
+    }
+
+    #[test]
+    fn pop_last_takes_tail() {
+        let mut rq = CfsRunqueue::new();
+        rq.enqueue(Pid(1), 10, 1024);
+        rq.enqueue(Pid(2), 99, 1024);
+        let (v, p) = rq.pop_last().unwrap();
+        assert_eq!((v, p), (99, Pid(2)));
+        // Stealing from the tail must not advance the floor.
+        assert_eq!(rq.min_vruntime(), 0);
+    }
+}

@@ -1,0 +1,581 @@
+//! # sfs-sched — multicore OS CPU scheduler simulator
+//!
+//! The OS substrate the SFS reproduction runs on. Models, at event
+//! granularity, the schedulers the paper measures (§II-B, §IV-B):
+//!
+//! * **CFS** (`SCHED_NORMAL`) — per-core vruntime-ordered runqueues with the
+//!   mainline nice→weight table, `sched_latency`/`min_granularity` slice
+//!   rules, wakeup-preemption hysteresis, and idle pull-balancing;
+//! * **FIFO** (`SCHED_FIFO`) — static-priority real-time, run-to-block;
+//! * **RR** (`SCHED_RR`) — FIFO plus a 100 ms round-robin quantum;
+//! * **SRTF** — the offline oracle (preemptive shortest-remaining-first);
+//! * **IDEAL** — infinite uncontended resources ([`TaskSpec::ideal_duration`]).
+//!
+//! External controllers drive the machine only through the operations a real
+//! user-space scheduler has: spawn, `schedtool`-style policy switching, and
+//! `/proc` state polling. That restriction is what makes the SFS
+//! implementation on top of this substrate faithful to the paper's
+//! user-space-only design (§V-A challenge 2).
+//!
+//! ## Quickstart
+//! ```
+//! use sfs_sched::{Machine, MachineParams, TaskSpec};
+//! use sfs_simcore::SimDuration;
+//!
+//! let mut m = Machine::new(MachineParams::linux(2));
+//! let _a = m.spawn(TaskSpec::cpu(0, SimDuration::from_millis(10)));
+//! let _b = m.spawn(TaskSpec::cpu(1, SimDuration::from_millis(300)));
+//! m.run_until_quiescent();
+//! assert_eq!(m.finished().len(), 2);
+//! ```
+
+pub mod cfs;
+pub mod machine;
+pub mod rt;
+pub mod task;
+pub mod trace;
+
+pub use cfs::{weight_of_nice, CfsParams, CfsRunqueue, NICE_0_WEIGHT};
+pub use machine::{Machine, MachineParams, Notification, SchedMode};
+pub use rt::{RtRunqueue, RR_TIMESLICE};
+pub use task::{FinishedTask, Phase, Pid, Policy, ProcState, TaskSpec};
+pub use trace::{ScheduleTrace, Segment};
+
+use sfs_simcore::SimTime;
+
+/// Run a batch of `(arrival_time, spec)` pairs to completion on a machine,
+/// spawning each task at its arrival time, and return the completion records.
+///
+/// This is the whole driver needed for the paper's pure-kernel-scheduler
+/// baselines (CFS / FIFO / RR / SRTF in Fig. 2): the FaaS server dispatches
+/// every request to the OS as it arrives and the kernel does the rest.
+pub fn run_open_loop(
+    params: MachineParams,
+    arrivals: impl IntoIterator<Item = (SimTime, TaskSpec)>,
+) -> Vec<FinishedTask> {
+    let mut m = Machine::new(params);
+    for (at, spec) in arrivals {
+        m.advance_to(at);
+        m.spawn(spec);
+    }
+    m.run_until_quiescent();
+    m.into_finished()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_simcore::SimDuration;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    /// Zero switch cost makes hand-computed schedules exact.
+    fn exact_params(cores: usize, mode: SchedMode) -> MachineParams {
+        MachineParams {
+            cores,
+            ctx_switch_cost: SimDuration::ZERO,
+            mode,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_task_runs_to_completion_uninterrupted() {
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Linux),
+            [(at(0), TaskSpec::cpu(0, ms(50)))],
+        );
+        assert_eq!(done.len(), 1);
+        let t = &done[0];
+        assert_eq!(t.turnaround(), ms(50));
+        assert_eq!(t.cpu_time, ms(50));
+        assert_eq!(t.ctx_switches, 0);
+        assert!((t.rte() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cfs_two_equal_tasks_share_one_core_fairly() {
+        // Two 48ms nice-0 tasks on one core: both finish near 96ms, each is
+        // context-switched repeatedly, combined CPU time is exactly 96ms.
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Linux),
+            [
+                (at(0), TaskSpec::cpu(0, ms(48))),
+                (at(0), TaskSpec::cpu(1, ms(48))),
+            ],
+        );
+        assert_eq!(done.len(), 2);
+        let last = done.iter().map(|t| t.finished).max().unwrap();
+        assert_eq!(last, at(96));
+        for t in &done {
+            // Fair sharing: neither task finishes before ~2x its service time
+            // minus one slice.
+            assert!(
+                t.turnaround() >= ms(84),
+                "task finished too early: {}",
+                t.turnaround()
+            );
+            assert!(t.ctx_switches >= 1, "expected slicing, got none");
+        }
+    }
+
+    #[test]
+    fn cfs_short_task_amplified_by_many_long_tasks() {
+        // The paper's core observation: a 5ms function co-located with many
+        // long CFS tasks waits for a full scheduling round between slices.
+        let mut arrivals = vec![(at(0), TaskSpec::cpu(999, ms(5)))];
+        for i in 0..15 {
+            arrivals.push((at(0), TaskSpec::cpu(i, ms(500))));
+        }
+        let done = run_open_loop(exact_params(1, SchedMode::Linux), arrivals);
+        let short = done.iter().find(|t| t.label == 999).unwrap();
+        // With 16 runnable tasks the short one's RTE collapses.
+        assert!(
+            short.rte() < 0.25,
+            "short task RTE {} should be heavily amplified",
+            short.rte()
+        );
+        assert!(short.turnaround() > ms(20));
+    }
+
+    #[test]
+    fn fifo_runs_in_arrival_order_with_convoy() {
+        // FIFO on one core: a short task behind a long one waits out the
+        // entire long task (the convoy effect, §IV-B obs 4).
+        let long = TaskSpec {
+            phases: vec![Phase::Cpu(ms(1000))],
+            policy: Policy::Fifo { prio: 50 },
+            label: 0,
+        };
+        let short = TaskSpec {
+            phases: vec![Phase::Cpu(ms(5))],
+            policy: Policy::Fifo { prio: 50 },
+            label: 1,
+        };
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Linux),
+            [(at(0), long), (at(1), short)],
+        );
+        let s = done.iter().find(|t| t.label == 1).unwrap();
+        assert_eq!(s.finished, at(1005));
+        assert_eq!(s.ctx_switches, 0);
+        let l = done.iter().find(|t| t.label == 0).unwrap();
+        assert_eq!(l.finished, at(1000));
+    }
+
+    #[test]
+    fn fifo_higher_priority_preempts_lower() {
+        let low = TaskSpec {
+            phases: vec![Phase::Cpu(ms(100))],
+            policy: Policy::Fifo { prio: 10 },
+            label: 0,
+        };
+        let high = TaskSpec {
+            phases: vec![Phase::Cpu(ms(10))],
+            policy: Policy::Fifo { prio: 90 },
+            label: 1,
+        };
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Linux),
+            [(at(0), low), (at(20), high)],
+        );
+        let h = done.iter().find(|t| t.label == 1).unwrap();
+        assert_eq!(h.finished, at(30), "high prio runs immediately");
+        let l = done.iter().find(|t| t.label == 0).unwrap();
+        assert_eq!(l.finished, at(110), "low prio resumes after preemption");
+        assert_eq!(l.ctx_switches, 1);
+    }
+
+    #[test]
+    fn rr_rotates_on_quantum() {
+        // Two 250ms RR tasks at the same priority on one core: they must
+        // alternate on the 100ms quantum rather than run to completion.
+        let mk = |label| TaskSpec {
+            phases: vec![Phase::Cpu(ms(250))],
+            policy: Policy::Rr { prio: 50 },
+            label,
+        };
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Linux),
+            [(at(0), mk(0)), (at(0), mk(1))],
+        );
+        let t0 = done.iter().find(|t| t.label == 0).unwrap();
+        let t1 = done.iter().find(|t| t.label == 1).unwrap();
+        // Slices: A[0,100] B[100,200] A[200,300] B[300,400] A[400,450] B[450,500]
+        assert_eq!(t0.finished, at(450));
+        assert_eq!(t1.finished, at(500));
+        assert!(t0.ctx_switches >= 2);
+    }
+
+    #[test]
+    fn rt_preempts_cfs_immediately() {
+        let cfs_task = TaskSpec::cpu(0, ms(100));
+        let rt_task = TaskSpec {
+            phases: vec![Phase::Cpu(ms(10))],
+            policy: Policy::Fifo { prio: 50 },
+            label: 1,
+        };
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Linux),
+            [(at(0), cfs_task), (at(30), rt_task)],
+        );
+        let rt = done.iter().find(|t| t.label == 1).unwrap();
+        assert_eq!(rt.finished, at(40), "RT task preempts CFS on arrival");
+        let c = done.iter().find(|t| t.label == 0).unwrap();
+        assert_eq!(c.finished, at(110));
+    }
+
+    #[test]
+    fn srtf_prefers_shortest_remaining() {
+        // One core; long task arrives first, then two shorter ones. SRTF
+        // preempts for the shortest remaining work.
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Srtf),
+            [
+                (at(0), TaskSpec::cpu(0, ms(100))),
+                (at(10), TaskSpec::cpu(1, ms(20))),
+                (at(12), TaskSpec::cpu(2, ms(5))),
+            ],
+        );
+        let t2 = done.iter().find(|t| t.label == 2).unwrap();
+        assert_eq!(t2.finished, at(17), "5ms job cuts the line");
+        let t1 = done.iter().find(|t| t.label == 1).unwrap();
+        assert_eq!(t1.finished, at(35));
+        let t0 = done.iter().find(|t| t.label == 0).unwrap();
+        assert_eq!(t0.finished, at(125));
+    }
+
+    #[test]
+    fn srtf_does_not_preempt_for_longer_work() {
+        let done = run_open_loop(
+            exact_params(1, SchedMode::Srtf),
+            [
+                (at(0), TaskSpec::cpu(0, ms(30))),
+                (at(10), TaskSpec::cpu(1, ms(25))),
+            ],
+        );
+        // At t=10 the running task has 20ms remaining < 25ms: no preemption.
+        let t0 = done.iter().find(|t| t.label == 0).unwrap();
+        assert_eq!(t0.finished, at(30));
+        assert_eq!(t0.ctx_switches, 0);
+        let t1 = done.iter().find(|t| t.label == 1).unwrap();
+        assert_eq!(t1.finished, at(55));
+    }
+
+    #[test]
+    fn multicore_spreads_load() {
+        // 4 equal tasks on 4 cores: all run in parallel, all finish at 50ms.
+        let arrivals: Vec<_> = (0..4).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
+        let done = run_open_loop(exact_params(4, SchedMode::Linux), arrivals);
+        for t in &done {
+            assert_eq!(t.turnaround(), ms(50));
+            assert_eq!(t.ctx_switches, 0);
+        }
+    }
+
+    #[test]
+    fn idle_core_steals_queued_work() {
+        // Four 50ms tasks on 2 cores: when the first two finish, the queued
+        // ones run immediately; makespan is ~100ms, not 200ms.
+        let arrivals: Vec<_> = (0..4).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
+        let done = run_open_loop(exact_params(2, SchedMode::Linux), arrivals);
+        let makespan = done.iter().map(|t| t.finished).max().unwrap();
+        assert!(
+            makespan <= at(101),
+            "work conservation violated: makespan {makespan}"
+        );
+    }
+
+    #[test]
+    fn io_task_sleeps_then_resumes() {
+        let spec = TaskSpec::io_then_cpu(0, ms(40), ms(10));
+        let done = run_open_loop(exact_params(1, SchedMode::Linux), [(at(0), spec)]);
+        let t = &done[0];
+        assert_eq!(t.io_time, ms(40));
+        assert_eq!(t.cpu_time, ms(10));
+        assert_eq!(t.turnaround(), ms(50));
+        assert!((t.rte() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_block_lets_other_task_run() {
+        // Task A (FIFO, so it owns the core while runnable): 10ms CPU, 50ms
+        // IO, 10ms CPU. Task B (CFS): 30ms CPU. One core. B runs inside A's
+        // IO window, so the makespan is 70ms, not 100ms — the work
+        // conservation SFS relies on when FILTER functions block (§V-D).
+        let a = TaskSpec {
+            phases: vec![Phase::Cpu(ms(10)), Phase::Io(ms(50)), Phase::Cpu(ms(10))],
+            policy: Policy::Fifo { prio: 50 },
+            label: 0,
+        };
+        let b = TaskSpec::cpu(1, ms(30));
+        let done = run_open_loop(exact_params(1, SchedMode::Linux), [(at(0), a), (at(0), b)]);
+        let fa = done.iter().find(|t| t.label == 0).unwrap();
+        assert_eq!(fa.finished, at(70), "FIFO task: 10ms cpu + 50ms io + 10ms cpu");
+        let fb = done.iter().find(|t| t.label == 1).unwrap();
+        assert_eq!(fb.finished, at(40), "CFS task fills the IO window");
+        let makespan = done.iter().map(|t| t.finished).max().unwrap();
+        assert_eq!(makespan, at(70));
+    }
+
+    #[test]
+    fn policy_switch_promotes_running_cfs_task() {
+        // A long CFS task contending with another gets promoted to FIFO and
+        // then runs without further slicing.
+        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let a = m.spawn(TaskSpec::cpu(0, ms(100)));
+        let _b = m.spawn(TaskSpec::cpu(1, ms(100)));
+        m.advance_to(at(5));
+        m.set_policy(a, Policy::Fifo { prio: 50 });
+        m.run_until_quiescent();
+        let fa = m.finished().iter().find(|t| t.label == 0).unwrap();
+        // a runs to completion first (modulo the share it lost before t=5).
+        assert!(
+            fa.finished <= at(105),
+            "promoted task finished at {}",
+            fa.finished
+        );
+        let fb = m.finished().iter().find(|t| t.label == 1).unwrap();
+        assert_eq!(fb.finished, at(200));
+    }
+
+    #[test]
+    fn policy_switch_demotes_running_fifo_task() {
+        // FIFO task demoted to CFS mid-run starts sharing with a CFS peer.
+        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let a = m.spawn(TaskSpec {
+            phases: vec![Phase::Cpu(ms(100))],
+            policy: Policy::Fifo { prio: 50 },
+            label: 0,
+        });
+        let _b = m.spawn(TaskSpec::cpu(1, ms(50)));
+        m.advance_to(at(20));
+        m.set_policy(a, Policy::NORMAL);
+        m.run_until_quiescent();
+        let fb = m.finished().iter().find(|t| t.label == 1).unwrap();
+        // b gets CPU before a fully finishes: under pure FIFO b would finish
+        // at 150; demotion must let it finish well before that.
+        assert!(
+            fb.finished < at(150),
+            "demotion did not release the core: b at {}",
+            fb.finished
+        );
+        let fa = m.finished().iter().find(|t| t.label == 0).unwrap();
+        assert_eq!(fa.cpu_time, ms(100));
+    }
+
+    #[test]
+    fn proc_state_reflects_lifecycle() {
+        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let a = m.spawn(TaskSpec {
+            phases: vec![Phase::Cpu(ms(10)), Phase::Io(ms(20)), Phase::Cpu(ms(10))],
+            policy: Policy::NORMAL,
+            label: 0,
+        });
+        assert_eq!(m.proc_state(a), ProcState::Running);
+        m.advance_to(at(15));
+        assert_eq!(m.proc_state(a), ProcState::Sleeping);
+        m.advance_to(at(35));
+        assert_eq!(m.proc_state(a), ProcState::Running);
+        m.advance_to(at(45));
+        assert_eq!(m.proc_state(a), ProcState::Dead);
+        assert_eq!(m.cpu_time(a), ms(20));
+    }
+
+    #[test]
+    fn cpu_time_includes_inflight_run() {
+        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let a = m.spawn(TaskSpec::cpu(0, ms(100)));
+        m.advance_to(at(30));
+        assert_eq!(m.cpu_time(a), ms(30));
+        assert_eq!(m.proc_state(a), ProcState::Running);
+    }
+
+    #[test]
+    fn notifications_cover_lifecycle() {
+        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let a = m.spawn(TaskSpec {
+            phases: vec![Phase::Cpu(ms(5)), Phase::Io(ms(5)), Phase::Cpu(ms(5))],
+            policy: Policy::NORMAL,
+            label: 0,
+        });
+        let notes = m.run_until_quiescent();
+        let kinds: Vec<&str> = notes
+            .iter()
+            .map(|n| match n {
+                Notification::FirstRun(p, _) => {
+                    assert_eq!(*p, a);
+                    "first"
+                }
+                Notification::Blocked(..) => "blocked",
+                Notification::Woke(..) => "woke",
+                Notification::Finished(..) => "finished",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["first", "blocked", "woke", "finished"]);
+    }
+
+    #[test]
+    fn context_switch_cost_delays_completion() {
+        let params = MachineParams {
+            cores: 1,
+            ctx_switch_cost: SimDuration::from_micros(100),
+            mode: SchedMode::Linux,
+            ..Default::default()
+        };
+        let done = run_open_loop(
+            params,
+            [
+                (at(0), TaskSpec::cpu(0, ms(24))),
+                (at(0), TaskSpec::cpu(1, ms(24))),
+            ],
+        );
+        let makespan = done.iter().map(|t| t.finished).max().unwrap();
+        // 48ms of work plus at least a few 100us switch penalties.
+        assert!(makespan > at(48));
+        assert!(makespan < at(50));
+    }
+
+    #[test]
+    fn determinism_same_input_same_schedule() {
+        let mk = || {
+            let arrivals: Vec<_> = (0..200)
+                .map(|i| (at(i * 3), TaskSpec::cpu(i, ms(1 + (i * 7) % 40))))
+                .collect();
+            run_open_loop(exact_params(4, SchedMode::Linux), arrivals)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.pid, y.pid);
+            assert_eq!(x.finished, y.finished);
+            assert_eq!(x.ctx_switches, y.ctx_switches);
+        }
+    }
+
+    #[test]
+    fn conservation_of_cpu_time() {
+        // Total CPU time charged equals total demand, regardless of policy mix.
+        let mut arrivals = Vec::new();
+        let mut demand = SimDuration::ZERO;
+        for i in 0..100u64 {
+            let d = ms(1 + (i * 13) % 80);
+            demand += d;
+            let spec = if i % 3 == 0 {
+                TaskSpec {
+                    phases: vec![Phase::Cpu(d)],
+                    policy: Policy::Fifo { prio: 50 },
+                    label: i,
+                }
+            } else {
+                TaskSpec::cpu(i, d)
+            };
+            arrivals.push((at(i), spec));
+        }
+        let done = run_open_loop(exact_params(3, SchedMode::Linux), arrivals);
+        let total: SimDuration = done.iter().map(|t| t.cpu_time).sum();
+        assert_eq!(total, demand);
+        for t in &done {
+            assert_eq!(t.cpu_time, t.cpu_demand, "task {} over/under-charged", t.pid);
+        }
+    }
+
+    #[test]
+    fn contention_inflates_oversubscribed_execution() {
+        // 8 equal CFS tasks on 1 core with contention on: the makespan must
+        // exceed the raw demand, and every task's charged CPU time must
+        // exceed its demand (utime ticks at wall rate while progress slows).
+        let mut params = exact_params(1, SchedMode::Linux);
+        params.contention_beta = 0.5;
+        let arrivals: Vec<_> = (0..8).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
+        let done = run_open_loop(params, arrivals);
+        let makespan = done.iter().map(|t| t.finished).max().unwrap();
+        assert!(
+            makespan > at(500),
+            "8x50ms under contention should exceed 400ms raw demand: {makespan}"
+        );
+        for t in &done {
+            assert!(t.cpu_time > t.cpu_demand, "task {} not inflated", t.pid);
+        }
+        // Without contention the same workload takes exactly 400ms.
+        let arrivals: Vec<_> = (0..8).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
+        let base = run_open_loop(exact_params(1, SchedMode::Linux), arrivals);
+        assert_eq!(base.iter().map(|t| t.finished).max().unwrap(), at(400));
+    }
+
+    #[test]
+    fn contention_spares_serial_execution() {
+        // One task at a time (FIFO convoy): active never exceeds... the
+        // queue counts as active, so FIFO also sees inflation from waiting
+        // tasks? No: contention counts runnable+running, so a FIFO convoy
+        // of 8 is inflated early but the factor decays as tasks finish,
+        // while CFS keeps all 8 live to the end. FIFO must therefore beat
+        // CFS on total makespan under contention.
+        let mut params = exact_params(1, SchedMode::Linux);
+        params.contention_beta = 0.5;
+        let cfs: Vec<_> = (0..8).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
+        let cfs_done = run_open_loop(params, cfs);
+        let fifo: Vec<_> = (0..8)
+            .map(|i| {
+                (
+                    at(0),
+                    TaskSpec {
+                        phases: vec![Phase::Cpu(ms(50))],
+                        policy: Policy::Fifo { prio: 50 },
+                        label: i,
+                    },
+                )
+            })
+            .collect();
+        let fifo_done = run_open_loop(params, fifo);
+        let makespan = |v: &[FinishedTask]| v.iter().map(|t| t.finished).max().unwrap();
+        assert!(
+            makespan(&fifo_done) < makespan(&cfs_done),
+            "serial FIFO {} should drain faster than time-shared CFS {} under contention",
+            makespan(&fifo_done),
+            makespan(&cfs_done)
+        );
+    }
+
+    #[test]
+    fn srtf_beats_cfs_on_mean_turnaround_for_short_heavy_mix() {
+        // Statistical sanity: the Fig. 2 headline (SRTF >> CFS for
+        // short-dominant workloads at high load).
+        let arrivals = || {
+            let mut v = Vec::new();
+            for i in 0..300u64 {
+                let d = if i % 10 == 0 { ms(400) } else { ms(8) };
+                v.push((at(i * 12), TaskSpec::cpu(i, d)));
+            }
+            v
+        };
+        let cfs = run_open_loop(exact_params(1, SchedMode::Linux), arrivals());
+        let srtf = run_open_loop(exact_params(1, SchedMode::Srtf), arrivals());
+        let mean = |v: &[FinishedTask]| {
+            v.iter().map(|t| t.turnaround().as_millis_f64()).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(&srtf) < mean(&cfs),
+            "SRTF mean {} should beat CFS mean {}",
+            mean(&srtf),
+            mean(&cfs)
+        );
+        // Short tasks specifically should be far better under SRTF.
+        let short_mean = |v: &[FinishedTask]| {
+            let xs: Vec<f64> = v
+                .iter()
+                .filter(|t| t.cpu_demand == ms(8))
+                .map(|t| t.turnaround().as_millis_f64())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(short_mean(&srtf) * 2.0 < short_mean(&cfs));
+    }
+}

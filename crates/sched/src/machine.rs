@@ -1,0 +1,931 @@
+//! The simulated multicore machine.
+//!
+//! An event-driven engine that schedules tasks (see [`crate::TaskSpec`]) over `c` cores under
+//! Linux semantics (global RT runqueue over per-core CFS runqueues with idle
+//! pull-balancing) or an SRTF oracle. External controllers (the SFS
+//! scheduler, bench harnesses) drive it through four operations, mirroring
+//! what a user-space scheduler can actually do on Linux:
+//!
+//! * [`Machine::spawn`] — dispatch a function process (FaaS server → OS),
+//! * [`Machine::set_policy`] — `schedtool`: switch a live process between
+//!   `SCHED_FIFO` and `SCHED_NORMAL` (how SFS implements FILTER, §VI),
+//! * [`Machine::proc_state`] / [`Machine::cpu_time`] — `/proc` polling
+//!   (how SFS detects I/O blocking, §V-D),
+//! * [`Machine::advance_to`] — advance virtual time, collecting
+//!   notifications (task blocked / woke / finished) the controller reacts to.
+//!
+//! Determinism: all ties break on event insertion order ([`sfs_simcore::EventQueue`])
+//! and core index, so identical inputs give bit-identical schedules.
+
+use std::collections::BTreeSet;
+
+use sfs_simcore::{EventQueue, SimDuration, SimTime};
+
+use crate::cfs::{weight_of_nice, CfsParams, CfsRunqueue};
+use crate::rt::{RtRunqueue, RR_TIMESLICE};
+use crate::trace::{ScheduleTrace, Segment};
+use crate::task::{FinishedTask, Phase, Pid, Policy, ProcState, Task, TaskSpec};
+
+/// Scheduling regime for the whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Linux: SCHED_FIFO/SCHED_RR over CFS, as configured per task.
+    Linux,
+    /// Offline oracle: preemptive Shortest Remaining (CPU) Time First.
+    /// Task policies are ignored.
+    Srtf,
+}
+
+/// Machine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineParams {
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// CFS tunables.
+    pub cfs: CfsParams,
+    /// Direct + indirect cost charged on every dispatch of a *different*
+    /// task than the core last ran (register/TLB/cache disturbance). The
+    /// paper's short-function amplification partly comes from this cost
+    /// recurring on every CFS slice boundary.
+    pub ctx_switch_cost: SimDuration,
+    /// Consolidation-contention coefficient (0 disables). The paper's
+    /// premise is that deep consolidation inflates execution duration
+    /// beyond pure queueing (§I: cache/CPU/memory contention). When more
+    /// CPU tasks are live-runnable than cores, every running task's service
+    /// rate is inflated by `1 + beta × log2(active / cores)` — hundreds of
+    /// co-live containers thrash caches and memory bandwidth, so a deep
+    /// backlog drains at far below nominal throughput. Schedulers that
+    /// bound effective concurrency (SFS's FILTER) avoid the inflation.
+    pub contention_beta: f64,
+    /// Upper bound on the contention inflation factor.
+    pub contention_cap: f64,
+    /// Scheduling regime.
+    pub mode: SchedMode,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            cores: 4,
+            cfs: CfsParams::default(),
+            ctx_switch_cost: SimDuration::from_micros(5),
+            contention_beta: 0.0,
+            contention_cap: 6.0,
+            mode: SchedMode::Linux,
+        }
+    }
+}
+
+impl MachineParams {
+    /// Linux-mode machine with `cores` cores and default tunables.
+    pub fn linux(cores: usize) -> Self {
+        MachineParams {
+            cores,
+            mode: SchedMode::Linux,
+            ..Default::default()
+        }
+    }
+
+    /// SRTF-oracle machine with `cores` cores.
+    pub fn srtf(cores: usize) -> Self {
+        MachineParams {
+            cores,
+            mode: SchedMode::Srtf,
+            ..Default::default()
+        }
+    }
+}
+
+/// Events the machine reports back to its controller.
+#[derive(Debug, Clone)]
+pub enum Notification {
+    /// Task got a CPU for the first time.
+    FirstRun(Pid, SimTime),
+    /// Task entered an I/O wait (kernel state → sleeping).
+    Blocked(Pid, SimTime),
+    /// Task finished its I/O wait (kernel state → runnable).
+    Woke(Pid, SimTime),
+    /// Task completed; full accounting attached.
+    Finished(Box<FinishedTask>),
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// The running task on `core` reaches its slice or phase boundary.
+    /// Ignored if the core's generation has moved on.
+    CoreFire { core: usize, gen: u64 },
+    /// I/O completion for a sleeping task.
+    Wake { pid: Pid, io: SimDuration },
+}
+
+#[derive(Debug, Clone)]
+struct Core {
+    current: Option<Pid>,
+    /// Invalidates in-flight CoreFire events when the assignment changes.
+    gen: u64,
+    /// Task the core last executed (context-switch cost bookkeeping).
+    last_ran: Option<Pid>,
+    /// When the current task started consuming CPU (after switch cost).
+    /// Reset at every accounting boundary (`charge`).
+    run_start: SimTime,
+    /// When the current slice began (dispatch or slice renewal) — the base
+    /// for recomputing `slice_end` when runqueue membership changes.
+    slice_start: SimTime,
+    slice_end: SimTime,
+    cfs: CfsRunqueue,
+}
+
+impl Core {
+    fn new() -> Core {
+        Core {
+            current: None,
+            gen: 0,
+            last_ran: None,
+            run_start: SimTime::ZERO,
+            slice_start: SimTime::ZERO,
+            slice_end: SimTime::MAX,
+            cfs: CfsRunqueue::new(),
+        }
+    }
+
+    /// Runnable CFS load on this core including a running CFS task.
+    fn cfs_nr(&self, running_is_cfs: bool) -> u64 {
+        self.cfs.len() as u64 + u64::from(running_is_cfs)
+    }
+}
+
+/// The simulated machine. See module docs.
+#[derive(Debug)]
+pub struct Machine {
+    params: MachineParams,
+    now: SimTime,
+    tasks: Vec<Task>,
+    cores: Vec<Core>,
+    rt: RtRunqueue,
+    /// SRTF waiting pool keyed by (remaining CPU ns, pid).
+    srtf_pool: BTreeSet<(u64, Pid)>,
+    events: EventQueue<Ev>,
+    out: Vec<Notification>,
+    finished: Vec<FinishedTask>,
+    total_ctx_switches: u64,
+    live_tasks: usize,
+    /// Runnable + running CPU tasks (excludes sleepers and the dead);
+    /// drives the consolidation-contention inflation.
+    active_tasks: usize,
+    /// Optional execution trace (who ran where, when).
+    trace: Option<ScheduleTrace>,
+}
+
+impl Machine {
+    /// A machine at t = 0 with the given parameters.
+    pub fn new(params: MachineParams) -> Machine {
+        assert!(params.cores >= 1, "machine needs at least one core");
+        Machine {
+            cores: (0..params.cores).map(|_| Core::new()).collect(),
+            params,
+            now: SimTime::ZERO,
+            tasks: Vec::new(),
+            rt: RtRunqueue::new(),
+            srtf_pool: BTreeSet::new(),
+            events: EventQueue::new(),
+            out: Vec::new(),
+            finished: Vec::new(),
+            total_ctx_switches: 0,
+            live_tasks: 0,
+            active_tasks: 0,
+            trace: None,
+        }
+    }
+
+    /// Enable execution-trace recording (who ran where, when, under which
+    /// policy). Cheap: one record per accounting boundary.
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(ScheduleTrace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&ScheduleTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Current consolidation inflation factor (≥ 1).
+    pub fn contention_factor(&self) -> f64 {
+        if self.params.contention_beta <= 0.0 || self.active_tasks <= self.params.cores {
+            return 1.0;
+        }
+        let ratio = self.active_tasks as f64 / self.params.cores as f64;
+        (1.0 + self.params.contention_beta * ratio.log2()).min(self.params.contention_cap)
+    }
+
+    /// Transition a task's kernel state, maintaining the active count.
+    fn set_state(&mut self, pid: Pid, new: ProcState) {
+        let old = self.task(pid).state;
+        let was_active = matches!(old, ProcState::Runnable | ProcState::Running);
+        let is_active = matches!(new, ProcState::Runnable | ProcState::Running);
+        if was_active && !is_active {
+            self.active_tasks -= 1;
+        } else if !was_active && is_active {
+            self.active_tasks += 1;
+        }
+        self.task_mut(pid).state = new;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.params.cores
+    }
+
+    /// Tasks spawned but not yet finished.
+    pub fn live_tasks(&self) -> usize {
+        self.live_tasks
+    }
+
+    /// Completion records so far (in completion order).
+    pub fn finished(&self) -> &[FinishedTask] {
+        &self.finished
+    }
+
+    /// Consume the machine, returning all completion records.
+    pub fn into_finished(self) -> Vec<FinishedTask> {
+        self.finished
+    }
+
+    /// Machine-wide involuntary context-switch count.
+    pub fn total_ctx_switches(&self) -> u64 {
+        self.total_ctx_switches
+    }
+
+    // ------------------------------------------------------------------
+    // Controller-facing operations
+    // ------------------------------------------------------------------
+
+    /// Spawn a task at the current time; it becomes runnable immediately.
+    pub fn spawn(&mut self, spec: TaskSpec) -> Pid {
+        spec.validate().expect("invalid task spec");
+        let pid = Pid(self.tasks.len() as u64);
+        let task = Task::new(pid, spec, self.now);
+        let leading_io = task.phase();
+        self.live_tasks += 1;
+        self.active_tasks += 1; // Task::new starts Runnable
+        self.tasks.push(task);
+        // A task whose first phase is I/O sleeps immediately (it was started
+        // and instantly blocked); schedule its wake.
+        if let Some(Phase::Io(d)) = leading_io {
+            self.set_state(pid, ProcState::Sleeping);
+            self.events.push(self.now + d, Ev::Wake { pid, io: d });
+        } else {
+            self.make_runnable(pid);
+        }
+        pid
+    }
+
+    /// `schedtool`: change a live task's scheduling policy. No-op on dead
+    /// tasks. In SRTF mode the policy field is updated but has no effect.
+    pub fn set_policy(&mut self, pid: Pid, policy: Policy) {
+        if self.task(pid).state == ProcState::Dead || self.task(pid).policy == policy {
+            self.task_mut(pid).policy = policy;
+            return;
+        }
+        if self.params.mode == SchedMode::Srtf {
+            self.task_mut(pid).policy = policy;
+            return;
+        }
+        match self.task(pid).state {
+            ProcState::Sleeping => {
+                self.task_mut(pid).policy = policy;
+            }
+            ProcState::Runnable => {
+                self.dequeue_runnable(pid);
+                self.task_mut(pid).policy = policy;
+                self.make_runnable(pid);
+            }
+            ProcState::Running => {
+                let core_id = self
+                    .core_running(pid)
+                    .expect("running task must occupy a core");
+                self.charge(core_id);
+                let old = self.task(pid).policy;
+                self.task_mut(pid).policy = policy;
+                if old.is_realtime() && !policy.is_realtime() {
+                    // Demotion RT → CFS (SFS FILTER expiry): deliberate
+                    // preemption; task goes to this core's CFS queue and the
+                    // core repicks (possibly the same task if nothing waits).
+                    self.preempt_current(core_id);
+                    self.reschedule(core_id);
+                } else {
+                    // Promotion CFS → RT (FILTER entry) or same-class change:
+                    // keep the core, recompute the slice from now.
+                    self.cores[core_id].slice_start = self.now;
+                    self.cores[core_id].slice_end = match policy {
+                        Policy::Fifo { .. } => SimTime::MAX,
+                        Policy::Rr { .. } => self.now + RR_TIMESLICE,
+                        Policy::Normal { nice } => {
+                            let c = &self.cores[core_id];
+                            let w = weight_of_nice(nice);
+                            let nr = c.cfs_nr(true);
+                            let total = c.cfs.total_weight() + w as u64;
+                            self.now + self.params.cfs.slice(nr, w, total)
+                        }
+                    };
+                    self.cores[core_id].gen += 1;
+                    self.arm_core_event(core_id);
+                }
+            }
+            ProcState::Dead => unreachable!(),
+        }
+    }
+
+    /// `/proc/<pid>/stat`-style state poll.
+    pub fn proc_state(&self, pid: Pid) -> ProcState {
+        self.task(pid).state
+    }
+
+    /// `/proc/<pid>/stat` utime: CPU time consumed so far, charged up to the
+    /// last accounting boundary plus the in-flight run (as a real kernel
+    /// exposes via clock-tick accounting).
+    pub fn cpu_time(&self, pid: Pid) -> SimDuration {
+        let t = self.task(pid);
+        let mut total = t.cpu_time;
+        if t.state == ProcState::Running {
+            if let Some(core_id) = self.core_running(pid) {
+                let c = &self.cores[core_id];
+                if self.now > c.run_start {
+                    total += self.now - c.run_start;
+                }
+            }
+        }
+        total
+    }
+
+    /// The task's current policy (as `sched_getscheduler` would report).
+    pub fn policy_of(&self, pid: Pid) -> Policy {
+        self.task(pid).policy
+    }
+
+    /// Earliest pending internal event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Advance virtual time to `t`, processing all internal events due at or
+    /// before `t`, and return notifications generated along the way.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<Notification> {
+        debug_assert!(t >= self.now, "time must not go backwards");
+        while let Some((at, ev)) = self.events.pop_until(t) {
+            self.now = at;
+            self.handle(ev);
+        }
+        self.now = t;
+        std::mem::take(&mut self.out)
+    }
+
+    /// Drain all pending events (run to quiescence).
+    pub fn run_until_quiescent(&mut self) -> Vec<Notification> {
+        while let Some((at, ev)) = self.events.pop() {
+            self.now = at;
+            self.handle(ev);
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn task(&self, pid: Pid) -> &Task {
+        &self.tasks[pid.0 as usize]
+    }
+
+    fn task_mut(&mut self, pid: Pid) -> &mut Task {
+        &mut self.tasks[pid.0 as usize]
+    }
+
+    fn core_running(&self, pid: Pid) -> Option<usize> {
+        self.task(pid).home_core.filter(|&c| self.cores[c].current == Some(pid))
+    }
+
+    fn weight(&self, pid: Pid) -> u32 {
+        match self.task(pid).policy {
+            Policy::Normal { nice } => weight_of_nice(nice),
+            // RT tasks do not participate in CFS weight accounting; the
+            // value is only used if one is (incorrectly) queued on CFS.
+            _ => weight_of_nice(0),
+        }
+    }
+
+    /// Charge the running task on `core` for CPU consumed up to `self.now`.
+    fn charge(&mut self, core_id: usize) {
+        let Some(pid) = self.cores[core_id].current else {
+            return;
+        };
+        let run_start = self.cores[core_id].run_start;
+        if self.now <= run_start {
+            return;
+        }
+        let ran = self.now - run_start;
+        self.cores[core_id].run_start = self.now;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(Segment {
+                pid,
+                core: core_id,
+                start: run_start,
+                end: self.now,
+                policy: self.tasks[pid.0 as usize].policy,
+            });
+        }
+        let weight = self.weight(pid);
+        let is_cfs = !self.task(pid).policy.is_realtime();
+        // Under consolidation contention, wall time on the core advances the
+        // task's work more slowly (cache/memory interference); utime still
+        // ticks at wall rate, exactly like a thrashing real process.
+        let progress = ran.mul_f64(1.0 / self.contention_factor());
+        let t = self.task_mut(pid);
+        t.cpu_time += ran;
+        t.phase_rem = t.phase_rem.saturating_sub(progress);
+        if is_cfs {
+            t.vruntime += CfsParams::vruntime_delta(ran, weight);
+            let v = t.vruntime;
+            let leftmost = self.cores[core_id].cfs.peek().map(|(lv, _)| lv);
+            let floor = leftmost.map_or(v, |lv| lv.min(v));
+            self.cores[core_id].cfs.advance_min_vruntime(floor);
+        }
+    }
+
+    /// Make a runnable task eligible for dispatch, with preemption checks.
+    fn make_runnable(&mut self, pid: Pid) {
+        self.set_state(pid, ProcState::Runnable);
+        match self.params.mode {
+            SchedMode::Srtf => self.enqueue_srtf(pid),
+            SchedMode::Linux => match self.task(pid).policy {
+                Policy::Fifo { prio } | Policy::Rr { prio } => self.enqueue_rt(pid, prio, false),
+                Policy::Normal { .. } => self.enqueue_cfs(pid),
+            },
+        }
+    }
+
+    /// Remove a Runnable (queued) task from whatever structure holds it.
+    fn dequeue_runnable(&mut self, pid: Pid) {
+        debug_assert_eq!(self.task(pid).state, ProcState::Runnable);
+        if self.params.mode == SchedMode::Srtf {
+            let key = (self.task(pid).remaining_cpu().as_nanos(), pid);
+            self.srtf_pool.remove(&key);
+            return;
+        }
+        if self.task(pid).policy.is_realtime() {
+            self.rt.remove(pid);
+        } else if let Some(core_id) = self.task(pid).home_core {
+            let v = self.task(pid).vruntime;
+            self.cores[core_id].cfs.remove(pid, v);
+        }
+    }
+
+    fn enqueue_srtf(&mut self, pid: Pid) {
+        let rem = self.task(pid).remaining_cpu().as_nanos();
+        self.srtf_pool.insert((rem, pid));
+        // Dispatch to an idle core, else preempt the core running the
+        // largest-remaining task if we beat it.
+        if let Some(idle) = self.cores.iter().position(|c| c.current.is_none()) {
+            self.reschedule(idle);
+            return;
+        }
+        let victim = (0..self.cores.len()).max_by_key(|&i| {
+            let vpid = self.cores[i].current.expect("no idle cores");
+            self.remaining_running(i, vpid)
+        });
+        if let Some(vc) = victim {
+            let vpid = self.cores[vc].current.expect("no idle cores");
+            if self.remaining_running(vc, vpid) > self.task(pid).remaining_cpu().as_nanos() {
+                self.charge(vc);
+                self.preempt_current(vc);
+                self.reschedule(vc);
+            }
+        }
+    }
+
+    /// Remaining CPU of the task running on core `i`, accounting for the
+    /// in-flight (uncharged) run.
+    fn remaining_running(&self, core_id: usize, pid: Pid) -> u64 {
+        let t = self.task(pid);
+        let c = &self.cores[core_id];
+        let inflight = if self.now > c.run_start {
+            (self.now - c.run_start).as_nanos()
+        } else {
+            0
+        };
+        t.remaining_cpu().as_nanos().saturating_sub(inflight)
+    }
+
+    fn enqueue_rt(&mut self, pid: Pid, prio: u8, resumed: bool) {
+        if resumed {
+            self.rt.push_front(pid, prio);
+        } else {
+            self.rt.push_back(pid, prio);
+        }
+        // 1. Idle core grabs it.
+        if let Some(idle) = self.cores.iter().position(|c| c.current.is_none()) {
+            self.reschedule(idle);
+            return;
+        }
+        // 2. Preempt a core running CFS (RT always beats CFS).
+        let cfs_victim = (0..self.cores.len()).find(|&i| {
+            let vpid = self.cores[i].current.expect("no idle cores");
+            !self.task(vpid).policy.is_realtime()
+        });
+        if let Some(vc) = cfs_victim {
+            self.charge(vc);
+            self.preempt_current(vc);
+            self.reschedule(vc);
+            return;
+        }
+        // 3. Preempt the lowest-priority RT core if strictly lower.
+        let (vc, vprio) = (0..self.cores.len())
+            .map(|i| {
+                let vpid = self.cores[i].current.expect("no idle cores");
+                (i, self.task(vpid).policy.rt_prio().unwrap_or(0))
+            })
+            .min_by_key(|&(_, p)| p)
+            .expect("at least one core");
+        if self.rt.would_preempt(vprio) {
+            let _ = vc;
+            self.charge(vc);
+            self.preempt_current(vc);
+            self.reschedule(vc);
+        }
+    }
+
+    fn enqueue_cfs(&mut self, pid: Pid) {
+        // Place on the least-loaded core (by CFS runnable count, counting a
+        // running CFS task; cores busy with RT count their queue only).
+        let core_id = (0..self.cores.len())
+            .min_by_key(|&i| {
+                let c = &self.cores[i];
+                let running_cfs = c
+                    .current
+                    .is_some_and(|p| !self.task(p).policy.is_realtime());
+                c.cfs_nr(running_cfs)
+            })
+            .expect("at least one core");
+        let floor = self.cores[core_id].cfs.place_vruntime(self.task(pid).vruntime);
+        self.task_mut(pid).vruntime = floor;
+        if self.task(pid).home_core != Some(core_id) && self.task(pid).first_run.is_some() {
+            self.task_mut(pid).migrations += 1;
+        }
+        self.task_mut(pid).home_core = Some(core_id);
+        let w = self.weight(pid);
+        self.cores[core_id].cfs.enqueue(pid, floor, w);
+
+        let core = &self.cores[core_id];
+        match core.current {
+            None => self.reschedule(core_id),
+            Some(curr) if !self.task(curr).policy.is_realtime() => {
+                // Wakeup preemption: preempt if the waking task's vruntime
+                // lags the current one by more than wakeup_granularity.
+                let curr_v = self.running_vruntime(core_id, curr);
+                let gran = self.params.cfs.wakeup_granularity.as_nanos();
+                if floor + gran < curr_v {
+                    self.charge(core_id);
+                    self.preempt_current(core_id);
+                    self.reschedule(core_id);
+                } else {
+                    // The runqueue grew: the current task's fair slice
+                    // shrank (the kernel's per-tick check_preempt_tick).
+                    self.refresh_current_slice(core_id);
+                }
+            }
+            Some(_) => {} // RT running: CFS task waits.
+        }
+    }
+
+    /// Recompute the running CFS task's slice after its core's runqueue
+    /// membership changed; preempt immediately if the new slice is already
+    /// exhausted.
+    fn refresh_current_slice(&mut self, core_id: usize) {
+        let Some(pid) = self.cores[core_id].current else {
+            return;
+        };
+        let Policy::Normal { nice } = self.task(pid).policy else {
+            return;
+        };
+        if self.params.mode == SchedMode::Srtf {
+            return;
+        }
+        let w = weight_of_nice(nice);
+        let (nr, total) = {
+            let c = &self.cores[core_id];
+            (c.cfs_nr(true), c.cfs.total_weight() + w as u64)
+        };
+        let slice = self.params.cfs.slice(nr, w, total);
+        let new_end = self.cores[core_id].slice_start + slice;
+        self.cores[core_id].slice_end = new_end;
+        self.cores[core_id].gen += 1;
+        if new_end <= self.now {
+            self.charge(core_id);
+            if self.task(pid).phase_rem.is_zero() {
+                self.phase_complete(core_id, pid);
+            } else {
+                self.slice_expired(core_id, pid);
+            }
+        } else {
+            self.arm_core_event(core_id);
+        }
+    }
+
+    /// vruntime of the running task on `core` including the in-flight run.
+    fn running_vruntime(&self, core_id: usize, pid: Pid) -> u64 {
+        let t = self.task(pid);
+        let c = &self.cores[core_id];
+        let inflight = if self.now > c.run_start {
+            CfsParams::vruntime_delta(self.now - c.run_start, self.weight(pid))
+        } else {
+            0
+        };
+        t.vruntime + inflight
+    }
+
+    /// Stop the current task on `core` (already charged) and put it back on
+    /// its runqueue as Runnable. Counts an involuntary context switch if
+    /// some other task is waiting to use a core.
+    fn preempt_current(&mut self, core_id: usize) {
+        let Some(pid) = self.cores[core_id].current.take() else {
+            return;
+        };
+        self.cores[core_id].gen += 1;
+        self.set_state(pid, ProcState::Runnable);
+        let others_waiting = !self.rt.is_empty()
+            || !self.srtf_pool.is_empty()
+            || self.cores.iter().any(|c| !c.cfs.is_empty());
+        if others_waiting {
+            self.task_mut(pid).ctx_switches += 1;
+            self.total_ctx_switches += 1;
+        }
+        match self.params.mode {
+            SchedMode::Srtf => {
+                let rem = self.task(pid).remaining_cpu().as_nanos();
+                self.srtf_pool.insert((rem, pid));
+            }
+            SchedMode::Linux => match self.task(pid).policy {
+                // A preempted FIFO task resumes at the head of its level.
+                Policy::Fifo { prio } => self.rt.push_front(pid, prio),
+                Policy::Rr { prio } => self.rt.push_front(pid, prio),
+                Policy::Normal { .. } => {
+                    let floor = self.cores[core_id].cfs.place_vruntime(self.task(pid).vruntime);
+                    self.task_mut(pid).vruntime = floor;
+                    self.task_mut(pid).home_core = Some(core_id);
+                    let w = self.weight(pid);
+                    self.cores[core_id].cfs.enqueue(pid, floor, w);
+                }
+            },
+        }
+    }
+
+    /// Pick and dispatch the next task for an empty core.
+    fn reschedule(&mut self, core_id: usize) {
+        debug_assert!(self.cores[core_id].current.is_none());
+        let next = match self.params.mode {
+            SchedMode::Srtf => self.srtf_pool.pop_first().map(|(_, p)| p),
+            SchedMode::Linux => {
+                if let Some((pid, _)) = self.rt.pop() {
+                    Some(pid)
+                } else if let Some((_, pid)) = self.cores[core_id].cfs.pop() {
+                    Some(pid)
+                } else {
+                    self.steal_for(core_id)
+                }
+            }
+        };
+        match next {
+            Some(pid) => self.dispatch(core_id, pid),
+            None => {
+                self.cores[core_id].gen += 1; // invalidate stale fires
+            }
+        }
+    }
+
+    /// Idle pull-balancing: take the largest-vruntime task from the most
+    /// loaded CFS runqueue.
+    fn steal_for(&mut self, core_id: usize) -> Option<Pid> {
+        let victim = (0..self.cores.len())
+            .filter(|&i| i != core_id && !self.cores[i].cfs.is_empty())
+            .max_by_key(|&i| self.cores[i].cfs.len())?;
+        let (v, pid) = self.cores[victim].cfs.pop_last()?;
+        self.task_mut(pid).migrations += 1;
+        self.task_mut(pid).home_core = Some(core_id);
+        // Renormalise vruntime onto the thief's queue.
+        let placed = self.cores[core_id].cfs.place_vruntime(v);
+        self.task_mut(pid).vruntime = placed;
+        Some(pid)
+    }
+
+    /// Put `pid` on `core` and arm its boundary event.
+    fn dispatch(&mut self, core_id: usize, pid: Pid) {
+        debug_assert_eq!(self.task(pid).state, ProcState::Runnable);
+        debug_assert!(
+            matches!(self.task(pid).phase(), Some(Phase::Cpu(_))),
+            "dispatched task must be in a CPU phase"
+        );
+        let cost = if self.cores[core_id].last_ran == Some(pid) {
+            SimDuration::ZERO
+        } else {
+            self.params.ctx_switch_cost
+        };
+        let start = self.now + cost;
+        {
+            let c = &mut self.cores[core_id];
+            c.current = Some(pid);
+            c.last_ran = Some(pid);
+            c.gen += 1;
+            c.run_start = start;
+            c.slice_start = start;
+        }
+        self.set_state(pid, ProcState::Running);
+        self.task_mut(pid).home_core = Some(core_id);
+        if self.task(pid).first_run.is_none() {
+            self.task_mut(pid).first_run = Some(self.now);
+            self.out.push(Notification::FirstRun(pid, self.now));
+        }
+        // Slice.
+        let slice_end = match self.params.mode {
+            SchedMode::Srtf => SimTime::MAX,
+            SchedMode::Linux => match self.task(pid).policy {
+                Policy::Fifo { .. } => SimTime::MAX,
+                Policy::Rr { .. } => start + RR_TIMESLICE,
+                Policy::Normal { nice } => {
+                    let c = &self.cores[core_id];
+                    let w = weight_of_nice(nice);
+                    let nr = c.cfs_nr(true);
+                    let total = c.cfs.total_weight() + w as u64;
+                    start + self.params.cfs.slice(nr, w, total)
+                }
+            },
+        };
+        self.cores[core_id].slice_end = slice_end;
+        self.arm_core_event(core_id);
+    }
+
+    /// (Re-)arm the boundary event for the core's current assignment. The
+    /// phase boundary is projected with the *current* contention factor;
+    /// if contention changes before it fires, the fire handler re-charges
+    /// and re-arms, converging on the true boundary.
+    fn arm_core_event(&mut self, core_id: usize) {
+        let Some(pid) = self.cores[core_id].current else {
+            return;
+        };
+        let f = self.contention_factor();
+        let c = &self.cores[core_id];
+        let phase_end = c.run_start + self.task(pid).phase_rem.mul_f64(f);
+        let fire = phase_end.min(c.slice_end);
+        let gen = c.gen;
+        self.events.push(fire, Ev::CoreFire { core: core_id, gen });
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::CoreFire { core, gen } => {
+                if self.cores[core].gen != gen || self.cores[core].current.is_none() {
+                    return; // stale
+                }
+                self.charge(core);
+                let pid = self.cores[core].current.expect("checked above");
+                if self.task(pid).phase_rem.is_zero() {
+                    self.phase_complete(core, pid);
+                } else {
+                    self.slice_expired(core, pid);
+                }
+            }
+            Ev::Wake { pid, io } => self.wake(pid, io),
+        }
+    }
+
+    /// The running task finished its current CPU phase.
+    fn phase_complete(&mut self, core_id: usize, pid: Pid) {
+        let next_idx = self.task(pid).phase_idx + 1;
+        self.task_mut(pid).phase_idx = next_idx;
+        match self.task(pid).phases.get(next_idx).copied() {
+            None => {
+                // Done.
+                self.cores[core_id].current = None;
+                self.cores[core_id].gen += 1;
+                self.set_state(pid, ProcState::Dead);
+                self.task_mut(pid).home_core = None;
+                self.live_tasks -= 1;
+                let rec = self.task(pid).finished_record(self.now);
+                self.finished.push(rec.clone());
+                self.out.push(Notification::Finished(Box::new(rec)));
+                self.reschedule(core_id);
+            }
+            Some(Phase::Io(d)) => {
+                // Voluntary block: off-CPU, schedule the wake.
+                self.cores[core_id].current = None;
+                self.cores[core_id].gen += 1;
+                self.set_state(pid, ProcState::Sleeping);
+                self.task_mut(pid).phase_rem = d;
+                self.out.push(Notification::Blocked(pid, self.now));
+                self.events.push(self.now + d, Ev::Wake { pid, io: d });
+                self.reschedule(core_id);
+            }
+            Some(Phase::Cpu(d)) => {
+                // Back-to-back CPU phases: continue running seamlessly.
+                self.task_mut(pid).phase_rem = d;
+                self.cores[core_id].gen += 1;
+                self.arm_core_event(core_id);
+            }
+        }
+    }
+
+    /// The running task exhausted its slice (CFS or RR).
+    fn slice_expired(&mut self, core_id: usize, pid: Pid) {
+        // Unsliced tasks (FIFO, or anything under SRTF) can only get here
+        // via a stale phase-end projection (contention rose after arming):
+        // re-arm with the current factor instead of preempting.
+        let unsliced = self.params.mode == SchedMode::Srtf
+            || matches!(self.task(pid).policy, Policy::Fifo { .. });
+        if unsliced && self.cores[core_id].slice_end == SimTime::MAX {
+            self.cores[core_id].gen += 1;
+            self.arm_core_event(core_id);
+            return;
+        }
+        let has_competition = match self.params.mode {
+            SchedMode::Srtf => false, // SRTF never slices
+            SchedMode::Linux => {
+                !self.rt.is_empty()
+                    || !self.cores[core_id].cfs.is_empty()
+                    // Another queue could be stolen from if we vacate.
+                    || self
+                        .cores
+                        .iter()
+                        .enumerate()
+                        .any(|(i, c)| i != core_id && c.cfs.len() > 1)
+            }
+        };
+        if !has_competition {
+            // Nothing else would run; extend the slice in place without a
+            // context switch (the kernel's check_preempt_tick finds no
+            // competitor).
+            let renew = match self.task(pid).policy {
+                Policy::Rr { .. } => RR_TIMESLICE,
+                Policy::Normal { nice } => {
+                    let w = weight_of_nice(nice);
+                    self.params.cfs.slice(1, w, w as u64)
+                }
+                Policy::Fifo { .. } => SimDuration::MAX,
+            };
+            self.cores[core_id].slice_start = self.now;
+            self.cores[core_id].slice_end = self.now.saturating_add(renew);
+            self.cores[core_id].gen += 1;
+            self.arm_core_event(core_id);
+            return;
+        }
+        match self.task(pid).policy {
+            Policy::Rr { prio } => {
+                // Round-robin: go to the *tail* of the priority level.
+                self.cores[core_id].current = None;
+                self.cores[core_id].gen += 1;
+                self.set_state(pid, ProcState::Runnable);
+                self.task_mut(pid).ctx_switches += 1;
+                self.total_ctx_switches += 1;
+                self.rt.push_back(pid, prio);
+                self.reschedule(core_id);
+            }
+            _ => {
+                self.preempt_current(core_id);
+                self.reschedule(core_id);
+            }
+        }
+    }
+
+    /// I/O completed: account sleep time and requeue.
+    fn wake(&mut self, pid: Pid, io: SimDuration) {
+        debug_assert_eq!(self.task(pid).state, ProcState::Sleeping);
+        self.task_mut(pid).io_time += io;
+        let next_idx = self.task(pid).phase_idx + 1;
+        self.task_mut(pid).phase_idx = next_idx;
+        match self.task(pid).phases.get(next_idx).copied() {
+            None => {
+                // Task ended with an I/O phase.
+                self.set_state(pid, ProcState::Dead);
+                self.task_mut(pid).home_core = None;
+                self.live_tasks -= 1;
+                let rec = self.task(pid).finished_record(self.now);
+                self.finished.push(rec.clone());
+                self.out.push(Notification::Finished(Box::new(rec)));
+            }
+            Some(Phase::Cpu(d)) => {
+                self.task_mut(pid).phase_rem = d;
+                self.out.push(Notification::Woke(pid, self.now));
+                self.make_runnable(pid);
+            }
+            Some(Phase::Io(d)) => {
+                // Back-to-back I/O phases: keep sleeping.
+                self.task_mut(pid).phase_rem = d;
+                self.events.push(self.now + d, Ev::Wake { pid, io: d });
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Real-time (SCHED_FIFO / SCHED_RR) runqueue model.
+//!
+//! A single machine-global priority queue: Linux keeps per-core RT runqueues
+//! but aggressively push/pull-migrates RT tasks so that the `n` cores always
+//! run the `n` highest-priority runnable RT tasks. A global queue reproduces
+//! exactly that steady-state behaviour with far less machinery, which is the
+//! relevant property for SFS: its ≤ `c` FILTER functions at equal priority
+//! always occupy cores immediately, preempting CFS (§V-B step 2).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sfs_simcore::SimDuration;
+
+use crate::task::Pid;
+
+/// `RR_TIMESLICE`: mainline's round-robin quantum (100 ms).
+pub const RR_TIMESLICE: SimDuration = SimDuration::from_millis(100);
+
+/// Machine-global real-time runqueue: FIFO queues per static priority,
+/// highest priority served first; within a priority, FIFO order.
+#[derive(Debug, Clone, Default)]
+pub struct RtRunqueue {
+    /// prio → waiting tasks (FIFO within the priority level).
+    queues: BTreeMap<u8, VecDeque<Pid>>,
+    len: usize,
+}
+
+impl RtRunqueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued RT tasks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no RT task is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueue at the tail of its priority level (new arrivals, wakeups).
+    pub fn push_back(&mut self, pid: Pid, prio: u8) {
+        self.queues.entry(prio).or_default().push_back(pid);
+        self.len += 1;
+    }
+
+    /// Enqueue at the head of its priority level (a preempted FIFO task
+    /// resumes before its peers, per `sched(7)`).
+    pub fn push_front(&mut self, pid: Pid, prio: u8) {
+        self.queues.entry(prio).or_default().push_front(pid);
+        self.len += 1;
+    }
+
+    /// Highest priority with a waiting task.
+    pub fn top_prio(&self) -> Option<u8> {
+        self.queues
+            .iter()
+            .rev()
+            .find(|(_, q)| !q.is_empty())
+            .map(|(&p, _)| p)
+    }
+
+    /// Pop the head of the highest non-empty priority level.
+    pub fn pop(&mut self) -> Option<(Pid, u8)> {
+        let prio = self.top_prio()?;
+        let q = self.queues.get_mut(&prio).expect("non-empty level");
+        let pid = q.pop_front().expect("non-empty level");
+        if q.is_empty() {
+            self.queues.remove(&prio);
+        }
+        self.len -= 1;
+        Some((pid, prio))
+    }
+
+    /// Remove a specific task (policy change while queued). Returns whether
+    /// it was present.
+    pub fn remove(&mut self, pid: Pid) -> bool {
+        let mut found_at: Option<u8> = None;
+        for (&prio, q) in self.queues.iter_mut() {
+            if let Some(idx) = q.iter().position(|&p| p == pid) {
+                q.remove(idx);
+                found_at = Some(prio);
+                break;
+            }
+        }
+        if let Some(prio) = found_at {
+            if self.queues.get(&prio).is_some_and(|q| q.is_empty()) {
+                self.queues.remove(&prio);
+            }
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True iff a queued task would preempt a running task of `running_prio`
+    /// (strictly higher static priority wins; equal priority does not
+    /// preempt a running FIFO task).
+    pub fn would_preempt(&self, running_prio: u8) -> bool {
+        self.top_prio().is_some_and(|p| p > running_prio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_priority() {
+        let mut rq = RtRunqueue::new();
+        rq.push_back(Pid(1), 50);
+        rq.push_back(Pid(2), 50);
+        rq.push_back(Pid(3), 50);
+        assert_eq!(rq.pop(), Some((Pid(1), 50)));
+        assert_eq!(rq.pop(), Some((Pid(2), 50)));
+        assert_eq!(rq.pop(), Some((Pid(3), 50)));
+        assert_eq!(rq.pop(), None);
+    }
+
+    #[test]
+    fn higher_priority_served_first() {
+        let mut rq = RtRunqueue::new();
+        rq.push_back(Pid(1), 10);
+        rq.push_back(Pid(2), 90);
+        rq.push_back(Pid(3), 50);
+        assert_eq!(rq.top_prio(), Some(90));
+        assert_eq!(rq.pop(), Some((Pid(2), 90)));
+        assert_eq!(rq.pop(), Some((Pid(3), 50)));
+        assert_eq!(rq.pop(), Some((Pid(1), 10)));
+    }
+
+    #[test]
+    fn push_front_resumes_before_peers() {
+        let mut rq = RtRunqueue::new();
+        rq.push_back(Pid(1), 50);
+        rq.push_front(Pid(2), 50);
+        assert_eq!(rq.pop(), Some((Pid(2), 50)));
+        assert_eq!(rq.pop(), Some((Pid(1), 50)));
+    }
+
+    #[test]
+    fn remove_mid_queue() {
+        let mut rq = RtRunqueue::new();
+        rq.push_back(Pid(1), 50);
+        rq.push_back(Pid(2), 50);
+        rq.push_back(Pid(3), 50);
+        assert!(rq.remove(Pid(2)));
+        assert!(!rq.remove(Pid(2)));
+        assert_eq!(rq.len(), 2);
+        assert_eq!(rq.pop(), Some((Pid(1), 50)));
+        assert_eq!(rq.pop(), Some((Pid(3), 50)));
+    }
+
+    #[test]
+    fn preemption_requires_strictly_higher_prio() {
+        let mut rq = RtRunqueue::new();
+        rq.push_back(Pid(1), 50);
+        assert!(!rq.would_preempt(50), "equal prio must not preempt");
+        assert!(rq.would_preempt(49));
+        assert!(!rq.would_preempt(51));
+        rq.pop();
+        assert!(!rq.would_preempt(0));
+    }
+
+    #[test]
+    fn len_tracks_mixed_operations() {
+        let mut rq = RtRunqueue::new();
+        assert!(rq.is_empty());
+        rq.push_back(Pid(1), 10);
+        rq.push_back(Pid(2), 20);
+        rq.push_front(Pid(3), 10);
+        assert_eq!(rq.len(), 3);
+        rq.pop();
+        rq.remove(Pid(3));
+        assert_eq!(rq.len(), 1);
+    }
+}

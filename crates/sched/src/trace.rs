@@ -1,0 +1,227 @@
+//! Execution trace recording: who ran where, when, under which policy.
+//!
+//! When enabled on a [`crate::Machine`], every contiguous run of a task on
+//! a core is recorded as a [`Segment`]. Traces power Gantt-style terminal
+//! rendering (`render_gantt`), schedule audits in tests (no overlapping
+//! segments per core, per-task segment time equals charged CPU time), and
+//! post-hoc analysis of FILTER/CFS phase structure.
+
+use sfs_simcore::{SimDuration, SimTime};
+
+use crate::task::{Pid, Policy};
+
+/// One contiguous execution of a task on a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The task.
+    pub pid: Pid,
+    /// Core it ran on.
+    pub core: usize,
+    /// Execution start (after any context-switch cost).
+    pub start: SimTime,
+    /// Execution end.
+    pub end: SimTime,
+    /// Policy the task ran under during this segment.
+    pub policy: Policy,
+}
+
+impl Segment {
+    /// Wall time of this segment.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// An append-only schedule trace.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleTrace {
+    segments: Vec<Segment>,
+}
+
+impl ScheduleTrace {
+    /// Empty trace.
+    pub fn new() -> ScheduleTrace {
+        ScheduleTrace::default()
+    }
+
+    /// Record one segment (zero-length segments are dropped).
+    pub fn record(&mut self, seg: Segment) {
+        if seg.end > seg.start {
+            self.segments.push(seg);
+        }
+    }
+
+    /// All segments in record order (chronological per core).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True iff no segments recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total execution time recorded for a task.
+    pub fn task_time(&self, pid: Pid) -> SimDuration {
+        self.segments
+            .iter()
+            .filter(|s| s.pid == pid)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Total busy time recorded for a core.
+    pub fn core_busy(&self, core: usize) -> SimDuration {
+        self.segments
+            .iter()
+            .filter(|s| s.core == core)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Verify that no two segments overlap on the same core. Returns the
+    /// first offending pair if any.
+    pub fn find_overlap(&self) -> Option<(Segment, Segment)> {
+        let mut by_core: std::collections::BTreeMap<usize, Vec<Segment>> = Default::default();
+        for &s in &self.segments {
+            by_core.entry(s.core).or_default().push(s);
+        }
+        for (_, mut segs) in by_core {
+            segs.sort_by_key(|s| s.start);
+            for w in segs.windows(2) {
+                if w[1].start < w[0].end {
+                    return Some((w[0], w[1]));
+                }
+            }
+        }
+        None
+    }
+
+    /// Render an ASCII Gantt chart: one row per core, `width` columns over
+    /// `[t0, t1)`. Each cell shows the last task occupying it (digit = pid
+    /// mod 10, uppercase letter if running under an RT policy); '.' = idle.
+    pub fn render_gantt(&self, t0: SimTime, t1: SimTime, width: usize) -> String {
+        if t1 <= t0 || width == 0 || self.segments.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let cores = self.segments.iter().map(|s| s.core).max().unwrap_or(0) + 1;
+        let span = (t1 - t0).as_nanos() as f64;
+        let mut rows = vec![vec!['.'; width]; cores];
+        for s in &self.segments {
+            if s.end <= t0 || s.start >= t1 {
+                continue;
+            }
+            let a = ((s.start.as_nanos().saturating_sub(t0.as_nanos())) as f64 / span
+                * width as f64) as usize;
+            let b = (((s.end.as_nanos().saturating_sub(t0.as_nanos())) as f64 / span
+                * width as f64)
+                .ceil() as usize)
+                .min(width);
+            let digit = (s.pid.0 % 10).to_string().chars().next().unwrap();
+            let ch = if s.policy.is_realtime() {
+                // A-J for RT tasks, keyed by the same digit.
+                (b'A' + (s.pid.0 % 10) as u8) as char
+            } else {
+                digit
+            };
+            for cell in rows[s.core][a..b.max(a + 1).min(width)].iter_mut() {
+                *cell = ch;
+            }
+        }
+        let mut out = String::new();
+        for (c, row) in rows.iter().enumerate() {
+            out.push_str(&format!("core{c:2} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "       {}..{} ('.'=idle, digit=CFS pid%10, letter=RT pid%10)\n",
+            t0, t1
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn seg(pid: u64, core: usize, s: u64, e: u64) -> Segment {
+        Segment {
+            pid: Pid(pid),
+            core,
+            start: at(s),
+            end: at(e),
+            policy: Policy::NORMAL,
+        }
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut t = ScheduleTrace::new();
+        t.record(seg(1, 0, 0, 10));
+        t.record(seg(2, 0, 10, 30));
+        t.record(seg(1, 1, 5, 15));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.task_time(Pid(1)), SimDuration::from_millis(20));
+        assert_eq!(t.core_busy(0), SimDuration::from_millis(30));
+        assert_eq!(t.core_busy(1), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_length_segments_dropped() {
+        let mut t = ScheduleTrace::new();
+        t.record(seg(1, 0, 5, 5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut t = ScheduleTrace::new();
+        t.record(seg(1, 0, 0, 10));
+        t.record(seg(2, 0, 10, 20)); // touching is fine
+        t.record(seg(3, 1, 5, 15)); // other core is fine
+        assert!(t.find_overlap().is_none());
+        t.record(seg(4, 0, 19, 25)); // overlaps pid 2 on core 0
+        let (a, b) = t.find_overlap().expect("overlap must be found");
+        assert_eq!(a.pid, Pid(2));
+        assert_eq!(b.pid, Pid(4));
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_core() {
+        let mut t = ScheduleTrace::new();
+        t.record(seg(1, 0, 0, 50));
+        t.record(Segment {
+            pid: Pid(2),
+            core: 1,
+            start: at(25),
+            end: at(100),
+            policy: Policy::Fifo { prio: 50 },
+        });
+        let g = t.render_gantt(at(0), at(100), 40);
+        assert!(g.contains("core 0"));
+        assert!(g.contains("core 1"));
+        assert!(g.contains('1'), "CFS pid digit shown");
+        assert!(g.contains('C'), "RT pid letter shown (2 -> 'C')");
+        assert!(g.contains('.'), "idle cells shown");
+    }
+
+    #[test]
+    fn gantt_handles_empty_and_degenerate() {
+        let t = ScheduleTrace::new();
+        assert_eq!(t.render_gantt(at(0), at(10), 10), "(empty trace)\n");
+        let mut t = ScheduleTrace::new();
+        t.record(seg(1, 0, 0, 10));
+        assert_eq!(t.render_gantt(at(10), at(10), 10), "(empty trace)\n");
+    }
+}

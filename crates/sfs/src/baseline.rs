@@ -1,0 +1,195 @@
+//! Pure-kernel baselines (CFS / FIFO / RR / SRTF / IDEAL) over a workload,
+//! producing the same [`RequestOutcome`] records as an SFS run so every
+//! figure harness can compare apples to apples.
+//!
+//! These are the comparators of Fig. 2 (motivation) and the "CFS" series in
+//! every evaluation figure: the FaaS server dispatches each request straight
+//! to the OS and the kernel scheduler does everything.
+
+use sfs_sched::{run_open_loop, MachineParams, Policy, SchedMode, TaskSpec};
+use sfs_simcore::SimDuration;
+use sfs_workload::Workload;
+
+use crate::stats::RequestOutcome;
+
+/// Which baseline scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Linux default: every request under `SCHED_NORMAL` nice 0.
+    Cfs,
+    /// Every request under `SCHED_FIFO` at one priority (convoy-prone).
+    Fifo,
+    /// Every request under `SCHED_RR` at one priority.
+    Rr,
+    /// The offline oracle.
+    Srtf,
+}
+
+impl Baseline {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::Cfs => "CFS",
+            Baseline::Fifo => "FIFO",
+            Baseline::Rr => "RR",
+            Baseline::Srtf => "SRTF",
+        }
+    }
+}
+
+/// Run `workload` under a pure kernel scheduling policy on `cores` cores.
+pub fn run_baseline(baseline: Baseline, cores: usize, workload: &Workload) -> Vec<RequestOutcome> {
+    run_baseline_with(baseline, MachineParams::linux(cores), workload)
+}
+
+/// As [`run_baseline`] but with explicit machine parameters (tunable CFS
+/// knobs, context-switch cost).
+pub fn run_baseline_with(
+    baseline: Baseline,
+    mut params: MachineParams,
+    workload: &Workload,
+) -> Vec<RequestOutcome> {
+    params.mode = match baseline {
+        Baseline::Srtf => SchedMode::Srtf,
+        _ => SchedMode::Linux,
+    };
+    let mut arrivals: Vec<_> = workload
+        .requests
+        .iter()
+        .map(|r| {
+            let mut spec: TaskSpec = r.spec.clone();
+            spec.policy = match baseline {
+                Baseline::Cfs | Baseline::Srtf => Policy::NORMAL,
+                Baseline::Fifo => Policy::Fifo { prio: 50 },
+                Baseline::Rr => Policy::Rr { prio: 50 },
+            };
+            (r.arrival, spec)
+        })
+        .collect();
+    // Platform pipelines can reorder dispatches (jittered multi-server
+    // hops); the machine requires monotone spawn times.
+    arrivals.sort_by_key(|(at, _)| *at);
+    let mut finished = run_open_loop(params, arrivals);
+    finished.sort_by_key(|t| t.label);
+    finished
+        .into_iter()
+        .map(|t| RequestOutcome {
+            id: t.label,
+            arrival: t.arrival,
+            finished: t.finished,
+            turnaround: t.turnaround(),
+            ideal: t.ideal,
+            cpu_demand: t.cpu_demand,
+            rte: t.rte(),
+            ctx_switches: t.ctx_switches,
+            queue_delay: SimDuration::ZERO,
+            demoted: false,
+            offloaded: false,
+            filter_rounds: 0,
+            io_blocks: 0,
+        })
+        .collect()
+}
+
+/// The IDEAL scenario: infinite resources, zero contention. Turnaround is
+/// the spec's isolated duration by construction.
+pub fn run_ideal(workload: &Workload) -> Vec<RequestOutcome> {
+    workload
+        .requests
+        .iter()
+        .map(|r| {
+            let ideal = r.spec.ideal_duration();
+            RequestOutcome {
+                id: r.id,
+                arrival: r.arrival,
+                finished: r.arrival + ideal,
+                turnaround: ideal,
+                ideal,
+                cpu_demand: r.spec.cpu_demand(),
+                rte: 1.0,
+                ctx_switches: 0,
+                queue_delay: SimDuration::ZERO,
+                demoted: false,
+                offloaded: false,
+                filter_rounds: 0,
+                io_blocks: 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_workload::WorkloadSpec;
+
+    fn workload() -> Workload {
+        WorkloadSpec::azure_sampled(400, 21).with_load(4, 0.8).generate()
+    }
+
+    #[test]
+    fn all_baselines_complete_every_request() {
+        let w = workload();
+        for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
+            let out = run_baseline(b, 4, &w);
+            assert_eq!(out.len(), w.len(), "{} lost requests", b.name());
+            // Outcomes sorted by id and complete.
+            for (i, o) in out.iter().enumerate() {
+                assert_eq!(o.id, i as u64);
+                assert!(o.turnaround >= SimDuration::ZERO);
+                assert!(o.rte > 0.0 && o.rte <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_is_a_lower_bound() {
+        let w = workload();
+        let ideal = run_ideal(&w);
+        for b in [Baseline::Cfs, Baseline::Srtf] {
+            let out = run_baseline(b, 4, &w);
+            for (o, i) in out.iter().zip(ideal.iter()) {
+                assert!(
+                    o.turnaround >= i.turnaround,
+                    "{}: request {} beat IDEAL",
+                    b.name(),
+                    o.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn srtf_dominates_cfs_at_high_load() {
+        let w = WorkloadSpec::azure_sampled(1_500, 3).with_load(4, 1.0).generate();
+        let cfs = run_baseline(Baseline::Cfs, 4, &w);
+        let srtf = run_baseline(Baseline::Srtf, 4, &w);
+        let mean = |v: &[RequestOutcome]| {
+            v.iter().map(|o| o.turnaround.as_millis_f64()).sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&srtf) < mean(&cfs), "SRTF must beat CFS on mean turnaround");
+    }
+
+    #[test]
+    fn fifo_suffers_convoy_on_short_requests() {
+        let w = WorkloadSpec::azure_sampled(1_500, 5).with_load(4, 1.0).generate();
+        let fifo = run_baseline(Baseline::Fifo, 4, &w);
+        let srtf = run_baseline(Baseline::Srtf, 4, &w);
+        // Compare median turnaround of short requests (most of the mass).
+        let median_short = |v: &[RequestOutcome]| {
+            let mut xs: Vec<f64> = v
+                .iter()
+                .filter(|o| o.cpu_demand < SimDuration::from_millis(100))
+                .map(|o| o.turnaround.as_millis_f64())
+                .collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
+        };
+        assert!(
+            median_short(&fifo) > 3.0 * median_short(&srtf),
+            "FIFO {} vs SRTF {}: convoy effect missing",
+            median_short(&fifo),
+            median_short(&srtf)
+        );
+    }
+}

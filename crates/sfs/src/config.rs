@@ -1,0 +1,185 @@
+//! SFS configuration knobs.
+//!
+//! Defaults follow the paper's evaluation settings: sliding window N = 100
+//! (§V-C), status-polling interval 4 ms (§V-D), overload factor O = 3
+//! (§V-E), and FILTER functions at `SCHED_FIFO` priority 50.
+
+use sfs_simcore::SimDuration;
+
+/// How the FILTER time slice `S` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceMode {
+    /// The paper's adaptive heuristic: `S = mean(last N IATs) × cores`,
+    /// recomputed every N enqueued requests.
+    Adaptive,
+    /// A statically fixed slice (the Fig. 9 sensitivity baselines).
+    Fixed(SimDuration),
+}
+
+/// Queue topology for dispatching requests to SFS workers.
+///
+/// The paper argues for a single global queue ("a single global queue
+/// guarantees natural work conservation with good load balancing", §VI) and
+/// cites per-core-queue downsides. [`QueueMode::PerWorker`] exists as the
+/// ablation that demonstrates those downsides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueMode {
+    /// One global MPMC queue; any idle worker takes the head (the paper's
+    /// design).
+    Global,
+    /// Static per-worker queues (requests assigned round-robin at arrival;
+    /// no stealing). Exhibits load imbalance under skewed durations.
+    PerWorker,
+}
+
+/// Tunables for an SFS instance.
+#[derive(Debug, Clone, Copy)]
+pub struct SfsConfig {
+    /// Number of SFS workers; one per CPU core the FILTER pool may occupy.
+    pub workers: usize,
+    /// Sliding-window length N for IAT statistics (paper: 100).
+    pub window_n: usize,
+    /// Time slice selection.
+    pub slice_mode: SliceMode,
+    /// Slice used before the first adaptive recalculation.
+    pub initial_slice: SimDuration,
+    /// Lower/upper clamps on the adaptive slice.
+    pub min_slice: SimDuration,
+    /// Upper clamp on the adaptive slice.
+    pub max_slice: SimDuration,
+    /// Kernel-status polling interval (paper: 4 ms; Fig. 11 sweeps 1–8 ms).
+    pub poll_interval: SimDuration,
+    /// `true` = detect I/O blocks by polling and re-enqueue blocked
+    /// functions (§V-D); `false` = the "I/O-oblivious SFS" baseline of
+    /// Fig. 11 that lets blocked functions burn their slice.
+    pub io_aware: bool,
+    /// Enable the hybrid overload fallback to CFS (§V-E). Disabling it gives
+    /// the "SFS w/o hybrid" baseline of Fig. 12.
+    pub hybrid_overload: bool,
+    /// Overload threshold factor O: a request whose queueing delay is at
+    /// least `O × S` when popped triggers the CFS bypass (paper: 3).
+    pub overload_factor: f64,
+    /// Static priority FILTER functions run at under `SCHED_FIFO`.
+    pub filter_prio: u8,
+    /// Queue topology (global by default; per-worker is an ablation).
+    pub queue_mode: QueueMode,
+}
+
+impl SfsConfig {
+    /// Paper-default configuration for a machine with `workers` cores.
+    pub fn new(workers: usize) -> SfsConfig {
+        SfsConfig {
+            workers,
+            window_n: 100,
+            slice_mode: SliceMode::Adaptive,
+            initial_slice: SimDuration::from_millis(100),
+            min_slice: SimDuration::from_millis(1),
+            max_slice: SimDuration::from_secs(10),
+            poll_interval: SimDuration::from_millis(4),
+            io_aware: true,
+            hybrid_overload: true,
+            overload_factor: 3.0,
+            filter_prio: 50,
+            queue_mode: QueueMode::Global,
+        }
+    }
+
+    /// Fig. 9 baseline: fixed slice of `ms` milliseconds.
+    pub fn with_fixed_slice(mut self, ms: u64) -> SfsConfig {
+        self.slice_mode = SliceMode::Fixed(SimDuration::from_millis(ms));
+        self
+    }
+
+    /// Fig. 11 baseline: I/O-oblivious SFS.
+    pub fn io_oblivious(mut self) -> SfsConfig {
+        self.io_aware = false;
+        self
+    }
+
+    /// Fig. 12 baseline: disable the hybrid overload fallback.
+    pub fn without_hybrid(mut self) -> SfsConfig {
+        self.hybrid_overload = false;
+        self
+    }
+
+    /// Queue-topology ablation: static per-worker queues instead of the
+    /// paper's single global queue.
+    pub fn per_worker_queues(mut self) -> SfsConfig {
+        self.queue_mode = QueueMode::PerWorker;
+        self
+    }
+
+    /// Sanity-check invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("SFS needs at least one worker".into());
+        }
+        if self.window_n == 0 {
+            return Err("window N must be >= 1".into());
+        }
+        if self.min_slice > self.max_slice {
+            return Err("min_slice exceeds max_slice".into());
+        }
+        if self.overload_factor <= 0.0 {
+            return Err("overload factor must be positive".into());
+        }
+        if !(1..=99).contains(&self.filter_prio) {
+            return Err("SCHED_FIFO priority must be 1..=99".into());
+        }
+        if self.poll_interval.is_zero() {
+            return Err("poll interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SfsConfig::new(12);
+        assert_eq!(c.window_n, 100);
+        assert_eq!(c.poll_interval, SimDuration::from_millis(4));
+        assert_eq!(c.overload_factor, 3.0);
+        assert!(c.io_aware);
+        assert!(c.hybrid_overload);
+        assert_eq!(c.slice_mode, SliceMode::Adaptive);
+        assert_eq!(c.queue_mode, QueueMode::Global);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_toggle_variants() {
+        let c = SfsConfig::new(4).with_fixed_slice(200);
+        assert_eq!(c.slice_mode, SliceMode::Fixed(SimDuration::from_millis(200)));
+        assert!(!SfsConfig::new(4).io_oblivious().io_aware);
+        assert!(!SfsConfig::new(4).without_hybrid().hybrid_overload);
+        assert_eq!(
+            SfsConfig::new(4).per_worker_queues().queue_mode,
+            QueueMode::PerWorker
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = SfsConfig::new(0);
+        assert!(c.validate().is_err());
+        c = SfsConfig::new(1);
+        c.window_n = 0;
+        assert!(c.validate().is_err());
+        c = SfsConfig::new(1);
+        c.min_slice = SimDuration::from_secs(100);
+        assert!(c.validate().is_err());
+        c = SfsConfig::new(1);
+        c.overload_factor = 0.0;
+        assert!(c.validate().is_err());
+        c = SfsConfig::new(1);
+        c.filter_prio = 0;
+        assert!(c.validate().is_err());
+        c = SfsConfig::new(1);
+        c.poll_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

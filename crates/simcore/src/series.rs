@@ -1,0 +1,151 @@
+//! Time-series recording for timeline figures.
+//!
+//! Fig. 10 (adapted time slice vs. IAT over the workload) and Fig. 12a
+//! (queuing delay per request submission) are timelines rather than CDFs;
+//! this module records `(time, value)` pairs and can downsample them to a
+//! fixed number of points for printing.
+
+use crate::time::SimTime;
+
+/// An append-only `(SimTime, f64)` series.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+    label: String,
+}
+
+impl TimeSeries {
+    /// An empty series with a human-readable label (used in CSV headers).
+    pub fn new(label: impl Into<String>) -> Self {
+        TimeSeries {
+            points: Vec::new(),
+            label: label.into(),
+        }
+    }
+
+    /// Record one observation. Timestamps need not be strictly increasing
+    /// (e.g. per-request series indexed by submission order), but most
+    /// producers push monotonically.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        self.points.push((t, value));
+    }
+
+    /// Series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff nothing recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Borrow all points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean_value(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Downsample to at most `n` points by averaging fixed-size chunks.
+    /// Chunk timestamps are the first timestamp in each chunk.
+    pub fn downsample(&self, n: usize) -> Vec<(SimTime, f64)> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        if self.points.len() <= n {
+            return self.points.clone();
+        }
+        let chunk = self.points.len().div_ceil(n);
+        self.points
+            .chunks(chunk)
+            .map(|c| {
+                let t = c[0].0;
+                let mean = c.iter().map(|&(_, v)| v).sum::<f64>() / c.len() as f64;
+                (t, mean)
+            })
+            .collect()
+    }
+
+    /// Render as CSV `time_ms,<label>` lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("time_ms,{}\n", self.label);
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{},{}\n", t.as_millis_f64(), v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn records_and_summarises() {
+        let mut s = TimeSeries::new("queue_delay");
+        s.record(at(0), 1.0);
+        s.record(at(10), 3.0);
+        s.record(at(20), 2.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_value(), 3.0);
+        assert!((s.mean_value() - 2.0).abs() < 1e-12);
+        assert_eq!(s.label(), "queue_delay");
+    }
+
+    #[test]
+    fn downsample_averages_chunks() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..10 {
+            s.record(at(i), i as f64);
+        }
+        let d = s.downsample(5);
+        assert_eq!(d.len(), 5);
+        // Chunks of 2: means 0.5, 2.5, 4.5, 6.5, 8.5.
+        assert!((d[0].1 - 0.5).abs() < 1e-12);
+        assert!((d[4].1 - 8.5).abs() < 1e-12);
+        assert_eq!(d[0].0, at(0));
+        assert_eq!(d[1].0, at(2));
+    }
+
+    #[test]
+    fn downsample_small_series_passthrough() {
+        let mut s = TimeSeries::new("x");
+        s.record(at(1), 9.0);
+        assert_eq!(s.downsample(10), vec![(at(1), 9.0)]);
+        assert!(s.downsample(0).is_empty());
+        let empty = TimeSeries::new("e");
+        assert!(empty.downsample(4).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let mut s = TimeSeries::new("v");
+        s.record(at(5), 1.25);
+        let csv = s.to_csv();
+        assert_eq!(csv, "time_ms,v\n5,1.25\n");
+    }
+}

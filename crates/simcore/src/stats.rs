@@ -1,0 +1,434 @@
+//! Statistics primitives for experiment harnesses.
+//!
+//! * [`OnlineStats`] — Welford mean/variance with min/max, O(1) per sample.
+//! * [`Samples`] — an exact sample store with percentile queries (the paper's
+//!   figures report p50..p99.99, Fig. 8/15, so exactness matters at the tail).
+//! * [`Cdf`] — empirical CDF extraction at fixed fractions or value grids,
+//!   used by every "CDF of duration / RTE" figure.
+//! * [`Histogram`] — log-scale bucketing for quick distribution summaries.
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free; +inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact sample store with percentile and CDF queries.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    data: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Empty store.
+    pub fn new() -> Self {
+        Samples {
+            data: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Empty store with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Samples {
+            data: Vec::with_capacity(cap),
+            sorted: true,
+        }
+    }
+
+    /// Build from an existing vector of samples.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Samples {
+            data,
+            sorted: false,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.data.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff no observations recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.data
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (q in `[0,1]`) via nearest-rank on the sorted samples.
+    /// Returns 0.0 for an empty store.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank with an epsilon guard so e.g. 0.999 × 1000 (which
+        // floats represent as 999.0000000000001) does not round up a rank.
+        let idx = (((q * self.data.len() as f64) - 1e-9).ceil().max(0.0) as usize)
+            .saturating_sub(1)
+            .min(self.data.len() - 1);
+        self.data[idx]
+    }
+
+    /// Convenience: percentile in `[0,100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Fraction of samples strictly below `x`.
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.data.partition_point(|&v| v < x);
+        idx as f64 / self.data.len() as f64
+    }
+
+    /// Fraction of samples `>= x`.
+    pub fn fraction_at_least(&mut self, x: f64) -> f64 {
+        1.0 - self.fraction_below(x)
+    }
+
+    /// Empirical CDF evaluated at `points` evenly spaced quantiles,
+    /// returned as `(value, cumulative_fraction)` pairs.
+    pub fn cdf(&mut self, points: usize) -> Cdf {
+        self.ensure_sorted();
+        let mut pts = Vec::with_capacity(points);
+        if self.data.is_empty() {
+            return Cdf { points: pts };
+        }
+        for i in 1..=points {
+            let frac = i as f64 / points as f64;
+            let idx = (((frac * self.data.len() as f64) - 1e-9).ceil().max(0.0) as usize)
+                .saturating_sub(1)
+                .min(self.data.len() - 1);
+            pts.push((self.data[idx], frac));
+        }
+        Cdf { points: pts }
+    }
+
+    /// Borrow the raw (possibly unsorted) samples.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume into the raw vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+/// An empirical CDF: monotonically non-decreasing `(value, fraction)` pairs.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    /// `(value, cumulative fraction)` pairs, ascending in both components.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Render as CSV lines `value,fraction`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("value,fraction\n");
+        for (v, f) in &self.points {
+            out.push_str(&format!("{v},{f}\n"));
+        }
+        out
+    }
+}
+
+/// A log-scale histogram over positive values.
+///
+/// Buckets are powers of `base` starting at `min_value`; anything below the
+/// first bucket lands in bucket 0, anything above the last in the final
+/// bucket. Suits the paper's duration data spanning seven orders of magnitude.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min_value: f64,
+    base: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// `buckets` log-spaced buckets of ratio `base` starting at `min_value`.
+    pub fn new(min_value: f64, base: f64, buckets: usize) -> Self {
+        assert!(min_value > 0.0 && base > 1.0 && buckets > 0);
+        Histogram {
+            min_value,
+            base,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Bucket index for a value.
+    fn bucket_of(&self, x: f64) -> usize {
+        if x <= self.min_value {
+            return 0;
+        }
+        let b = ((x / self.min_value).ln() / self.base.ln()).floor() as usize;
+        b.min(self.counts.len() - 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        let b = self.bucket_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterate `(bucket_lower_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.min_value * self.base.powi(i as i32), c))
+    }
+
+    /// Fraction of observations at or below the upper edge of bucket `i`.
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let c: u64 = self.counts[..=i.min(self.counts.len() - 1)].iter().sum();
+        c as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..400] {
+            a.push(x);
+        }
+        for &x in &xs[400..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut e = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(5.0);
+        e.merge(&b);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 5.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = Samples::from_vec((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(90.0), 90.0);
+        assert_eq!(s.percentile(99.0), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.quantile(0.001), 1.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn fraction_below_and_at_least() {
+        let mut s = Samples::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.fraction_below(3.0) - 0.4).abs() < 1e-12);
+        assert!((s.fraction_below(3.5) - 0.6).abs() < 1e-12);
+        assert!((s.fraction_at_least(3.0) - 0.6).abs() < 1e-12);
+        assert_eq!(s.fraction_below(0.0), 0.0);
+        assert_eq!(s.fraction_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let mut s = Samples::from_vec((0..977).map(|i| (i * 7 % 977) as f64).collect());
+        let cdf = s.cdf(100);
+        assert_eq!(cdf.points.len(), 100);
+        for w in cdf.points.windows(2) {
+            assert!(w[0].0 <= w[1].0, "values must be non-decreasing");
+            assert!(w[0].1 < w[1].1, "fractions must be increasing");
+        }
+        assert!((cdf.points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        let csv = cdf.to_csv();
+        assert!(csv.starts_with("value,fraction\n"));
+        assert_eq!(csv.lines().count(), 101);
+    }
+
+    #[test]
+    fn histogram_buckets_log_scale() {
+        let mut h = Histogram::new(1.0, 10.0, 7);
+        for x in [0.5, 1.0, 5.0, 50.0, 500.0, 5e3, 5e4, 5e5, 5e6, 5e9] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 10);
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.len(), 7);
+        // 0.5 and 1.0 and 5.0 fall in bucket 0 ([1,10)): values <= min go to 0.
+        assert_eq!(buckets[0].1, 3);
+        // 5e9 overflows into the last bucket.
+        assert_eq!(buckets[6].1, 2);
+        assert!((h.cumulative_fraction(6) - 1.0).abs() < 1e-12);
+    }
+}

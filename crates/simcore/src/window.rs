@@ -1,0 +1,172 @@
+//! Fixed-capacity sliding window.
+//!
+//! SFS adapts its FILTER time slice from the mean of the last `N` observed
+//! inter-arrival times (paper §V-C, `S = mean(IAT_N) × c`, N = 100). This is
+//! the ring buffer behind that adaptation, kept O(1) per insert with a
+//! running sum.
+
+use std::collections::VecDeque;
+
+/// A sliding window over the last `capacity` `f64` observations with an O(1)
+/// running mean.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    buf: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+    /// Total observations ever pushed (not just retained).
+    pushed: u64,
+}
+
+impl SlidingWindow {
+    /// A window retaining the last `capacity` observations. `capacity` must
+    /// be at least 1.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "window capacity must be >= 1");
+        SlidingWindow {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+            pushed: 0,
+        }
+    }
+
+    /// Push an observation, evicting the oldest if the window is full.
+    pub fn push(&mut self, x: f64) {
+        if self.buf.len() == self.capacity {
+            if let Some(old) = self.buf.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.buf.push_back(x);
+        self.sum += x;
+        self.pushed += 1;
+    }
+
+    /// Number of retained observations (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True iff the window holds `capacity` observations.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of observations ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Mean of retained observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            // Recompute lazily from the buffer when the incremental sum may
+            // have accumulated float error over very long runs.
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Exact mean recomputed from the buffer (for drift checks / tests).
+    pub fn mean_exact(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.buf.iter().sum::<f64>() / self.buf.len() as f64
+        }
+    }
+
+    /// Iterate retained values, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Clear all retained observations (keeps the capacity and push count).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_partial_window() {
+        let mut w = SlidingWindow::new(4);
+        assert_eq!(w.mean(), 0.0);
+        w.push(2.0);
+        w.push(4.0);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_full());
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_keeps_last_n() {
+        let mut w = SlidingWindow::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(x);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.total_pushed(), 5);
+        let kept: Vec<f64> = w.iter().collect();
+        assert_eq!(kept, vec![3.0, 4.0, 5.0]);
+        assert!((w.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_history() {
+        let mut w = SlidingWindow::new(2);
+        w.push(10.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.total_pushed(), 1);
+        assert_eq!(w.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_mean_matches_exact(values in proptest::collection::vec(0.0f64..1e6, 1..500), cap in 1usize..64) {
+            let mut w = SlidingWindow::new(cap);
+            for &v in &values {
+                w.push(v);
+            }
+            let expect = w.mean_exact();
+            prop_assert!((w.mean() - expect).abs() <= 1e-6 * expect.max(1.0));
+            prop_assert_eq!(w.len(), values.len().min(cap));
+        }
+
+        #[test]
+        fn window_retains_suffix(values in proptest::collection::vec(-1e3f64..1e3, 1..200), cap in 1usize..32) {
+            let mut w = SlidingWindow::new(cap);
+            for &v in &values {
+                w.push(v);
+            }
+            let kept: Vec<f64> = w.iter().collect();
+            let start = values.len().saturating_sub(cap);
+            prop_assert_eq!(kept, values[start..].to_vec());
+        }
+    }
+}

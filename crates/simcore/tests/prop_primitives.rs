@@ -1,0 +1,73 @@
+//! Property tests for the simulation primitives.
+
+use proptest::prelude::*;
+use sfs_simcore::{EventQueue, Histogram, OnlineStats, Samples, SimDuration, SimTime};
+
+proptest! {
+    /// Events pop in non-decreasing time order; equal timestamps pop FIFO.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::ZERO + SimDuration::from_millis(t), i);
+        }
+        let mut prev_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_time = None;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= prev_time, "time went backwards");
+            if Some(at) == last_time {
+                prop_assert!(
+                    *seen_at_time.last().unwrap() < idx,
+                    "FIFO violated for simultaneous events"
+                );
+            } else {
+                seen_at_time.clear();
+            }
+            seen_at_time.push(idx);
+            last_time = Some(at);
+            prev_time = at;
+        }
+    }
+
+    /// Nearest-rank quantiles are actual samples and monotone in q.
+    #[test]
+    fn quantiles_are_samples_and_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..400)) {
+        let mut s = Samples::from_vec(xs.clone());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = s.quantile(q);
+            prop_assert!(xs.contains(&v), "quantile {v} is not a sample");
+            prop_assert!(v >= prev, "quantile not monotone");
+            prev = v;
+        }
+        prop_assert_eq!(s.quantile(1.0), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Welford mean matches the naive mean to floating tolerance.
+    #[test]
+    fn online_stats_match_naive(xs in proptest::collection::vec(-1e4f64..1e4, 1..500)) {
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((o.mean() - naive).abs() < 1e-6);
+        prop_assert_eq!(o.count(), xs.len() as u64);
+        prop_assert!(o.min() <= o.mean() + 1e-9 && o.mean() <= o.max() + 1e-9);
+    }
+
+    /// Histogram counts everything exactly once.
+    #[test]
+    fn histogram_conserves_counts(xs in proptest::collection::vec(1e-3f64..1e9, 1..400)) {
+        let mut h = Histogram::new(1.0, 10.0, 10);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let sum: u64 = h.buckets().map(|(_, c)| c).sum();
+        prop_assert_eq!(sum, xs.len() as u64);
+        prop_assert!((h.cumulative_fraction(9) - 1.0).abs() < 1e-12);
+    }
+}

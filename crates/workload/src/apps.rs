@@ -1,0 +1,225 @@
+//! Function applications FaaSBench can generate.
+//!
+//! The paper's OpenLambda evaluation (§IX-A) uses three apps:
+//!
+//! * `fib` — computes a Fibonacci sequence; CPU-heavy, no I/O;
+//! * `md`  — markdown generation; reads a JSON file then converts: I/O-heavy;
+//! * `sa`  — sentiment analysis; loads a vocabulary file then scores text:
+//!   both CPU- and I/O-intensive.
+//!
+//! Each app maps a sampled "function duration" (Table I) into a phase
+//! structure. The standalone experiments (§VIII) use `fib` with an optional
+//! injected leading I/O operation (the `IO` knob).
+
+use sfs_sched::{Phase, Policy, TaskSpec};
+use sfs_simcore::{SimDuration, SimRng};
+
+/// Which application a request executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Pure CPU (Fibonacci).
+    Fib,
+    /// I/O-dominant (markdown generation): a file read then a small
+    /// conversion burst.
+    Md,
+    /// CPU + I/O (sentiment analysis): a dictionary load then a scoring
+    /// burst comparable to the I/O time.
+    Sa,
+}
+
+impl AppKind {
+    /// Short name used in labels and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Fib => "fib",
+            AppKind::Md => "md",
+            AppKind::Sa => "sa",
+        }
+    }
+
+    /// Build the phase structure for a request of this app whose *total
+    /// ideal duration* is `duration_ms`.
+    ///
+    /// * `fib`: one CPU burst of the full duration.
+    /// * `md` (markdown generation, I/O-intensive): 70% I/O / 30% CPU,
+    ///   interleaved as six read→convert segment pairs — a buffered file
+    ///   reader blocks repeatedly, and each wake re-pays the runqueue wait
+    ///   under CFS (the effect behind Fig. 13–15's I/O-app separation).
+    /// * `sa` (sentiment analysis, CPU+I/O): four load→parse pairs (40% I/O)
+    ///   followed by a long scoring burst (the remaining CPU).
+    pub fn phases(self, duration_ms: f64) -> Vec<Phase> {
+        let total = SimDuration::from_millis_f64(duration_ms.max(0.001));
+        let min_cpu = SimDuration::from_micros(1);
+        match self {
+            AppKind::Fib => vec![Phase::Cpu(total)],
+            AppKind::Md => {
+                let mut phases = Vec::with_capacity(12);
+                let io_seg = total.mul_f64(0.7 / 6.0);
+                let cpu_seg = total.mul_f64(0.3 / 6.0);
+                for _ in 0..6 {
+                    phases.push(Phase::Io(io_seg.max(min_cpu)));
+                    phases.push(Phase::Cpu(cpu_seg.max(min_cpu)));
+                }
+                phases
+            }
+            AppKind::Sa => {
+                let mut phases = Vec::with_capacity(9);
+                let io_seg = total.mul_f64(0.4 / 4.0);
+                let cpu_seg = total.mul_f64(0.15 / 4.0);
+                for _ in 0..4 {
+                    phases.push(Phase::Io(io_seg.max(min_cpu)));
+                    phases.push(Phase::Cpu(cpu_seg.max(min_cpu)));
+                }
+                phases.push(Phase::Cpu(total.mul_f64(0.45).max(min_cpu)));
+                phases
+            }
+        }
+    }
+}
+
+/// Mix of applications in a workload.
+#[derive(Debug, Clone)]
+pub enum AppMix {
+    /// Only `fib` (the standalone-SFS experiments, §VIII).
+    FibOnly,
+    /// Weighted mix of the three OpenLambda apps (§IX). Weights need not
+    /// sum to 1.
+    Mixed { fib: f64, md: f64, sa: f64 },
+}
+
+impl AppMix {
+    /// The paper's OpenLambda workload: equal thirds of fib / md / sa.
+    pub fn openlambda() -> AppMix {
+        AppMix::Mixed {
+            fib: 1.0,
+            md: 1.0,
+            sa: 1.0,
+        }
+    }
+
+    /// Draw an app for one request.
+    pub fn sample(&self, rng: &mut SimRng) -> AppKind {
+        match self {
+            AppMix::FibOnly => AppKind::Fib,
+            AppMix::Mixed { fib, md, sa } => {
+                match rng.pick_weighted(&[*fib, *md, *sa]) {
+                    0 => AppKind::Fib,
+                    1 => AppKind::Md,
+                    _ => AppKind::Sa,
+                }
+            }
+        }
+    }
+}
+
+/// Assemble a full [`TaskSpec`] for one request.
+///
+/// * `duration_ms` — the sampled ideal duration (Table I),
+/// * `injected_io_ms` — the §VIII-B "IO knob": an extra I/O operation
+///   prepended to the function body (`Some(x)` adds `Io(x)`),
+/// * requests start under CFS (`SCHED_NORMAL`), exactly as a FaaS server
+///   dispatches them; SFS later promotes them to FIFO.
+pub fn build_task(
+    label: u64,
+    app: AppKind,
+    duration_ms: f64,
+    injected_io_ms: Option<f64>,
+) -> TaskSpec {
+    let mut phases = Vec::new();
+    if let Some(io) = injected_io_ms {
+        phases.push(Phase::Io(SimDuration::from_millis_f64(io)));
+    }
+    phases.extend(app.phases(duration_ms));
+    TaskSpec {
+        phases,
+        policy: Policy::NORMAL,
+        label,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_is_pure_cpu() {
+        let p = AppKind::Fib.phases(120.0);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].is_cpu());
+        assert_eq!(p[0].duration(), SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn md_is_io_dominant_and_segmented() {
+        let p = AppKind::Md.phases(120.0);
+        assert_eq!(p.len(), 12, "six read->convert pairs");
+        assert!(!p[0].is_cpu(), "md starts with a file read");
+        let io: SimDuration = p.iter().filter(|x| !x.is_cpu()).map(|x| x.duration()).sum();
+        let cpu: SimDuration = p.iter().filter(|x| x.is_cpu()).map(|x| x.duration()).sum();
+        assert!(io > cpu * 2, "I/O dominates CPU for md: {io} vs {cpu}");
+        let total = io + cpu;
+        assert!((total.as_millis_f64() - 120.0).abs() < 0.001);
+        // Interleaving: phases alternate Io, Cpu.
+        for (i, ph) in p.iter().enumerate() {
+            assert_eq!(ph.is_cpu(), i % 2 == 1, "md phase {i} out of order");
+        }
+    }
+
+    #[test]
+    fn sa_is_cpu_dominant_with_io_segments() {
+        let p = AppKind::Sa.phases(100.0);
+        assert_eq!(p.len(), 9, "four load->parse pairs plus a scoring burst");
+        assert!(!p[0].is_cpu());
+        let io: SimDuration = p.iter().filter(|x| !x.is_cpu()).map(|x| x.duration()).sum();
+        let cpu: SimDuration = p.iter().filter(|x| x.is_cpu()).map(|x| x.duration()).sum();
+        assert!(cpu > io, "CPU dominates for sa");
+        assert!((io.as_millis_f64() - 40.0).abs() < 0.001);
+        assert!(p.last().unwrap().is_cpu(), "sa ends with the scoring burst");
+    }
+
+    #[test]
+    fn tiny_durations_still_have_cpu_work() {
+        for app in [AppKind::Fib, AppKind::Md, AppKind::Sa] {
+            let spec = build_task(0, app, 0.002, None);
+            assert!(
+                spec.validate().is_ok(),
+                "{} spec invalid for tiny duration",
+                app.name()
+            );
+            assert!(!spec.cpu_demand().is_zero());
+        }
+    }
+
+    #[test]
+    fn injected_io_prepends_phase() {
+        let spec = build_task(9, AppKind::Fib, 30.0, Some(55.0));
+        assert_eq!(spec.phases.len(), 2);
+        assert_eq!(spec.phases[0], Phase::Io(SimDuration::from_millis(55)));
+        assert_eq!(spec.ideal_duration(), SimDuration::from_millis(85));
+        assert_eq!(spec.label, 9);
+        assert_eq!(spec.policy, Policy::NORMAL);
+    }
+
+    #[test]
+    fn app_mix_frequencies() {
+        let mix = AppMix::openlambda();
+        let mut rng = SimRng::seed_from_u64(17);
+        let mut counts = [0usize; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            match mix.sample(&mut rng) {
+                AppKind::Fib => counts[0] += 1,
+                AppKind::Md => counts[1] += 1,
+                AppKind::Sa => counts[2] += 1,
+            }
+        }
+        for c in counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.02, "app frequency {f}");
+        }
+        // FibOnly never yields anything else.
+        for _ in 0..100 {
+            assert_eq!(AppMix::FibOnly.sample(&mut rng), AppKind::Fib);
+        }
+    }
+}

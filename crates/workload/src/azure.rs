@@ -1,0 +1,121 @@
+//! Synthetic Azure Functions duration population (Fig. 1).
+//!
+//! The paper's Fig. 1 plots the CDF of per-function average execution
+//! duration across the two-week Azure Functions 2019 trace, observing that
+//! durations span seven orders of magnitude and that ~37.2%, 57.2%, and
+//! 99.9% of functions finish within 300 ms, 1 s, and 224 s respectively.
+//!
+//! The raw trace is not available offline, so this module synthesises a
+//! population from a piecewise log-linear quantile function anchored at the
+//! paper's published points. Sampling inverts the CDF directly, so the
+//! anchor fractions are reproduced *exactly* in expectation — which the
+//! tests verify, and which `fig01_azure_cdf` plots.
+
+use sfs_simcore::{SimRng, Samples};
+
+/// `(duration_ms, cumulative_fraction)` anchors of the Azure duration CDF.
+/// Points between anchors are interpolated log-linearly in duration.
+pub const AZURE_CDF_ANCHORS: [(f64, f64); 10] = [
+    (0.1, 0.0),
+    (1.0, 0.015),
+    (10.0, 0.09),
+    (100.0, 0.24),
+    (300.0, 0.372),
+    (1_000.0, 0.572),
+    (10_000.0, 0.905),
+    (100_000.0, 0.986),
+    (224_000.0, 0.999),
+    (1_000_000.0, 1.0),
+];
+
+/// Invert the anchored CDF at cumulative fraction `u ∈ [0,1)`.
+pub fn quantile_ms(u: f64) -> f64 {
+    let u = u.clamp(0.0, 1.0);
+    let a = AZURE_CDF_ANCHORS;
+    for w in a.windows(2) {
+        let (d0, f0) = w[0];
+        let (d1, f1) = w[1];
+        if u <= f1 {
+            if (f1 - f0).abs() < 1e-12 {
+                return d1;
+            }
+            let t = (u - f0) / (f1 - f0);
+            return (d0.ln() + t * (d1.ln() - d0.ln())).exp();
+        }
+    }
+    a.last().unwrap().0
+}
+
+/// The CDF value at a duration (forward direction), for verification.
+pub fn cdf_at(duration_ms: f64) -> f64 {
+    let a = AZURE_CDF_ANCHORS;
+    if duration_ms <= a[0].0 {
+        return a[0].1;
+    }
+    for w in a.windows(2) {
+        let (d0, f0) = w[0];
+        let (d1, f1) = w[1];
+        if duration_ms <= d1 {
+            let t = (duration_ms.ln() - d0.ln()) / (d1.ln() - d0.ln());
+            return f0 + t * (f1 - f0);
+        }
+    }
+    1.0
+}
+
+/// Sample a population of `n` function durations (ms).
+pub fn sample_population(n: usize, rng: &mut SimRng) -> Samples {
+    let mut s = Samples::with_capacity(n);
+    for _ in 0..n {
+        s.push(quantile_ms(rng.unit()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_monotone() {
+        for w in AZURE_CDF_ANCHORS.windows(2) {
+            assert!(w[0].0 < w[1].0, "durations ascending");
+            assert!(w[0].1 <= w[1].1, "fractions non-decreasing");
+        }
+        assert_eq!(AZURE_CDF_ANCHORS.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for u in [0.01, 0.1, 0.3, 0.372, 0.5, 0.572, 0.9, 0.99, 0.999] {
+            let d = quantile_ms(u);
+            let back = cdf_at(d);
+            assert!((back - u).abs() < 1e-9, "u={u} d={d} back={back}");
+        }
+    }
+
+    #[test]
+    fn paper_quantile_claims_hold() {
+        // "about 37.2%, 57.2%, and 99.9% of the functions have an average
+        //  execution duration shorter than 300 ms, 1 second, and 224 seconds"
+        assert!((cdf_at(300.0) - 0.372).abs() < 1e-9);
+        assert!((cdf_at(1_000.0) - 0.572).abs() < 1e-9);
+        assert!((cdf_at(224_000.0) - 0.999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_spans_seven_orders_of_magnitude() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut pop = sample_population(200_000, &mut rng);
+        let lo = pop.quantile(0.0005);
+        let hi = pop.quantile(0.9995);
+        assert!(
+            hi / lo > 1e5,
+            "span {lo}..{hi} should cover many orders of magnitude"
+        );
+        // Empirical fractions reproduce the anchors.
+        assert!((pop.fraction_below(300.0) - 0.372).abs() < 0.01);
+        assert!((pop.fraction_below(1_000.0) - 0.572).abs() < 0.01);
+        assert!(pop.fraction_below(224_000.0) > 0.99);
+    }
+}

@@ -1,0 +1,301 @@
+//! Inter-arrival-time (IAT) generators.
+//!
+//! FaaSBench supports (paper §VII): Poisson and uniform IATs, plus
+//! trace-style bursty arrivals (the Azure-sampled replay exhibits transient
+//! overload spikes — five of them over the 10k-request window in Fig. 12a).
+//! Since the raw Azure per-invocation timestamps are not available, the
+//! bursty generator reproduces the *load pattern*: a base Poisson process
+//! with superimposed spike windows during which the arrival rate multiplies.
+
+use sfs_simcore::{SimDuration, SimRng, SimTime};
+
+/// How inter-arrival times are drawn.
+#[derive(Debug, Clone)]
+pub enum IatSpec {
+    /// Exponential IATs with the given mean (a Poisson arrival process).
+    Poisson { mean_ms: f64 },
+    /// Uniform IATs on `[lo, hi)` ms.
+    Uniform { lo_ms: f64, hi_ms: f64 },
+    /// Fixed (deterministic) IAT.
+    Fixed { iat_ms: f64 },
+    /// Poisson base process with spike windows: during a spike, the mean IAT
+    /// is divided by `factor` (arrival rate multiplies by `factor`).
+    Bursty {
+        base_mean_ms: f64,
+        spikes: Vec<Spike>,
+    },
+}
+
+/// A transient overload window for [`IatSpec::Bursty`], expressed over
+/// request *indices* (matching Fig. 12a's x-axis, "request submission ID").
+#[derive(Debug, Clone, Copy)]
+pub struct Spike {
+    /// First request index of the spike.
+    pub start_idx: usize,
+    /// Number of requests arriving at the spiked rate.
+    pub len: usize,
+    /// Arrival-rate multiplier (> 1).
+    pub factor: f64,
+}
+
+impl Spike {
+    /// Evenly spread `count` spikes of `len` requests and `factor` rate gain
+    /// across a workload of `total` requests (Fig. 12a uses five).
+    pub fn evenly_spaced(count: usize, len: usize, factor: f64, total: usize) -> Vec<Spike> {
+        (0..count)
+            .map(|i| Spike {
+                start_idx: (i + 1) * total / (count + 1),
+                len,
+                factor,
+            })
+            .collect()
+    }
+}
+
+impl IatSpec {
+    /// The mean IAT of the base process in milliseconds (spikes excluded).
+    pub fn base_mean_ms(&self) -> f64 {
+        match self {
+            IatSpec::Poisson { mean_ms } => *mean_ms,
+            IatSpec::Uniform { lo_ms, hi_ms } => (lo_ms + hi_ms) / 2.0,
+            IatSpec::Fixed { iat_ms } => *iat_ms,
+            IatSpec::Bursty { base_mean_ms, .. } => *base_mean_ms,
+        }
+    }
+
+    /// Mean IAT per request including spike compression, relative to the
+    /// base mean, for a workload of `n` requests: spiked requests arrive
+    /// `factor`× faster, shrinking the average.
+    pub fn compression_factor(&self, n: usize) -> f64 {
+        match self {
+            IatSpec::Bursty { spikes, .. } if n > 0 => {
+                let mut weighted = 0.0f64;
+                let mut covered = 0usize;
+                for s in spikes {
+                    let len = s.len.min(n.saturating_sub(s.start_idx));
+                    covered += len;
+                    weighted += len as f64 / s.factor.max(1.0);
+                }
+                let base = n.saturating_sub(covered.min(n)) as f64;
+                (base + weighted) / n as f64
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Scale the base rate so that mean service `mean_service_ms` over
+    /// `cores` cores yields utilisation `rho` (`ρ = λ/(cµ)`, paper Eq. 2):
+    /// `mean_IAT = mean_service / (cores × rho)`. For bursty processes,
+    /// pass the workload size via [`IatSpec::for_target_load_n`] so spike
+    /// compression is corrected; this variant assumes no compression.
+    pub fn for_target_load(self, mean_service_ms: f64, cores: usize, rho: f64) -> IatSpec {
+        self.for_target_load_n(mean_service_ms, cores, rho, 0)
+    }
+
+    /// As [`IatSpec::for_target_load`], correcting the bursty base rate so
+    /// the *average* offered load over `n` requests equals `rho` even
+    /// though spikes compress arrivals.
+    pub fn for_target_load_n(
+        self,
+        mean_service_ms: f64,
+        cores: usize,
+        rho: f64,
+        n: usize,
+    ) -> IatSpec {
+        assert!(rho > 0.0 && cores > 0);
+        let correction = 1.0 / self.compression_factor(n);
+        let target_mean = mean_service_ms / (cores as f64 * rho) * correction;
+        match self {
+            IatSpec::Poisson { .. } => IatSpec::Poisson {
+                mean_ms: target_mean,
+            },
+            IatSpec::Uniform { lo_ms, hi_ms } => {
+                let old_mean = (lo_ms + hi_ms) / 2.0;
+                let k = target_mean / old_mean;
+                IatSpec::Uniform {
+                    lo_ms: lo_ms * k,
+                    hi_ms: hi_ms * k,
+                }
+            }
+            IatSpec::Fixed { .. } => IatSpec::Fixed {
+                iat_ms: target_mean,
+            },
+            IatSpec::Bursty { spikes, .. } => IatSpec::Bursty {
+                base_mean_ms: target_mean,
+                spikes,
+            },
+        }
+    }
+
+    /// Generate `n` arrival instants starting at t = 0.
+    pub fn arrivals(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            let iat_ms = match self {
+                IatSpec::Poisson { mean_ms } => rng.exponential(*mean_ms),
+                IatSpec::Uniform { lo_ms, hi_ms } => rng.uniform(*lo_ms, *hi_ms),
+                IatSpec::Fixed { iat_ms } => *iat_ms,
+                IatSpec::Bursty {
+                    base_mean_ms,
+                    spikes,
+                } => {
+                    let in_spike = spikes
+                        .iter()
+                        .find(|s| i >= s.start_idx && i < s.start_idx + s.len);
+                    let mean = match in_spike {
+                        Some(s) => base_mean_ms / s.factor.max(1.0),
+                        None => *base_mean_ms,
+                    };
+                    rng.exponential(mean)
+                }
+            };
+            t += SimDuration::from_millis_f64(iat_ms);
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_arrivals_have_target_mean_iat() {
+        let spec = IatSpec::Poisson { mean_ms: 20.0 };
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 100_000;
+        let arr = spec.arrivals(n, &mut rng);
+        assert_eq!(arr.len(), n);
+        let span_ms = arr.last().unwrap().as_millis_f64();
+        let mean = span_ms / n as f64;
+        assert!((mean - 20.0).abs() < 0.5, "mean IAT {mean}");
+        // Strictly increasing arrivals.
+        for w in arr.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn uniform_arrivals_bounded() {
+        let spec = IatSpec::Uniform {
+            lo_ms: 5.0,
+            hi_ms: 15.0,
+        };
+        let mut rng = SimRng::seed_from_u64(5);
+        let arr = spec.arrivals(10_000, &mut rng);
+        let mut prev = SimTime::ZERO;
+        for &a in &arr {
+            let iat = (a - prev).as_millis_f64();
+            assert!((5.0..15.0).contains(&iat), "IAT {iat} out of range");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn fixed_arrivals_exact() {
+        let spec = IatSpec::Fixed { iat_ms: 7.0 };
+        let mut rng = SimRng::seed_from_u64(1);
+        let arr = spec.arrivals(4, &mut rng);
+        let times: Vec<f64> = arr.iter().map(|a| a.as_millis_f64()).collect();
+        assert_eq!(times, vec![7.0, 14.0, 21.0, 28.0]);
+    }
+
+    #[test]
+    fn target_load_sets_eq2_rate() {
+        // mean service 480ms, 12 cores, rho 0.8 → mean IAT = 480/(9.6) = 50ms.
+        let spec = IatSpec::Poisson { mean_ms: 1.0 }.for_target_load(480.0, 12, 0.8);
+        match spec {
+            IatSpec::Poisson { mean_ms } => assert!((mean_ms - 50.0).abs() < 1e-9),
+            _ => panic!("variant changed"),
+        }
+        // Uniform keeps its shape, scales its mean.
+        let u = IatSpec::Uniform {
+            lo_ms: 10.0,
+            hi_ms: 30.0,
+        }
+        .for_target_load(100.0, 4, 0.5);
+        match u {
+            IatSpec::Uniform { lo_ms, hi_ms } => {
+                assert!(((lo_ms + hi_ms) / 2.0 - 50.0).abs() < 1e-9);
+                assert!((hi_ms / lo_ms - 3.0).abs() < 1e-9, "shape preserved");
+            }
+            _ => panic!("variant changed"),
+        }
+    }
+
+    #[test]
+    fn bursty_spikes_compress_iats() {
+        let spikes = Spike::evenly_spaced(1, 2_000, 10.0, 10_000);
+        assert_eq!(spikes.len(), 1);
+        let s0 = spikes[0];
+        assert_eq!(s0.start_idx, 5_000);
+        let spec = IatSpec::Bursty {
+            base_mean_ms: 50.0,
+            spikes,
+        };
+        let mut rng = SimRng::seed_from_u64(11);
+        let arr = spec.arrivals(10_000, &mut rng);
+        let mean_iat = |lo: usize, hi: usize| {
+            (arr[hi - 1] - arr[lo]).as_millis_f64() / (hi - lo - 1) as f64
+        };
+        let base = mean_iat(0, 5_000);
+        let spike = mean_iat(5_000, 7_000);
+        assert!(
+            spike * 5.0 < base,
+            "spike mean {spike} should be ~10x below base {base}"
+        );
+    }
+
+    #[test]
+    fn compression_factor_accounts_for_spikes() {
+        // 10,000 requests; one spike of 2,000 at 10x: mean per-request IAT
+        // factor = (8000 + 2000/10) / 10000 = 0.82.
+        let spec = IatSpec::Bursty {
+            base_mean_ms: 50.0,
+            spikes: vec![Spike { start_idx: 4_000, len: 2_000, factor: 10.0 }],
+        };
+        assert!((spec.compression_factor(10_000) - 0.82).abs() < 1e-12);
+        // Non-bursty processes never compress.
+        assert_eq!(IatSpec::Poisson { mean_ms: 1.0 }.compression_factor(10_000), 1.0);
+        assert_eq!(IatSpec::Fixed { iat_ms: 1.0 }.compression_factor(0), 1.0);
+        // A spike hanging past the end only counts its covered portion.
+        let tail = IatSpec::Bursty {
+            base_mean_ms: 1.0,
+            spikes: vec![Spike { start_idx: 9_500, len: 2_000, factor: 5.0 }],
+        };
+        let f = tail.compression_factor(10_000);
+        assert!((f - (9_500.0 + 500.0 / 5.0) / 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_load_n_corrects_bursty_average() {
+        // With correction, the realised average offered load matches the
+        // target despite the spikes.
+        let n = 30_000;
+        let spikes = Spike::evenly_spaced(3, n / 10, 10.0, n);
+        let spec = IatSpec::Bursty { base_mean_ms: 1.0, spikes }
+            .for_target_load_n(100.0, 4, 0.8, n);
+        let mut rng = SimRng::seed_from_u64(3);
+        let arr = spec.arrivals(n, &mut rng);
+        let span_ms = arr.last().unwrap().as_millis_f64();
+        // offered = total work / (span * cores) = n*100 / (span*4).
+        let offered = n as f64 * 100.0 / (span_ms * 4.0);
+        assert!(
+            (offered - 0.8).abs() < 0.05,
+            "corrected offered load {offered} vs target 0.8"
+        );
+    }
+
+    #[test]
+    fn evenly_spaced_spikes_cover_interior() {
+        let spikes = Spike::evenly_spaced(5, 300, 8.0, 10_000);
+        assert_eq!(spikes.len(), 5);
+        let idxs: Vec<usize> = spikes.iter().map(|s| s.start_idx).collect();
+        assert_eq!(idxs, vec![1666, 3333, 5000, 6666, 8333]);
+        for s in &spikes {
+            assert!(s.start_idx + s.len < 10_000);
+        }
+    }
+}

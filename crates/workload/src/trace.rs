@@ -1,0 +1,202 @@
+//! Workload trace import/export.
+//!
+//! FaaSBench workloads can be serialised to a simple CSV trace format and
+//! replayed later, so an experiment can be pinned to an exact invocation
+//! sequence (as the paper pins its evaluation to a replayed Azure sample)
+//! or exchanged with other tools.
+//!
+//! Format (header required):
+//! ```text
+//! id,arrival_ms,app,duration_ms,injected_io_ms
+//! 0,12.5,fib,34.2,
+//! 1,14.1,md,120.0,55.5
+//! ```
+
+use std::fmt::Write as _;
+
+use sfs_simcore::{SimDuration, SimTime};
+
+use crate::apps::{build_task, AppKind};
+use crate::{Request, Workload};
+
+/// Serialise a workload to the CSV trace format.
+pub fn to_csv(workload: &Workload) -> String {
+    let mut out = String::from("id,arrival_ms,app,duration_ms,injected_io_ms\n");
+    for r in &workload.requests {
+        let io = r
+            .injected_io_ms
+            .map(|x| format!("{x}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.id,
+            r.arrival.as_millis_f64(),
+            r.app.name(),
+            r.duration_ms,
+            io
+        );
+    }
+    out
+}
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A data row failed to parse; payload is (line number, reason).
+    BadRow(usize, String),
+    /// Arrivals must be non-decreasing.
+    UnsortedArrivals(usize),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "bad or missing trace header"),
+            TraceError::BadRow(n, why) => write!(f, "bad row at line {n}: {why}"),
+            TraceError::UnsortedArrivals(n) => {
+                write!(f, "arrivals not sorted at line {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parse a CSV trace back into a workload.
+pub fn from_csv(text: &str) -> Result<Workload, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == "id,arrival_ms,app,duration_ms,injected_io_ms" => {}
+        _ => return Err(TraceError::BadHeader),
+    }
+    let mut requests = Vec::new();
+    let mut prev_arrival = 0.0f64;
+    for (lineno, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 5 {
+            return Err(TraceError::BadRow(
+                lineno + 1,
+                format!("expected 5 columns, got {}", cols.len()),
+            ));
+        }
+        let parse_f = |s: &str, what: &str| -> Result<f64, TraceError> {
+            s.parse::<f64>()
+                .map_err(|_| TraceError::BadRow(lineno + 1, format!("bad {what}: {s:?}")))
+        };
+        let id: u64 = cols[0]
+            .parse()
+            .map_err(|_| TraceError::BadRow(lineno + 1, format!("bad id: {:?}", cols[0])))?;
+        let arrival_ms = parse_f(cols[1], "arrival")?;
+        if arrival_ms < prev_arrival {
+            return Err(TraceError::UnsortedArrivals(lineno + 1));
+        }
+        prev_arrival = arrival_ms;
+        let app = match cols[2] {
+            "fib" => AppKind::Fib,
+            "md" => AppKind::Md,
+            "sa" => AppKind::Sa,
+            other => {
+                return Err(TraceError::BadRow(
+                    lineno + 1,
+                    format!("unknown app: {other:?}"),
+                ))
+            }
+        };
+        let duration_ms = parse_f(cols[3], "duration")?;
+        if duration_ms <= 0.0 {
+            return Err(TraceError::BadRow(
+                lineno + 1,
+                "duration must be positive".into(),
+            ));
+        }
+        let injected = if cols[4].is_empty() {
+            None
+        } else {
+            Some(parse_f(cols[4], "injected io")?)
+        };
+        let spec = build_task(id, app, duration_ms, injected);
+        requests.push(Request {
+            id,
+            arrival: SimTime::ZERO + SimDuration::from_millis_f64(arrival_ms),
+            app,
+            duration_ms,
+            injected_io_ms: injected,
+            spec,
+        });
+    }
+    Ok(Workload { requests })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+
+    #[test]
+    fn roundtrip_preserves_workload() {
+        let mut spec = WorkloadSpec::openlambda(200, 9);
+        spec.io_fraction = 0.3;
+        let w = spec.with_load(4, 0.8).generate();
+        let csv = to_csv(&w);
+        let back = from_csv(&csv).expect("roundtrip parse");
+        assert_eq!(back.len(), w.len());
+        for (a, b) in w.requests.iter().zip(back.requests.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.app, b.app);
+            assert!((a.arrival.as_millis_f64() - b.arrival.as_millis_f64()).abs() < 1e-6);
+            assert!((a.duration_ms - b.duration_ms).abs() < 1e-9);
+            assert_eq!(a.injected_io_ms.is_some(), b.injected_io_ms.is_some());
+            assert_eq!(a.spec.phases.len(), b.spec.phases.len());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(from_csv("nope\n1,2,fib,3,").unwrap_err(), TraceError::BadHeader);
+        assert_eq!(from_csv("").unwrap_err(), TraceError::BadHeader);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let head = "id,arrival_ms,app,duration_ms,injected_io_ms\n";
+        assert!(matches!(
+            from_csv(&format!("{head}1,2,fib\n")),
+            Err(TraceError::BadRow(2, _))
+        ));
+        assert!(matches!(
+            from_csv(&format!("{head}x,2,fib,3,\n")),
+            Err(TraceError::BadRow(2, _))
+        ));
+        assert!(matches!(
+            from_csv(&format!("{head}1,2,python,3,\n")),
+            Err(TraceError::BadRow(2, _))
+        ));
+        assert!(matches!(
+            from_csv(&format!("{head}1,2,fib,-3,\n")),
+            Err(TraceError::BadRow(2, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_arrivals() {
+        let csv = "id,arrival_ms,app,duration_ms,injected_io_ms\n0,10,fib,5,\n1,9,fib,5,\n";
+        assert_eq!(from_csv(csv).unwrap_err(), TraceError::UnsortedArrivals(3));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "id,arrival_ms,app,duration_ms,injected_io_ms\n0,1,fib,5,\n\n1,2,md,8,4.5\n";
+        let w = from_csv(csv).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.requests[1].injected_io_ms, Some(4.5));
+        // md keeps its segmented phase structure through the trace format.
+        assert!(w.requests[1].spec.phases.len() > 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! `sfs` — command-line front end for the SFS reproduction.
+//!
+//! ```text
+//! sfs gen      --requests 5000 --cores 16 --load 0.9 [--mix openlambda] [--seed N] [--out trace.csv]
+//! sfs run      --sched sfs|cfs|fifo|rr|srtf [--trace trace.csv | --requests N --load X] [--gantt]
+//! sfs compare  [--requests N --cores C --load X]         # SFS vs CFS headline
+//! sfs slo      [--requests N --cores C --load X]         # paper-SLO attainment
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (flag pairs only).
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use sfs_repro::metrics::{evaluate_slo, headline_claims, MarkdownTable, Paired, SloRule};
+use sfs_repro::sched::MachineParams;
+use sfs_repro::sfs::{run_baseline, run_ideal, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_repro::simcore::{Samples, SimTime};
+use sfs_repro::workload::{self, Workload, WorkloadSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage_and_exit();
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "slo" => cmd_slo(&flags),
+        "-h" | "--help" | "help" => usage_and_exit(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "sfs — SFS (SC'22) reproduction CLI\n\
+         \n\
+         USAGE:\n\
+           sfs gen     --requests N --cores C --load X [--mix fib|openlambda] [--seed S] [--out FILE]\n\
+           sfs run     --sched sfs|cfs|fifo|rr|srtf [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
+           sfs compare [--requests N] [--cores C] [--load X] [--seed S]\n\
+           sfs slo     [--requests N] [--cores C] [--load X] [--seed S]"
+    );
+    exit(2);
+}
+
+fn parse_flags(rest: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = rest.iter().peekable();
+    while let Some(k) = it.next() {
+        if let Some(name) = k.strip_prefix("--") {
+            let val = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => String::from("true"),
+            };
+            flags.insert(name.to_string(), val);
+        } else {
+            eprintln!("unexpected argument: {k}");
+            usage_and_exit();
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_workload(flags: &HashMap<String, String>, cores: usize) -> Workload {
+    if let Some(path) = flags.get("trace") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        return workload::from_csv(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1);
+        });
+    }
+    let n = get(flags, "requests", 2_000usize);
+    let seed = get(flags, "seed", 42u64);
+    let load = get(flags, "load", 0.9f64);
+    let spec = match flags.get("mix").map(String::as_str) {
+        Some("openlambda") => WorkloadSpec::openlambda(n, seed),
+        Some("replay") => WorkloadSpec::azure_replay(n, seed),
+        _ => WorkloadSpec::azure_sampled(n, seed),
+    };
+    spec.with_load(cores, load).generate()
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) {
+    let cores = get(flags, "cores", 16usize);
+    let w = build_workload(flags, cores);
+    let csv = workload::to_csv(&w);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "wrote {} requests ({:.1}s of CPU demand, offered load {:.2} on {} cores) to {path}",
+                w.len(),
+                w.total_cpu_ms() / 1e3,
+                w.offered_load(cores),
+                cores
+            );
+        }
+        None => print!("{csv}"),
+    }
+}
+
+fn summarise(name: &str, outs: &[RequestOutcome]) {
+    let durs: Vec<f64> = outs.iter().map(|o| o.turnaround.as_millis_f64()).collect();
+    let mut s = Samples::from_vec(durs.clone());
+    let rte95 = outs.iter().filter(|o| o.rte >= 0.95).count() as f64 / outs.len().max(1) as f64;
+    println!(
+        "{name:>6}: n={} mean={:.1}ms p50={:.1}ms p99={:.1}ms RTE>=0.95: {:.1}%",
+        outs.len(),
+        durs.iter().sum::<f64>() / durs.len().max(1) as f64,
+        s.percentile(50.0),
+        s.percentile(99.0),
+        rte95 * 100.0
+    );
+}
+
+fn cmd_run(flags: &HashMap<String, String>) {
+    let cores = get(flags, "cores", 16usize);
+    let w = build_workload(flags, cores);
+    let sched = flags.get("sched").map(String::as_str).unwrap_or("sfs");
+    let gantt = flags.contains_key("gantt");
+    match sched {
+        "sfs" => {
+            let mut sim =
+                SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w);
+            if gantt {
+                sim = sim.with_tracing();
+            }
+            let r = sim.run();
+            summarise("SFS", &r.outcomes);
+            println!(
+                "        demoted={} offloaded={} slice_recalcs={} polls={}",
+                r.demoted, r.offloaded, r.slice_recalcs, r.polls
+            );
+            if let Some(trace) = r.schedule_trace {
+                let end = r
+                    .outcomes
+                    .iter()
+                    .map(|o| o.finished)
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                println!("{}", trace.render_gantt(SimTime::ZERO, end, 100));
+            }
+        }
+        "ideal" => summarise("IDEAL", &run_ideal(&w)),
+        other => {
+            let b = match other {
+                "cfs" => Baseline::Cfs,
+                "fifo" => Baseline::Fifo,
+                "rr" => Baseline::Rr,
+                "srtf" => Baseline::Srtf,
+                _ => {
+                    eprintln!("unknown scheduler: {other}");
+                    usage_and_exit();
+                }
+            };
+            summarise(b.name(), &run_baseline(b, cores, &w));
+            if gantt {
+                eprintln!("(--gantt is only supported with --sched sfs)");
+            }
+        }
+    }
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) {
+    let cores = get(flags, "cores", 16usize);
+    let w = build_workload(flags, cores);
+    let sfs = SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w.clone())
+        .run()
+        .outcomes;
+    let cfs = run_baseline(Baseline::Cfs, cores, &w);
+    summarise("SFS", &sfs);
+    summarise("CFS", &cfs);
+    let pairs: Vec<Paired> = sfs
+        .iter()
+        .zip(cfs.iter())
+        .map(|(s, c)| Paired {
+            ideal_ms: s.ideal.as_millis_f64(),
+            treatment_ms: s.turnaround.as_millis_f64(),
+            baseline_ms: c.turnaround.as_millis_f64(),
+            treatment_ctx: s.ctx_switches,
+            baseline_ctx: c.ctx_switches,
+        })
+        .collect();
+    let h = headline_claims(&pairs, 1550.0);
+    println!(
+        "\nshort ({:.1}% of requests): mean speedup {:.1}x (median {:.1}x)\n\
+         long: mean slowdown {:.2}x | improved overall: {:.1}%",
+        h.short_fraction * 100.0,
+        h.short_mean_speedup,
+        h.short_median_speedup,
+        h.long_mean_slowdown,
+        h.improved_fraction * 100.0
+    );
+}
+
+fn cmd_slo(flags: &HashMap<String, String>) {
+    let cores = get(flags, "cores", 16usize);
+    let w = build_workload(flags, cores);
+    let mut table = MarkdownTable::new(&["scheduler", "soft SLO", "hard SLO"]);
+    let mut row = |name: &str, outs: &[RequestOutcome]| {
+        let inv: Vec<(f64, f64)> = outs
+            .iter()
+            .map(|o| (o.ideal.as_millis_f64(), o.turnaround.as_millis_f64()))
+            .collect();
+        let soft = evaluate_slo(SloRule::soft(), &inv);
+        let hard = evaluate_slo(SloRule::hard(), &inv);
+        table.row(&[
+            name.into(),
+            format!(
+                "{:.1}% {}",
+                soft.attained_fraction * 100.0,
+                if soft.met { "MET" } else { "missed" }
+            ),
+            format!(
+                "{:.1}% {}",
+                hard.attained_fraction * 100.0,
+                if hard.met { "MET" } else { "missed" }
+            ),
+        ]);
+    };
+    row(
+        "SFS",
+        &SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w.clone())
+            .run()
+            .outcomes,
+    );
+    for b in [Baseline::Cfs, Baseline::Rr, Baseline::Fifo] {
+        row(b.name(), &run_baseline(b, cores, &w));
+    }
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the SFS reproduction workspace.
+pub use sfs_core as sfs;
+pub use sfs_faas as faas;
+pub use sfs_host as host;
+pub use sfs_metrics as metrics;
+pub use sfs_sched as sched;
+pub use sfs_simcore as simcore;
+pub use sfs_workload as workload;

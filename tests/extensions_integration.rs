@@ -1,0 +1,100 @@
+//! Cross-crate integration for the extension features: trace round-trips
+//! drive identical schedules, the SLO rule discriminates schedulers, and
+//! the cluster dispatcher composes with the SFS simulator.
+
+use sfs_repro::faas::{Cluster, Placement};
+use sfs_repro::metrics::{evaluate_slo, tightest_bound, SloRule};
+use sfs_repro::sched::MachineParams;
+use sfs_repro::sfs::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_repro::workload::{self, WorkloadSpec};
+
+#[test]
+fn trace_roundtrip_preserves_the_schedule_exactly() {
+    // Serialise a workload to CSV, parse it back, and verify the SFS
+    // simulator produces bit-identical outcomes — the trace format loses
+    // nothing the scheduler sees.
+    let mut spec = WorkloadSpec::openlambda(400, 33);
+    spec.io_fraction = 0.25;
+    let original = spec.with_load(4, 0.9).generate();
+    let parsed = workload::from_csv(&workload::to_csv(&original)).expect("roundtrip");
+
+    let a = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), original).run();
+    let b = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), parsed).run();
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.finished, y.finished, "request {} diverged", x.id);
+        assert_eq!(x.ctx_switches, y.ctx_switches);
+        assert_eq!(x.demoted, y.demoted);
+    }
+}
+
+#[test]
+fn slo_rule_separates_sfs_from_fifo_at_load() {
+    let w = WorkloadSpec::azure_sampled(2_000, 35).with_load(8, 1.0).generate();
+    let inv = |outs: &[sfs_repro::sfs::RequestOutcome]| -> Vec<(f64, f64)> {
+        outs.iter()
+            .map(|o| (o.ideal.as_millis_f64(), o.turnaround.as_millis_f64()))
+            .collect()
+    };
+    let sfs = inv(&SfsSimulator::new(SfsConfig::new(8), MachineParams::linux(8), w.clone())
+        .run()
+        .outcomes);
+    let fifo = inv(&run_baseline(Baseline::Fifo, 8, &w));
+
+    let rule = SloRule::soft();
+    let sfs_report = evaluate_slo(rule, &sfs);
+    let fifo_report = evaluate_slo(rule, &fifo);
+    assert!(
+        sfs_report.attained_fraction > fifo_report.attained_fraction,
+        "SFS {} must out-attain FIFO {}",
+        sfs_report.attained_fraction,
+        fifo_report.attained_fraction
+    );
+    // The tightest sellable bound under SFS is far below FIFO's.
+    let sfs_bound = tightest_bound(0.95, 10.0, &sfs);
+    let fifo_bound = tightest_bound(0.95, 10.0, &fifo);
+    assert!(
+        sfs_bound * 3.0 < fifo_bound,
+        "SFS bound {sfs_bound} vs FIFO {fifo_bound}"
+    );
+}
+
+#[test]
+fn cluster_matches_single_host_when_hosts_is_one() {
+    // A 1-host cluster must behave exactly like the plain simulator.
+    let w = WorkloadSpec::azure_sampled(500, 37).with_load(8, 0.9).generate();
+    let cluster = Cluster::new(1, 8);
+    let run = cluster.run(Placement::RoundRobin, &w);
+    let direct = SfsSimulator::new(SfsConfig::new(8), MachineParams::linux(8), w).run();
+    assert_eq!(run.outcomes.len(), direct.outcomes.len());
+    for (c, d) in run.outcomes.iter().zip(direct.outcomes.iter()) {
+        assert_eq!(c.finished, d.finished, "request {} diverged", c.id);
+    }
+}
+
+#[test]
+fn cluster_scales_throughput_with_hosts() {
+    // The same workload at fixed arrival rate finishes sooner on 4 hosts
+    // than on 1 (makespan comparison).
+    let w = WorkloadSpec::azure_sampled(1_200, 39).with_load(8, 1.0).generate();
+    let one = Cluster::new(1, 8).run(Placement::RoundRobin, &w);
+    let four = Cluster::new(4, 8).run(Placement::RoundRobin, &w);
+    let makespan = |r: &sfs_repro::faas::ClusterRun| {
+        r.outcomes.iter().map(|o| o.finished).max().unwrap()
+    };
+    assert!(
+        makespan(&four) < makespan(&one),
+        "4 hosts {} must beat 1 host {}",
+        makespan(&four),
+        makespan(&one)
+    );
+    let mean = |r: &sfs_repro::faas::ClusterRun| {
+        r.outcomes
+            .iter()
+            .map(|o| o.turnaround.as_millis_f64())
+            .sum::<f64>()
+            / r.outcomes.len() as f64
+    };
+    assert!(mean(&four) < mean(&one));
+}
