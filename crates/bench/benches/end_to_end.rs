@@ -1,10 +1,13 @@
-//! Criterion end-to-end benchmarks: simulate a 400-request Azure-sampled
-//! workload per scheduling policy, measuring simulator throughput (how fast
-//! this reproduction regenerates the paper's experiments).
+//! End-to-end benchmarks: simulate a 400-request Azure-sampled workload
+//! per scheduling policy, measuring simulator throughput (how fast this
+//! reproduction regenerates the paper's experiments).
+//!
+//! Uses the in-repo `sfs_bench::timebench` harness (std-only) instead of
+//! criterion. Run with `cargo bench --bench end_to_end`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use sfs_bench::timebench::Harness;
 use sfs_core::{run_baseline, Baseline, SfsConfig, SfsSimulator};
 use sfs_sched::MachineParams;
 use sfs_workload::{Workload, WorkloadSpec};
@@ -13,41 +16,38 @@ const CORES: usize = 8;
 const REQUESTS: usize = 400;
 
 fn workload() -> Workload {
-    WorkloadSpec::azure_sampled(REQUESTS, 42).with_load(CORES, 0.9).generate()
+    WorkloadSpec::azure_sampled(REQUESTS, 42)
+        .with_load(CORES, 0.9)
+        .generate()
 }
 
-fn bench_baselines(c: &mut Criterion) {
+fn bench_baselines(h: &mut Harness) {
     let w = workload();
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
     for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
-        g.bench_with_input(BenchmarkId::new("baseline", b.name()), &b, |bench, &b| {
-            bench.iter(|| black_box(run_baseline(b, CORES, &w)));
+        h.bench(&format!("end_to_end/baseline/{}", b.name()), || {
+            black_box(run_baseline(b, CORES, &w));
         });
     }
-    g.bench_function("sfs", |bench| {
-        bench.iter(|| {
-            let sim = SfsSimulator::new(
-                SfsConfig::new(CORES),
-                MachineParams::linux(CORES),
-                w.clone(),
-            );
-            black_box(sim.run().outcomes.len())
-        });
-    });
-    g.finish();
-}
-
-fn bench_workload_generation(c: &mut Criterion) {
-    c.bench_function("workload/generate_10k", |b| {
-        let spec = WorkloadSpec::azure_sampled(10_000, 7).with_load(16, 0.8);
-        b.iter(|| black_box(spec.generate().len()));
+    h.bench("end_to_end/sfs", || {
+        let sim = SfsSimulator::new(
+            SfsConfig::new(CORES),
+            MachineParams::linux(CORES),
+            w.clone(),
+        );
+        black_box(sim.run().outcomes.len());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_baselines, bench_workload_generation
+fn bench_workload_generation(h: &mut Harness) {
+    let spec = WorkloadSpec::azure_sampled(10_000, 7).with_load(16, 0.8);
+    h.bench("workload/generate_10k", || {
+        black_box(spec.generate().len());
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_baselines(&mut h);
+    bench_workload_generation(&mut h);
+    h.finish();
+}

@@ -1,79 +1,77 @@
-//! Criterion microbenchmarks for the scheduler substrate's hot paths:
+//! Microbenchmarks for the scheduler substrate's hot paths:
 //! CFS runqueue operations at various occupancies, RT queue operations,
 //! time-slice adaptation, and FaaSBench sampling throughput.
+//!
+//! Uses the in-repo `sfs_bench::timebench` harness (std-only; see the
+//! module docs) instead of criterion so the workspace stays
+//! dependency-free. Run with `cargo bench --bench scheduler_micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use sfs_bench::timebench::Harness;
 use sfs_core::{SfsConfig, SliceController};
 use sfs_sched::{CfsRunqueue, Pid, RtRunqueue};
 use sfs_simcore::{SimDuration, SimRng, SimTime};
 use sfs_workload::Table1Sampler;
 
-fn bench_cfs_runqueue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cfs_runqueue");
+fn bench_cfs_runqueue(h: &mut Harness) {
     for &n in &[1_000usize, 10_000, 100_000] {
-        g.bench_with_input(BenchmarkId::new("enqueue_pop", n), &n, |b, &n| {
-            // Pre-build a queue of n tasks; measure one enqueue + pop cycle
-            // against that occupancy.
-            let mut rq = CfsRunqueue::new();
-            for i in 0..n {
-                rq.enqueue(Pid(i as u64), (i as u64) * 1_000, 1024);
-            }
-            let mut v = (n as u64) * 1_000;
-            b.iter(|| {
-                v += 1;
-                rq.enqueue(Pid(u64::MAX), v, 1024);
-                let popped = rq.pop().expect("non-empty");
-                // Reinsert the popped entry to keep occupancy stable.
-                rq.enqueue(popped.1, v + 1, 1024);
-                let back = rq.pop().expect("non-empty");
-                black_box(back);
-            });
+        // Pre-build a queue of n tasks; measure one enqueue + pop cycle
+        // against that occupancy.
+        let mut rq = CfsRunqueue::new();
+        for i in 0..n {
+            rq.enqueue(Pid(i as u64), (i as u64) * 1_000, 1024);
+        }
+        let mut v = (n as u64) * 1_000;
+        h.bench(&format!("cfs_runqueue/enqueue_pop/{n}"), || {
+            v += 1;
+            rq.enqueue(Pid(u64::MAX), v, 1024);
+            let popped = rq.pop().expect("non-empty");
+            // Reinsert the popped entry to keep occupancy stable.
+            rq.enqueue(popped.1, v + 1, 1024);
+            let back = rq.pop().expect("non-empty");
+            black_box(back);
         });
     }
-    g.finish();
 }
 
-fn bench_rt_runqueue(c: &mut Criterion) {
-    c.bench_function("rt_runqueue/push_pop_64prios", |b| {
-        let mut rq = RtRunqueue::new();
-        for i in 0..512u64 {
-            rq.push_back(Pid(i), (i % 64) as u8 + 1);
-        }
-        let mut i = 512u64;
-        b.iter(|| {
-            i += 1;
-            rq.push_back(Pid(i), (i % 64) as u8 + 1);
-            black_box(rq.pop());
-        });
+fn bench_rt_runqueue(h: &mut Harness) {
+    let mut rq = RtRunqueue::new();
+    for i in 0..512u64 {
+        rq.push_back(Pid(i), (i % 64) as u8 + 1);
+    }
+    let mut i = 512u64;
+    h.bench("rt_runqueue/push_pop_64prios", || {
+        i += 1;
+        rq.push_back(Pid(i), (i % 64) as u8 + 1);
+        black_box(rq.pop());
     });
 }
 
-fn bench_timeslice(c: &mut Criterion) {
-    c.bench_function("timeslice/on_arrival_n100", |b| {
-        let cfg = SfsConfig::new(16);
-        let mut sc = SliceController::new(&cfg);
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            t += SimDuration::from_micros(800);
-            sc.on_arrival(t);
-            black_box(sc.current());
-        });
+fn bench_timeslice(h: &mut Harness) {
+    let cfg = SfsConfig::new(16);
+    let mut sc = SliceController::new(&cfg);
+    let mut t = SimTime::ZERO;
+    h.bench("timeslice/on_arrival", || {
+        t += SimDuration::from_micros(800);
+        sc.on_arrival(t);
+        black_box(sc.current());
     });
 }
 
-fn bench_workload_gen(c: &mut Criterion) {
-    c.bench_function("faasbench/table1_sample", |b| {
-        let s = Table1Sampler::new();
-        let mut rng = SimRng::seed_from_u64(1);
-        b.iter(|| black_box(s.sample_ms(&mut rng)));
+fn bench_workload_gen(h: &mut Harness) {
+    let s = Table1Sampler::new();
+    let mut rng = SimRng::seed_from_u64(1);
+    h.bench("faasbench/table1_sample", || {
+        black_box(s.sample_ms(&mut rng));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cfs_runqueue, bench_rt_runqueue, bench_timeslice, bench_workload_gen
+fn main() {
+    let mut h = Harness::from_args();
+    bench_cfs_runqueue(&mut h);
+    bench_rt_runqueue(&mut h);
+    bench_timeslice(&mut h);
+    bench_workload_gen(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

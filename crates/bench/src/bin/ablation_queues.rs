@@ -17,11 +17,22 @@ const CORES: usize = 16;
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Ablation", "global queue vs per-worker queues @90% load", n, seed);
+    banner(
+        "Ablation",
+        "global queue vs per-worker queues @90% load",
+        n,
+        seed,
+    );
 
-    let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, 0.9).generate();
-    let global = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
-        .run();
+    let w = WorkloadSpec::azure_sampled(n, seed)
+        .with_load(CORES, 0.9)
+        .generate();
+    let global = SfsSimulator::new(
+        SfsConfig::new(CORES),
+        MachineParams::linux(CORES),
+        w.clone(),
+    )
+    .run();
     let per = SfsSimulator::new(
         SfsConfig::new(CORES).per_worker_queues(),
         MachineParams::linux(CORES),
@@ -53,6 +64,10 @@ fn main() {
     section("duration CDF (log-x)");
     println!(
         "{}",
-        cdf_chart(&[("global", g.as_slice()), ("per-worker", p.as_slice())], 64, 14)
+        cdf_chart(
+            &[("global", g.as_slice()), ("per-worker", p.as_slice())],
+            64,
+            14
+        )
     );
 }

@@ -15,12 +15,23 @@ const CORES: usize = 16;
 fn main() {
     let n = sfs_bench::n_requests(20_000);
     let seed = sfs_bench::seed();
-    banner("Breakdown", "SFS vs CFS speedup per Table-I duration bucket", n, seed);
+    banner(
+        "Breakdown",
+        "SFS vs CFS speedup per Table-I duration bucket",
+        n,
+        seed,
+    );
 
-    let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, 1.0).generate();
-    let sfs = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
-        .run()
-        .outcomes;
+    let w = WorkloadSpec::azure_sampled(n, seed)
+        .with_load(CORES, 1.0)
+        .generate();
+    let sfs = SfsSimulator::new(
+        SfsConfig::new(CORES),
+        MachineParams::linux(CORES),
+        w.clone(),
+    )
+    .run()
+    .outcomes;
     let cfs = run_baseline(Baseline::Cfs, CORES, &w);
 
     let mut table = MarkdownTable::new(&[
@@ -44,10 +55,14 @@ fn main() {
             continue;
         }
         let mut s_p = Samples::from_vec(
-            idx.iter().map(|&i| sfs[i].turnaround.as_millis_f64()).collect(),
+            idx.iter()
+                .map(|&i| sfs[i].turnaround.as_millis_f64())
+                .collect(),
         );
         let mut c_p = Samples::from_vec(
-            idx.iter().map(|&i| cfs[i].turnaround.as_millis_f64()).collect(),
+            idx.iter()
+                .map(|&i| cfs[i].turnaround.as_millis_f64())
+                .collect(),
         );
         let mut speedups: Vec<f64> = idx
             .iter()

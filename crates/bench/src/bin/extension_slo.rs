@@ -17,7 +17,12 @@ const CORES: usize = 16;
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Extension: SLO", "paper-proposed SLO attainment by scheduler", n, seed);
+    banner(
+        "Extension: SLO",
+        "paper-proposed SLO attainment by scheduler",
+        n,
+        seed,
+    );
 
     let mut table = MarkdownTable::new(&[
         "scheduler",
@@ -28,12 +33,18 @@ fn main() {
     ]);
 
     for &load in &[0.8, 1.0] {
-        let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, load).generate();
+        let w = WorkloadSpec::azure_sampled(n, seed)
+            .with_load(CORES, load)
+            .generate();
         let mut runs: Vec<(&str, Vec<RequestOutcome>)> = vec![(
             "SFS",
-            SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
-                .run()
-                .outcomes,
+            SfsSimulator::new(
+                SfsConfig::new(CORES),
+                MachineParams::linux(CORES),
+                w.clone(),
+            )
+            .run()
+            .outcomes,
         )];
         for b in [Baseline::Srtf, Baseline::Cfs, Baseline::Rr, Baseline::Fifo] {
             runs.push((b.name(), run_baseline(b, CORES, &w)));

@@ -35,7 +35,10 @@ fn main() {
 
     section("duration CDF (log-x)");
     let values = pop.raw().to_vec();
-    println!("{}", cdf_chart(&[("azure durations (ms)", &values)], 64, 16));
+    println!(
+        "{}",
+        cdf_chart(&[("azure durations (ms)", &values)], 64, 16)
+    );
 
     let cdf = pop.cdf(200);
     save("fig01_azure_cdf.csv", &cdf.to_csv());

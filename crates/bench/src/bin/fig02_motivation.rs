@@ -16,7 +16,12 @@ const CORES: usize = 12;
 fn main() {
     let n = sfs_bench::n_requests(49_712);
     let seed = sfs_bench::seed();
-    banner("Fig. 2", "Linux schedulers vs SRTF vs IDEAL on 12 cores", n, seed);
+    banner(
+        "Fig. 2",
+        "Linux schedulers vs SRTF vs IDEAL on 12 cores",
+        n,
+        seed,
+    );
 
     let mut duration_report = CdfReport::new("duration_ms");
     let mut rte_report = CdfReport::new("rte");
@@ -24,7 +29,9 @@ fn main() {
     let mut chart_series: Vec<(String, Vec<f64>)> = Vec::new();
 
     for &load in &[0.8, 1.0] {
-        let w = WorkloadSpec::azure_replay(n, seed).with_load(CORES, load).generate();
+        let w = WorkloadSpec::azure_replay(n, seed)
+            .with_load(CORES, load)
+            .generate();
         for b in [Baseline::Srtf, Baseline::Cfs, Baseline::Fifo, Baseline::Rr] {
             let out = run_baseline(b, CORES, &w);
             let label = format!("{} {:.0}%", b.name(), load * 100.0);

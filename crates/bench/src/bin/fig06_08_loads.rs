@@ -17,7 +17,12 @@ const LOADS: [f64; 5] = [0.5, 0.65, 0.8, 0.9, 1.0];
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Fig. 6-8", "standalone SFS vs CFS across loads (16 vCPUs)", n, seed);
+    banner(
+        "Fig. 6-8",
+        "standalone SFS vs CFS across loads (16 vCPUs)",
+        n,
+        seed,
+    );
 
     let mut dur_report = CdfReport::new("duration_ms");
     let mut rte_report = CdfReport::new("rte");
@@ -27,9 +32,15 @@ fn main() {
     let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
 
     for &load in &LOADS {
-        let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, load).generate();
-        let sfs = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
-            .run();
+        let w = WorkloadSpec::azure_sampled(n, seed)
+            .with_load(CORES, load)
+            .generate();
+        let sfs = SfsSimulator::new(
+            SfsConfig::new(CORES),
+            MachineParams::linux(CORES),
+            w.clone(),
+        )
+        .run();
         let cfs = run_baseline(Baseline::Cfs, CORES, &w);
 
         for (name, outs) in [("SFS", &sfs.outcomes), ("CFS", &cfs)] {
@@ -92,6 +103,9 @@ fn main() {
     println!("{}", medians.to_markdown());
 
     section("duration CDF at 80%/100% (log-x)");
-    let refs: Vec<(&str, &[f64])> = chart.iter().map(|(l, v)| (l.as_str(), v.as_slice())).collect();
+    let refs: Vec<(&str, &[f64])> = chart
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
     println!("{}", cdf_chart(&refs, 64, 16));
 }

@@ -15,17 +15,30 @@ const CORES: usize = 16;
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Fig. 9", "adaptive vs fixed FILTER time slices @80% load", n, seed);
+    banner(
+        "Fig. 9",
+        "adaptive vs fixed FILTER time slices @80% load",
+        n,
+        seed,
+    );
 
-    let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, 0.8).generate();
+    let w = WorkloadSpec::azure_sampled(n, seed)
+        .with_load(CORES, 0.8)
+        .generate();
     let mut report = CdfReport::new("duration_ms");
     let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
 
     let variants: Vec<(String, SfsConfig)> = vec![
         ("SFS".into(), SfsConfig::new(CORES)),
         ("SFS 50".into(), SfsConfig::new(CORES).with_fixed_slice(50)),
-        ("SFS 100".into(), SfsConfig::new(CORES).with_fixed_slice(100)),
-        ("SFS 200".into(), SfsConfig::new(CORES).with_fixed_slice(200)),
+        (
+            "SFS 100".into(),
+            SfsConfig::new(CORES).with_fixed_slice(100),
+        ),
+        (
+            "SFS 200".into(),
+            SfsConfig::new(CORES).with_fixed_slice(200),
+        ),
     ];
     for (label, cfg) in variants {
         let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
@@ -45,6 +58,9 @@ fn main() {
     save("fig09_timeslice_cdf.csv", &report.to_csv());
 
     section("duration CDF (log-x)");
-    let refs: Vec<(&str, &[f64])> = chart.iter().map(|(l, v)| (l.as_str(), v.as_slice())).collect();
+    let refs: Vec<(&str, &[f64])> = chart
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
     println!("{}", cdf_chart(&refs, 64, 16));
 }

@@ -18,7 +18,12 @@ const CORES: usize = 16;
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Fig. 11", "I/O handling: polling intervals vs oblivious", n, seed);
+    banner(
+        "Fig. 11",
+        "I/O handling: polling intervals vs oblivious",
+        n,
+        seed,
+    );
 
     // The paper replays the Azure-sampled (bursty) arrival pattern here;
     // burstiness matters because the adaptive slice S dips during spikes,
@@ -41,7 +46,10 @@ fn main() {
         // the oblivious variant burns whole slices on sleeping functions —
         // the mechanism behind the paper's Fig. 11 gap. See EXPERIMENTS.md.
         ("SFS 50ms aware", poll_cfg(4).with_fixed_slice(50)),
-        ("SFS 50ms oblivious", SfsConfig::new(CORES).io_oblivious().with_fixed_slice(50)),
+        (
+            "SFS 50ms oblivious",
+            SfsConfig::new(CORES).io_oblivious().with_fixed_slice(50),
+        ),
     ] {
         let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
         let io_blocks: u32 = r.outcomes.iter().map(|o| o.io_blocks).sum();
@@ -61,7 +69,10 @@ fn main() {
     save("fig11_io_cdf.csv", &report.to_csv());
 
     section("duration CDF (log-x)");
-    let refs: Vec<(&str, &[f64])> = chart.iter().map(|(l, v)| (l.as_str(), v.as_slice())).collect();
+    let refs: Vec<(&str, &[f64])> = chart
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
     println!("{}", cdf_chart(&refs, 64, 16));
 }
 

@@ -17,7 +17,12 @@ const CORES: usize = 16;
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Fig. 12", "hybrid overload handling under 5 arrival spikes", n, seed);
+    banner(
+        "Fig. 12",
+        "hybrid overload handling under 5 arrival spikes",
+        n,
+        seed,
+    );
 
     let mut spec = WorkloadSpec::azure_sampled(n, seed);
     spec.iat = IatSpec::Bursty {
@@ -26,8 +31,12 @@ fn main() {
     };
     let w = spec.with_load(CORES, 0.85).generate();
 
-    let hybrid = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
-        .run();
+    let hybrid = SfsSimulator::new(
+        SfsConfig::new(CORES),
+        MachineParams::linux(CORES),
+        w.clone(),
+    )
+    .run();
     let pure = SfsSimulator::new(
         SfsConfig::new(CORES).without_hybrid(),
         MachineParams::linux(CORES),
@@ -43,7 +52,11 @@ fn main() {
             .iter()
             .map(|&(t, v)| (t.as_secs_f64(), v))
             .collect();
-        println!("{label}: peak {:.2}s mean {:.3}s", r.queue_delay_series.max_value(), r.queue_delay_series.mean_value());
+        println!(
+            "{label}: peak {:.2}s mean {:.3}s",
+            r.queue_delay_series.max_value(),
+            r.queue_delay_series.mean_value()
+        );
         println!("{}", timeline_chart(&pts, 72, 10));
     }
     println!(
@@ -59,12 +72,22 @@ fn main() {
     report.push("SFS w/o hybrid", p.clone());
     println!("{}", report.to_markdown());
     save("fig12b_duration_cdf.csv", &report.to_csv());
-    save("fig12a_queue_delay_sfs.csv", &hybrid.queue_delay_series.to_csv());
-    save("fig12a_queue_delay_pure.csv", &pure.queue_delay_series.to_csv());
+    save(
+        "fig12a_queue_delay_sfs.csv",
+        &hybrid.queue_delay_series.to_csv(),
+    );
+    save(
+        "fig12a_queue_delay_pure.csv",
+        &pure.queue_delay_series.to_csv(),
+    );
 
     section("duration CDF (log-x)");
     println!(
         "{}",
-        cdf_chart(&[("SFS", h.as_slice()), ("SFS w/o hybrid", p.as_slice())], 64, 16)
+        cdf_chart(
+            &[("SFS", h.as_slice()), ("SFS w/o hybrid", p.as_slice())],
+            64,
+            16
+        )
     );
 }

@@ -10,7 +10,9 @@
 use sfs_bench::{banner, rtes, save, section, turnarounds_ms};
 use sfs_core::{Baseline, RequestOutcome, SfsConfig};
 use sfs_faas::{HostScheduler, OpenLambda, OpenLambdaParams};
-use sfs_metrics::{cdf_chart, ctx_switch_ratios, CdfReport, MarkdownTable, Paired, PercentileTable};
+use sfs_metrics::{
+    cdf_chart, ctx_switch_ratios, CdfReport, MarkdownTable, Paired, PercentileTable,
+};
 use sfs_simcore::Samples;
 use sfs_workload::{IatSpec, Spike, WorkloadSpec};
 
@@ -20,13 +22,19 @@ const LOADS: [f64; 3] = [0.8, 0.9, 1.0];
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Fig. 13-16", "OpenLambda end-to-end, 72 cores, fib+md+sa", n, seed);
+    banner(
+        "Fig. 13-16",
+        "OpenLambda end-to-end, 72 cores, fib+md+sa",
+        n,
+        seed,
+    );
 
     let ol = OpenLambda::new(OpenLambdaParams::default());
     let mut dur_report = CdfReport::new("duration_ms");
     let mut rte_report = CdfReport::new("rte");
     let mut pct = PercentileTable::new();
-    let mut speedups = MarkdownTable::new(&["load", "OL+SFS p99 (ms)", "OL+CFS p99 (ms)", "p99 speedup"]);
+    let mut speedups =
+        MarkdownTable::new(&["load", "OL+SFS p99 (ms)", "OL+CFS p99 (ms)", "p99 speedup"]);
     let mut ratio_summary = MarkdownTable::new(&[
         "load",
         "requests with CFS > SFS switches",
@@ -115,7 +123,10 @@ fn main() {
     println!("{}", ratio_summary.to_markdown());
 
     section("duration CDF at 100% (log-x)");
-    let refs: Vec<(&str, &[f64])> = chart.iter().map(|(l, v)| (l.as_str(), v.as_slice())).collect();
+    let refs: Vec<(&str, &[f64])> = chart
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
     println!("{}", cdf_chart(&refs, 64, 16));
 }
 

@@ -18,12 +18,23 @@ const CORES: usize = 16;
 fn main() {
     let n = sfs_bench::n_requests(49_712);
     let seed = sfs_bench::seed();
-    banner("Headline", "83% improved 49.6x / 17% run 1.29x longer", n, seed);
+    banner(
+        "Headline",
+        "83% improved 49.6x / 17% run 1.29x longer",
+        n,
+        seed,
+    );
 
-    let w = WorkloadSpec::azure_sampled(n, seed).with_load(CORES, 1.0).generate();
-    let sfs = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
-        .run()
-        .outcomes;
+    let w = WorkloadSpec::azure_sampled(n, seed)
+        .with_load(CORES, 1.0)
+        .generate();
+    let sfs = SfsSimulator::new(
+        SfsConfig::new(CORES),
+        MachineParams::linux(CORES),
+        w.clone(),
+    )
+    .run()
+    .outcomes;
     let cfs = run_baseline(Baseline::Cfs, CORES, &w);
 
     let pairs: Vec<Paired> = sfs

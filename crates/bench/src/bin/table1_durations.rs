@@ -9,7 +9,12 @@ use sfs_workload::{Table1Sampler, TABLE1};
 fn main() {
     let n = sfs_bench::n_requests(200_000);
     let seed = sfs_bench::seed();
-    banner("Table I", "duration-range probabilities and fib N mapping", n, seed);
+    banner(
+        "Table I",
+        "duration-range probabilities and fib N mapping",
+        n,
+        seed,
+    );
 
     let sampler = Table1Sampler::new();
     let mut rng = SimRng::seed_from_u64(seed);

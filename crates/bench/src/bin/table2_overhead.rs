@@ -23,10 +23,17 @@ const CORES: usize = 72;
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
-    banner("Table II", "SFS CPU overhead by polling interval (72 cores)", n, seed);
+    banner(
+        "Table II",
+        "SFS CPU overhead by polling interval (72 cores)",
+        n,
+        seed,
+    );
 
     // I/O-heavy mix so the blocked-set polling is exercised like the OL run.
-    let w = WorkloadSpec::openlambda(n, seed).with_load(CORES, 0.9).generate();
+    let w = WorkloadSpec::openlambda(n, seed)
+        .with_load(CORES, 0.9)
+        .generate();
 
     let poll_cost = SimDuration::from_micros(120);
     let action_cost = SimDuration::from_micros(150);
@@ -59,16 +66,26 @@ fn main() {
     save("table2_overhead.csv", &t.to_csv());
 
     section("live /proc poll cost on this machine");
-    let live = sfs_host::measure_poll_cost(2_000);
-    println!(
-        "one status poll: {:.1} us ({} per second per monitored task at 4 ms)",
-        live.as_secs_f64() * 1e6,
-        250
-    );
-    println!(
-        "implied overhead for 72 monitored tasks at 4 ms: {:.2}% of one core x 72 = {:.2}% of the machine",
-        // 72 tasks * 250 polls/s * cost, relative to one core
-        72.0 * 250.0 * live.as_secs_f64() * 100.0,
-        72.0 * 250.0 * live.as_secs_f64() * 100.0 / 72.0
-    );
+    #[cfg(all(feature = "host-linux", target_os = "linux"))]
+    {
+        let live = sfs_host::measure_poll_cost(2_000);
+        println!(
+            "one status poll: {:.1} us ({} per second per monitored task at 4 ms)",
+            live.as_secs_f64() * 1e6,
+            250
+        );
+        println!(
+            "implied overhead for 72 monitored tasks at 4 ms: {:.2}% of one core x 72 = {:.2}% of the machine",
+            // 72 tasks * 250 polls/s * cost, relative to one core
+            72.0 * 250.0 * live.as_secs_f64() * 100.0,
+            72.0 * 250.0 * live.as_secs_f64() * 100.0 / 72.0
+        );
+    }
+    #[cfg(not(all(feature = "host-linux", target_os = "linux")))]
+    {
+        println!(
+            "skipped: build with `--features host-linux` on a Linux host to \
+             measure the real /proc poll cost"
+        );
+    }
 }

@@ -11,6 +11,8 @@
 //! Scale knobs come from the environment so CI and laptops can downsize:
 //! `SFS_BENCH_REQUESTS` (default figure-specific), `SFS_BENCH_SEED`.
 
+pub mod timebench;
+
 use sfs_core::RequestOutcome;
 use sfs_simcore::SimDuration;
 
@@ -104,7 +106,12 @@ mod tests {
 
     #[test]
     fn split_uses_table1_boundary() {
-        let outs = vec![outcome(100, 200), outcome(1549, 2000), outcome(1550, 1600), outcome(3000, 3000)];
+        let outs = vec![
+            outcome(100, 200),
+            outcome(1549, 2000),
+            outcome(1550, 1600),
+            outcome(3000, 3000),
+        ];
         let (s, l) = split_short_long(&outs);
         assert_eq!(s.len(), 2);
         assert_eq!(l.len(), 2);

@@ -1,0 +1,152 @@
+//! Minimal wall-clock benchmarking harness (criterion stand-in).
+//!
+//! The workspace builds hermetically with no external crates, so the
+//! `benches/` targets use this std-only harness instead of criterion:
+//! each benchmark auto-calibrates a batch size, runs a fixed number of
+//! timed batches, and reports median / p10 / p90 nanoseconds per
+//! iteration. Invoke with `cargo bench` (the targets set
+//! `harness = false`) — an optional CLI argument filters benchmarks by
+//! substring, mirroring criterion's behaviour.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 25;
+
+/// Measured distribution of per-iteration cost.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration across batches.
+    pub median_ns: f64,
+    /// 10th percentile ns/iter.
+    pub p10_ns: f64,
+    /// 90th percentile ns/iter.
+    pub p90_ns: f64,
+    /// Iterations per timed batch after calibration.
+    pub batch_iters: u64,
+}
+
+/// A named group of benchmarks, printed as an aligned report.
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+impl Harness {
+    /// Build a harness, taking an optional substring filter from argv.
+    pub fn from_args() -> Harness {
+        let filter = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+        Harness { filter, ran: 0 }
+    }
+
+    /// Run one benchmark: `f` is the operation to time, called repeatedly.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if let Some(ref pat) = self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
+        let m = measure(&mut f);
+        self.ran += 1;
+        println!(
+            "{name:<44} {:>12}/iter  (p10 {}, p90 {}, {} iters/batch)",
+            fmt_ns(m.median_ns),
+            fmt_ns(m.p10_ns),
+            fmt_ns(m.p90_ns),
+            m.batch_iters
+        );
+    }
+
+    /// Print a trailing summary; call once at the end of `main`.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            println!("(no benchmarks matched the filter)");
+        }
+    }
+}
+
+/// Calibration ceiling: give up growing the batch past this many
+/// iterations (guards against closures the optimizer deletes entirely).
+const MAX_BATCH_ITERS: u64 = 1 << 30;
+
+/// Time `f`, returning the per-iteration cost distribution.
+pub fn measure<F: FnMut()>(f: &mut F) -> Measurement {
+    // Calibrate: grow the batch until it runs for at least BATCH_TARGET.
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_batch(f, iters);
+        if t >= BATCH_TARGET || iters >= MAX_BATCH_ITERS {
+            break;
+        }
+        // Aim straight for the target with 2x headroom, at least doubling.
+        let scale = BATCH_TARGET.as_secs_f64() / t.as_secs_f64().max(1e-9);
+        iters = (iters as f64 * scale.max(1.0) * 2.0).min(MAX_BATCH_ITERS as f64) as u64;
+        iters = iters.max(2);
+    }
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| time_batch(f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let pick = |q: f64| per_iter[((per_iter.len() - 1) as f64 * q).round() as usize];
+    Measurement {
+        median_ns: pick(0.5),
+        p10_ns: pick(0.1),
+        p90_ns: pick(0.9),
+        batch_iters: iters,
+    }
+}
+
+fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> Duration {
+    // Callers are expected to `black_box` their own results inside `f`
+    // (the compiler cannot see through the FnMut boundary anyway).
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_ordered_quantiles() {
+        let mut x = 0u64;
+        let mut f = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        };
+        let m = measure(&mut f);
+        assert!(m.p10_ns <= m.median_ns && m.median_ns <= m.p90_ns);
+        assert!(m.median_ns > 0.0);
+        assert!(m.batch_iters >= 1);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1_200.0), "1.20us");
+        assert_eq!(fmt_ns(3_400_000.0), "3.40ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.00s");
+    }
+}

@@ -150,12 +150,8 @@ impl Cluster {
             let sub = Workload {
                 requests: idxs.iter().map(|&i| workload.requests[i].clone()).collect(),
             };
-            let r = SfsSimulator::new(
-                self.sfs,
-                MachineParams::linux(self.cores_per_host),
-                sub,
-            )
-            .run();
+            let r =
+                SfsSimulator::new(self.sfs, MachineParams::linux(self.cores_per_host), sub).run();
             outcomes.extend(r.outcomes);
         }
         outcomes.sort_by_key(|o| o.id);

@@ -144,7 +144,10 @@ mod tests {
         let out = s.process(&arrivals, &mut rng);
         for (a, e) in arrivals.iter().zip(out.iter()) {
             let d = (*e - *a).as_millis_f64();
-            assert!((5.0..=15.0).contains(&d), "jittered service {d}ms out of ±50%");
+            assert!(
+                (5.0..=15.0).contains(&d),
+                "jittered service {d}ms out of ±50%"
+            );
         }
     }
 

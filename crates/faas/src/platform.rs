@@ -106,7 +106,12 @@ impl OpenLambda {
         let mut rng = SimRng::seed_from_u64(p.seed);
         let pipeline = Pipeline::new()
             .stage(Stage::new("gateway", 1_024, p.gateway_latency, p.jitter))
-            .stage(Stage::new("ol-worker", p.ol_workers, p.ol_worker_overhead, p.jitter))
+            .stage(Stage::new(
+                "ol-worker",
+                p.ol_workers,
+                p.ol_worker_overhead,
+                p.jitter,
+            ))
             .stage(Stage::new(
                 "sandbox",
                 p.sandbox_servers,
@@ -199,7 +204,9 @@ mod tests {
     use sfs_workload::WorkloadSpec;
 
     fn small_workload() -> Workload {
-        WorkloadSpec::openlambda(600, 77).with_load(8, 0.8).generate()
+        WorkloadSpec::openlambda(600, 77)
+            .with_load(8, 0.8)
+            .generate()
     }
 
     #[test]
@@ -244,7 +251,9 @@ mod tests {
     fn sfs_still_beats_cfs_behind_the_platform() {
         // Fig. 13's qualitative claim at high load.
         let ol = OpenLambda::new(OpenLambdaParams::default());
-        let w = WorkloadSpec::openlambda(1_200, 99).with_load(8, 1.0).generate();
+        let w = WorkloadSpec::openlambda(1_200, 99)
+            .with_load(8, 1.0)
+            .generate();
         let sfs = ol.run(HostScheduler::Sfs(SfsConfig::new(8)), 8, &w);
         let cfs = ol.run(HostScheduler::Kernel(Baseline::Cfs), 8, &w);
         let mean = |v: &[RequestOutcome]| {
@@ -263,7 +272,9 @@ mod tests {
         // Even under SFS at low load, RTE < 1 because the pipeline adds
         // non-CPU latency ("overheads diminished the performance benefits").
         let ol = OpenLambda::new(OpenLambdaParams::default());
-        let w = WorkloadSpec::openlambda(300, 101).with_load(8, 0.5).generate();
+        let w = WorkloadSpec::openlambda(300, 101)
+            .with_load(8, 0.5)
+            .generate();
         let out = ol.run(HostScheduler::Sfs(SfsConfig::new(8)), 8, &w);
         let short = out
             .iter()

@@ -136,7 +136,9 @@ fn burn_cpu(d: Duration) {
     while start.elapsed() < d {
         // A few hundred ns of real work per check keeps syscall overhead nil.
         for _ in 0..2_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         std::hint::black_box(x);
     }

@@ -1,26 +1,47 @@
 //! # sfs-host — live-Linux scheduling backend
 //!
 //! The real-OS counterpart of the simulator: the repro target's
-//! `schedtool`/`gopsutil` toolchain rebuilt on `libc`:
+//! `schedtool`/`gopsutil` toolchain rebuilt on hand-written Linux FFI:
 //!
-//! * [`sys`] — `sched_setscheduler(2)` / `setpriority(2)` /
+//! * `sys` — `sched_setscheduler(2)` / `setpriority(2)` /
 //!   `sched_setaffinity(2)` wrappers and `/proc/<tid>/stat` parsing;
-//! * [`function`] — calibrated busy-loop "function" threads;
-//! * [`live`] — a demo-grade live SFS (FILTER promote → slice → demote),
+//! * `function` — calibrated busy-loop "function" threads;
+//! * `live` — a demo-grade live SFS (FILTER promote → slice → demote),
 //!   with a `nice`-based fallback when CAP_SYS_NICE is unavailable, and the
 //!   Table-II poll-cost measurement.
 //!
 //! Figures are generated from the deterministic simulator; this crate
 //! demonstrates that the mechanism drives a real kernel and measures the
 //! real polling overhead.
+//!
+//! ## Feature gating
+//!
+//! Everything in this crate needs Linux scheduler syscalls, so the whole
+//! backend sits behind the off-by-default `host-linux` cargo feature (and
+//! compiles only on `target_os = "linux"`). The default build is an empty,
+//! hermetic shell: consumers such as the `table2_overhead` bench binary
+//! and the `live_host` example probe the feature and degrade gracefully.
+//! Enable with e.g. `cargo test -p sfs-host --features host-linux`.
 
+#[cfg(all(feature = "host-linux", target_os = "linux"))]
 pub mod function;
+#[cfg(all(feature = "host-linux", target_os = "linux"))]
 pub mod live;
+#[cfg(all(feature = "host-linux", target_os = "linux"))]
 pub mod sys;
 
+#[cfg(all(feature = "host-linux", target_os = "linux"))]
 pub use function::{LiveFunction, LiveOutcome, LiveSpec};
+#[cfg(all(feature = "host-linux", target_os = "linux"))]
 pub use live::{measure_poll_cost, run_live_sfs, LiveRun, LiveSfsConfig, PriorityLever};
+#[cfg(all(feature = "host-linux", target_os = "linux"))]
 pub use sys::{
-    gettid, get_policy, parse_stat_line, pin_to_cpu, probe_rt_permission, read_thread_stat,
+    get_policy, gettid, parse_stat_line, pin_to_cpu, probe_rt_permission, read_thread_stat,
     set_policy, HostPolicy, ThreadStat, Tid,
 };
+
+/// Whether the live backend is compiled into this build.
+///
+/// `false` means the crate was built without the `host-linux` feature (or
+/// for a non-Linux target) and none of the live APIs exist.
+pub const LIVE_BACKEND_AVAILABLE: bool = cfg!(all(feature = "host-linux", target_os = "linux"));

@@ -6,17 +6,87 @@
 //! process lacks `CAP_SYS_NICE` (as on a typical developer machine):
 //! [`probe_rt_permission`] reports whether FIFO promotion is possible, and
 //! callers fall back to `nice`-based priorities.
+//!
+//! The FFI surface is declared by hand (private module `ffi`) instead of
+//! pulling in the `libc` crate, so the workspace builds with no external
+//! dependencies; `std` already links the C library these symbols live in.
 
 use std::fs;
 use std::io;
 
+/// Private FFI declarations for the five C-library entry points this
+/// module needs. Linux-only by construction (the whole crate is gated on
+/// the `host-linux` feature and `target_os = "linux"`).
+mod ffi {
+    use std::ffi::{c_int, c_long, c_uint};
+
+    /// Matches glibc's `struct sched_param`.
+    #[repr(C)]
+    pub struct SchedParam {
+        pub sched_priority: c_int,
+    }
+
+    /// Matches glibc's `cpu_set_t`: a 1024-bit CPU mask.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct CpuSet {
+        pub bits: [u64; 16],
+    }
+
+    impl CpuSet {
+        pub fn empty() -> CpuSet {
+            CpuSet { bits: [0; 16] }
+        }
+
+        pub fn set(&mut self, cpu: usize) {
+            if cpu < 1024 {
+                self.bits[cpu / 64] |= 1u64 << (cpu % 64);
+            }
+        }
+    }
+
+    pub const SCHED_OTHER: c_int = 0;
+    pub const SCHED_FIFO: c_int = 1;
+    pub const PRIO_PROCESS: c_int = 0;
+
+    #[cfg(target_arch = "x86_64")]
+    pub const SYS_GETTID: c_long = 186;
+    #[cfg(target_arch = "aarch64")]
+    pub const SYS_GETTID: c_long = 178;
+
+    extern "C" {
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        pub fn syscall(num: c_long, ...) -> c_long;
+        /// glibc wrapper, used where the gettid syscall number is unknown.
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        pub fn gettid() -> c_int;
+        pub fn sched_setscheduler(pid: c_int, policy: c_int, param: *const SchedParam) -> c_int;
+        pub fn sched_getscheduler(pid: c_int) -> c_int;
+        pub fn setpriority(which: c_int, who: c_uint, prio: c_int) -> c_int;
+        pub fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const CpuSet) -> c_int;
+    }
+}
+
 /// Linux thread id.
-pub type Tid = libc::pid_t;
+pub type Tid = i32;
+
+/// `SCHED_OTHER` (CFS), as returned by [`get_policy`].
+pub const SCHED_OTHER: i32 = ffi::SCHED_OTHER;
+/// `SCHED_FIFO` (real-time), as returned by [`get_policy`].
+pub const SCHED_FIFO: i32 = ffi::SCHED_FIFO;
 
 /// The calling thread's kernel tid.
 pub fn gettid() -> Tid {
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
     // SAFETY: gettid has no preconditions and cannot fail.
-    unsafe { libc::syscall(libc::SYS_gettid) as Tid }
+    unsafe {
+        ffi::syscall(ffi::SYS_GETTID) as Tid
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    // SAFETY: as above, via the glibc wrapper.
+    unsafe {
+        ffi::gettid() as Tid
+    }
 }
 
 /// Scheduling policy to apply to a live thread.
@@ -36,12 +106,12 @@ pub enum HostPolicy {
 pub fn set_policy(tid: Tid, policy: HostPolicy) -> io::Result<()> {
     match policy {
         HostPolicy::Fifo(prio) => {
-            let param = libc::sched_param {
-                sched_priority: prio.clamp(1, 99) as libc::c_int,
+            let param = ffi::SchedParam {
+                sched_priority: prio.clamp(1, 99) as i32,
             };
             // SAFETY: param is a valid sched_param; tid is a live thread id
             // (or 0 for self); the kernel validates everything else.
-            let rc = unsafe { libc::sched_setscheduler(tid, libc::SCHED_FIFO, &param) };
+            let rc = unsafe { ffi::sched_setscheduler(tid, ffi::SCHED_FIFO, &param) };
             if rc == 0 {
                 Ok(())
             } else {
@@ -49,9 +119,9 @@ pub fn set_policy(tid: Tid, policy: HostPolicy) -> io::Result<()> {
             }
         }
         HostPolicy::Normal => {
-            let param = libc::sched_param { sched_priority: 0 };
+            let param = ffi::SchedParam { sched_priority: 0 };
             // SAFETY: as above.
-            let rc = unsafe { libc::sched_setscheduler(tid, libc::SCHED_OTHER, &param) };
+            let rc = unsafe { ffi::sched_setscheduler(tid, ffi::SCHED_OTHER, &param) };
             if rc == 0 {
                 Ok(())
             } else {
@@ -61,9 +131,7 @@ pub fn set_policy(tid: Tid, policy: HostPolicy) -> io::Result<()> {
         HostPolicy::Nice(n) => {
             // SAFETY: setpriority with PRIO_PROCESS and a tid is the
             // documented way to renice a single thread on Linux.
-            let rc = unsafe {
-                libc::setpriority(libc::PRIO_PROCESS, tid as libc::id_t, n as libc::c_int)
-            };
+            let rc = unsafe { ffi::setpriority(ffi::PRIO_PROCESS, tid as u32, n as i32) };
             if rc == 0 {
                 Ok(())
             } else {
@@ -76,7 +144,7 @@ pub fn set_policy(tid: Tid, policy: HostPolicy) -> io::Result<()> {
 /// The policy a thread currently runs under, as reported by the kernel.
 pub fn get_policy(tid: Tid) -> io::Result<i32> {
     // SAFETY: no memory is passed; the kernel validates tid.
-    let rc = unsafe { libc::sched_getscheduler(tid) };
+    let rc = unsafe { ffi::sched_getscheduler(tid) };
     if rc >= 0 {
         Ok(rc)
     } else {
@@ -87,18 +155,14 @@ pub fn get_policy(tid: Tid) -> io::Result<i32> {
 /// Pin a thread to one CPU (used by tests/examples to create contention on
 /// a single core deterministically).
 pub fn pin_to_cpu(tid: Tid, cpu: usize) -> io::Result<()> {
-    // SAFETY: cpu_set_t is POD; CPU_ZERO/CPU_SET initialise it fully before
-    // the kernel reads it.
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        libc::CPU_SET(cpu, &mut set);
-        let rc = libc::sched_setaffinity(tid, std::mem::size_of::<libc::cpu_set_t>(), &set);
-        if rc == 0 {
-            Ok(())
-        } else {
-            Err(io::Error::last_os_error())
-        }
+    let mut set = ffi::CpuSet::empty();
+    set.set(cpu);
+    // SAFETY: set is fully initialised and outlives the call.
+    let rc = unsafe { ffi::sched_setaffinity(tid, std::mem::size_of::<ffi::CpuSet>(), &set) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
     }
 }
 
@@ -210,8 +274,18 @@ mod tests {
 
     #[test]
     fn sleeping_states_cover_s_and_d() {
-        for (ch, sleeping) in [('S', true), ('D', true), ('R', false), ('Z', false), ('T', false)] {
-            let st = ThreadStat { state: ch, utime_ticks: 0, stime_ticks: 0 };
+        for (ch, sleeping) in [
+            ('S', true),
+            ('D', true),
+            ('R', false),
+            ('Z', false),
+            ('T', false),
+        ] {
+            let st = ThreadStat {
+                state: ch,
+                utime_ticks: 0,
+                stime_ticks: 0,
+            };
             assert_eq!(st.is_sleeping(), sleeping, "state {ch}");
         }
     }
@@ -236,7 +310,11 @@ mod tests {
         // Give it a moment to block.
         std::thread::sleep(std::time::Duration::from_millis(30));
         let st = read_thread_stat(tid).expect("peer stat");
-        assert!(st.is_sleeping(), "blocked thread should be sleeping, got {:?}", st);
+        assert!(
+            st.is_sleeping(),
+            "blocked thread should be sleeping, got {:?}",
+            st
+        );
         done_tx.send(()).unwrap();
         h.join().unwrap();
     }
@@ -244,13 +322,13 @@ mod tests {
     #[test]
     fn get_policy_reports_normal_by_default() {
         let p = get_policy(gettid()).unwrap();
-        assert_eq!(p, libc::SCHED_OTHER);
+        assert_eq!(p, SCHED_OTHER);
     }
 
     #[test]
     fn probe_does_not_leave_rt_behind() {
         let _ = probe_rt_permission();
-        assert_eq!(get_policy(gettid()).unwrap(), libc::SCHED_OTHER);
+        assert_eq!(get_policy(gettid()).unwrap(), SCHED_OTHER);
     }
 
     #[test]
@@ -261,9 +339,9 @@ mod tests {
         }
         let tid = gettid();
         set_policy(tid, HostPolicy::Fifo(10)).unwrap();
-        assert_eq!(get_policy(tid).unwrap(), libc::SCHED_FIFO);
+        assert_eq!(get_policy(tid).unwrap(), SCHED_FIFO);
         set_policy(tid, HostPolicy::Normal).unwrap();
-        assert_eq!(get_policy(tid).unwrap(), libc::SCHED_OTHER);
+        assert_eq!(get_policy(tid).unwrap(), SCHED_OTHER);
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub fn cdf_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> Stri
         }
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let g = glyphs[si % glyphs.len()];
-        for (col, x) in (0..width)
-            .map(|c| (c, (llo + (lhi - llo) * c as f64 / (width - 1) as f64).exp()))
+        for (col, x) in
+            (0..width).map(|c| (c, (llo + (lhi - llo) * c as f64 / (width - 1) as f64).exp()))
         {
             let frac = v.partition_point(|&s| s <= x) as f64 / v.len() as f64;
             let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
@@ -85,7 +85,10 @@ pub fn timeline_chart(points: &[(f64, f64)], width: usize, height: usize) -> Str
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("+{}\n x: {xmin:.1} .. {xmax:.1}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "+{}\n x: {xmin:.1} .. {xmax:.1}\n",
+        "-".repeat(width)
+    ));
     out
 }
 

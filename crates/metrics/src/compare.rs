@@ -93,7 +93,11 @@ pub fn ctx_switch_ratios(pairs: &[Paired]) -> Vec<f64> {
 
 /// Speedup of one distribution's percentile over another's (Fig. 15's
 /// "1.65×, 4.04×, 7.93× p99 speedup" style numbers).
-pub fn percentile_speedup(baseline: &mut sfs_simcore::Samples, treatment: &mut sfs_simcore::Samples, pct: f64) -> f64 {
+pub fn percentile_speedup(
+    baseline: &mut sfs_simcore::Samples,
+    treatment: &mut sfs_simcore::Samples,
+    pct: f64,
+) -> f64 {
     let t = treatment.percentile(pct);
     if t <= 0.0 {
         return f64::INFINITY;
@@ -118,8 +122,8 @@ mod tests {
     #[test]
     fn headline_separates_short_and_long() {
         let pairs = vec![
-            mk(10.0, 10.0, 100.0),   // short, 10x speedup
-            mk(100.0, 20.0, 400.0),  // short, 20x
+            mk(10.0, 10.0, 100.0),      // short, 10x speedup
+            mk(100.0, 20.0, 400.0),     // short, 20x
             mk(2000.0, 2600.0, 2000.0), // long, 1.3x slowdown
         ];
         let h = headline_claims(&pairs, 1550.0);

@@ -15,7 +15,9 @@ pub mod slo;
 
 pub use ascii::{cdf_chart, timeline_chart};
 pub use compare::{ctx_switch_ratios, headline_claims, percentile_speedup, HeadlineClaims, Paired};
-pub use report::{CdfReport, MarkdownTable, PercentileTable, Series, CDF_FRACTIONS, PAPER_PERCENTILES};
+pub use report::{
+    CdfReport, MarkdownTable, PercentileTable, Series, CDF_FRACTIONS, PAPER_PERCENTILES,
+};
 pub use slo::{evaluate_slo, tightest_bound, SloReport, SloRule};
 
 use std::fs;

@@ -18,7 +18,10 @@ fn pair(ideal: f64, t: f64, b: f64, tc: u64, bc: u64) -> Paired {
 #[test]
 fn headline_with_all_long_population() {
     // No short requests at all: speedup defaults neutral, slowdown real.
-    let pairs = vec![pair(2000.0, 2600.0, 2000.0, 5, 5), pair(3000.0, 3300.0, 3000.0, 2, 2)];
+    let pairs = vec![
+        pair(2000.0, 2600.0, 2000.0, 5, 5),
+        pair(3000.0, 3300.0, 3000.0, 2, 2),
+    ];
     let h = headline_claims(&pairs, 1550.0);
     assert_eq!(h.short_fraction, 0.0);
     assert_eq!(h.short_mean_speedup, 1.0);
@@ -61,7 +64,10 @@ fn slo_grace_protects_microsecond_functions() {
     let report = evaluate_slo(rule, &[(0.5, 8.0)]);
     assert!(report.met);
     // Without grace it would fail.
-    let strict = SloRule { grace_ms: 0.0, ..rule };
+    let strict = SloRule {
+        grace_ms: 0.0,
+        ..rule
+    };
     assert!(!evaluate_slo(strict, &[(0.5, 8.0)]).met);
 }
 

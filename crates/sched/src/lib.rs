@@ -317,7 +317,11 @@ mod tests {
         let b = TaskSpec::cpu(1, ms(30));
         let done = run_open_loop(exact_params(1, SchedMode::Linux), [(at(0), a), (at(0), b)]);
         let fa = done.iter().find(|t| t.label == 0).unwrap();
-        assert_eq!(fa.finished, at(70), "FIFO task: 10ms cpu + 50ms io + 10ms cpu");
+        assert_eq!(
+            fa.finished,
+            at(70),
+            "FIFO task: 10ms cpu + 50ms io + 10ms cpu"
+        );
         let fb = done.iter().find(|t| t.label == 1).unwrap();
         assert_eq!(fb.finished, at(40), "CFS task fills the IO window");
         let makespan = done.iter().map(|t| t.finished).max().unwrap();
@@ -483,7 +487,11 @@ mod tests {
         let total: SimDuration = done.iter().map(|t| t.cpu_time).sum();
         assert_eq!(total, demand);
         for t in &done {
-            assert_eq!(t.cpu_time, t.cpu_demand, "task {} over/under-charged", t.pid);
+            assert_eq!(
+                t.cpu_time, t.cpu_demand,
+                "task {} over/under-charged",
+                t.pid
+            );
         }
     }
 
@@ -559,7 +567,10 @@ mod tests {
         let cfs = run_open_loop(exact_params(1, SchedMode::Linux), arrivals());
         let srtf = run_open_loop(exact_params(1, SchedMode::Srtf), arrivals());
         let mean = |v: &[FinishedTask]| {
-            v.iter().map(|t| t.turnaround().as_millis_f64()).sum::<f64>() / v.len() as f64
+            v.iter()
+                .map(|t| t.turnaround().as_millis_f64())
+                .sum::<f64>()
+                / v.len() as f64
         };
         assert!(
             mean(&srtf) < mean(&cfs),

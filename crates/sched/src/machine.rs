@@ -23,8 +23,8 @@ use sfs_simcore::{EventQueue, SimDuration, SimTime};
 
 use crate::cfs::{weight_of_nice, CfsParams, CfsRunqueue};
 use crate::rt::{RtRunqueue, RR_TIMESLICE};
-use crate::trace::{ScheduleTrace, Segment};
 use crate::task::{FinishedTask, Phase, Pid, Policy, ProcState, Task, TaskSpec};
+use crate::trace::{ScheduleTrace, Segment};
 
 /// Scheduling regime for the whole machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -408,7 +408,9 @@ impl Machine {
     }
 
     fn core_running(&self, pid: Pid) -> Option<usize> {
-        self.task(pid).home_core.filter(|&c| self.cores[c].current == Some(pid))
+        self.task(pid)
+            .home_core
+            .filter(|&c| self.cores[c].current == Some(pid))
     }
 
     fn weight(&self, pid: Pid) -> u32 {
@@ -572,7 +574,9 @@ impl Machine {
                 c.cfs_nr(running_cfs)
             })
             .expect("at least one core");
-        let floor = self.cores[core_id].cfs.place_vruntime(self.task(pid).vruntime);
+        let floor = self.cores[core_id]
+            .cfs
+            .place_vruntime(self.task(pid).vruntime);
         self.task_mut(pid).vruntime = floor;
         if self.task(pid).home_core != Some(core_id) && self.task(pid).first_run.is_some() {
             self.task_mut(pid).migrations += 1;
@@ -675,7 +679,9 @@ impl Machine {
                 Policy::Fifo { prio } => self.rt.push_front(pid, prio),
                 Policy::Rr { prio } => self.rt.push_front(pid, prio),
                 Policy::Normal { .. } => {
-                    let floor = self.cores[core_id].cfs.place_vruntime(self.task(pid).vruntime);
+                    let floor = self.cores[core_id]
+                        .cfs
+                        .place_vruntime(self.task(pid).vruntime);
                     self.task_mut(pid).vruntime = floor;
                     self.task_mut(pid).home_core = Some(core_id);
                     let w = self.weight(pid);

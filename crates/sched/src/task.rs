@@ -320,7 +320,12 @@ mod tests {
     #[test]
     fn spec_demand_accounting() {
         let spec = TaskSpec {
-            phases: vec![Phase::Io(ms(20)), Phase::Cpu(ms(30)), Phase::Io(ms(5)), Phase::Cpu(ms(15))],
+            phases: vec![
+                Phase::Io(ms(20)),
+                Phase::Cpu(ms(30)),
+                Phase::Io(ms(5)),
+                Phase::Cpu(ms(15)),
+            ],
             policy: Policy::NORMAL,
             label: 7,
         };

@@ -118,10 +118,10 @@ impl ScheduleTrace {
             }
             let a = ((s.start.as_nanos().saturating_sub(t0.as_nanos())) as f64 / span
                 * width as f64) as usize;
-            let b = (((s.end.as_nanos().saturating_sub(t0.as_nanos())) as f64 / span
-                * width as f64)
-                .ceil() as usize)
-                .min(width);
+            let b =
+                (((s.end.as_nanos().saturating_sub(t0.as_nanos())) as f64 / span * width as f64)
+                    .ceil() as usize)
+                    .min(width);
             let digit = (s.pid.0 % 10).to_string().chars().next().unwrap();
             let ch = if s.policy.is_realtime() {
                 // A-J for RT tasks, keyed by the same digit.

@@ -129,7 +129,11 @@ fn set_policy_on_queued_task_requeues_correctly() {
     m.set_policy(waiting, Policy::Fifo { prio: 50 });
     m.run_until_quiescent();
     let w = m.finished().iter().find(|t| t.label == 1).unwrap();
-    assert_eq!(w.finished, at(110), "promoted task runs right after the hog");
+    assert_eq!(
+        w.finished,
+        at(110),
+        "promoted task runs right after the hog"
+    );
 }
 
 #[test]
@@ -172,8 +176,14 @@ fn mixed_rr_and_fifo_share_by_priority() {
         label: 1,
     };
     let done = run_open_loop(exact(1), [(at(0), rr), (at(0), fifo)]);
-    assert_eq!(done.iter().find(|t| t.label == 0).unwrap().finished, at(150));
-    assert_eq!(done.iter().find(|t| t.label == 1).unwrap().finished, at(180));
+    assert_eq!(
+        done.iter().find(|t| t.label == 0).unwrap().finished,
+        at(150)
+    );
+    assert_eq!(
+        done.iter().find(|t| t.label == 1).unwrap().finished,
+        at(180)
+    );
 }
 
 #[test]

@@ -124,7 +124,9 @@ mod tests {
     use sfs_workload::WorkloadSpec;
 
     fn workload() -> Workload {
-        WorkloadSpec::azure_sampled(400, 21).with_load(4, 0.8).generate()
+        WorkloadSpec::azure_sampled(400, 21)
+            .with_load(4, 0.8)
+            .generate()
     }
 
     #[test]
@@ -161,18 +163,25 @@ mod tests {
 
     #[test]
     fn srtf_dominates_cfs_at_high_load() {
-        let w = WorkloadSpec::azure_sampled(1_500, 3).with_load(4, 1.0).generate();
+        let w = WorkloadSpec::azure_sampled(1_500, 3)
+            .with_load(4, 1.0)
+            .generate();
         let cfs = run_baseline(Baseline::Cfs, 4, &w);
         let srtf = run_baseline(Baseline::Srtf, 4, &w);
         let mean = |v: &[RequestOutcome]| {
             v.iter().map(|o| o.turnaround.as_millis_f64()).sum::<f64>() / v.len() as f64
         };
-        assert!(mean(&srtf) < mean(&cfs), "SRTF must beat CFS on mean turnaround");
+        assert!(
+            mean(&srtf) < mean(&cfs),
+            "SRTF must beat CFS on mean turnaround"
+        );
     }
 
     #[test]
     fn fifo_suffers_convoy_on_short_requests() {
-        let w = WorkloadSpec::azure_sampled(1_500, 5).with_load(4, 1.0).generate();
+        let w = WorkloadSpec::azure_sampled(1_500, 5)
+            .with_load(4, 1.0)
+            .generate();
         let fifo = run_baseline(Baseline::Fifo, 4, &w);
         let srtf = run_baseline(Baseline::Srtf, 4, &w);
         // Compare median turnaround of short requests (most of the mass).

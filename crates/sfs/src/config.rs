@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn builders_toggle_variants() {
         let c = SfsConfig::new(4).with_fixed_slice(200);
-        assert_eq!(c.slice_mode, SliceMode::Fixed(SimDuration::from_millis(200)));
+        assert_eq!(
+            c.slice_mode,
+            SliceMode::Fixed(SimDuration::from_millis(200))
+        );
         assert!(!SfsConfig::new(4).io_oblivious().io_aware);
         assert!(!SfsConfig::new(4).without_hybrid().hybrid_overload);
         assert_eq!(

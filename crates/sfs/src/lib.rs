@@ -52,7 +52,9 @@ mod tests {
 
     #[test]
     fn completes_all_requests() {
-        let w = WorkloadSpec::azure_sampled(500, 9).with_load(4, 0.8).generate();
+        let w = WorkloadSpec::azure_sampled(500, 9)
+            .with_load(4, 0.8)
+            .generate();
         let r = run_sfs(SfsConfig::new(4), 4, &w);
         assert_eq!(r.outcomes.len(), 500);
         for o in &r.outcomes {
@@ -65,7 +67,9 @@ mod tests {
     fn short_functions_mostly_uninterrupted_at_moderate_load() {
         // Paper Fig. 7: at 65–80% load, ~88–93% of requests get RTE ≥ 0.95
         // under SFS.
-        let w = WorkloadSpec::azure_sampled(2_000, 13).with_load(8, 0.65).generate();
+        let w = WorkloadSpec::azure_sampled(2_000, 13)
+            .with_load(8, 0.65)
+            .generate();
         let r = run_sfs(SfsConfig::new(8), 8, &w);
         let frac = r.fraction_rte_at_least(0.95);
         assert!(
@@ -77,7 +81,9 @@ mod tests {
     #[test]
     fn sfs_beats_cfs_for_short_functions_at_high_load() {
         // The headline claim: short functions improve dramatically vs CFS.
-        let w = WorkloadSpec::azure_sampled(2_500, 17).with_load(8, 1.0).generate();
+        let w = WorkloadSpec::azure_sampled(2_500, 17)
+            .with_load(8, 1.0)
+            .generate();
         let sfs = run_sfs(SfsConfig::new(8), 8, &w);
         let cfs = run_baseline(Baseline::Cfs, 8, &w);
         let mean_short = |v: &[RequestOutcome]| {
@@ -98,7 +104,9 @@ mod tests {
     #[test]
     fn long_functions_pay_a_bounded_penalty() {
         // Paper: the ~17% long functions run ~1.29x longer under SFS.
-        let w = WorkloadSpec::azure_sampled(2_500, 19).with_load(8, 1.0).generate();
+        let w = WorkloadSpec::azure_sampled(2_500, 19)
+            .with_load(8, 1.0)
+            .generate();
         let sfs = run_sfs(SfsConfig::new(8), 8, &w);
         let cfs = run_baseline(Baseline::Cfs, 8, &w);
         let mean_long = |v: &[RequestOutcome]| {
@@ -118,15 +126,23 @@ mod tests {
 
     #[test]
     fn adaptive_slice_actually_adapts() {
-        let w = WorkloadSpec::azure_sampled(1_000, 23).with_load(4, 0.9).generate();
+        let w = WorkloadSpec::azure_sampled(1_000, 23)
+            .with_load(4, 0.9)
+            .generate();
         let r = run_sfs(SfsConfig::new(4), 4, &w);
-        assert!(r.slice_recalcs >= 9, "expected ~10 recalcs, got {}", r.slice_recalcs);
+        assert!(
+            r.slice_recalcs >= 9,
+            "expected ~10 recalcs, got {}",
+            r.slice_recalcs
+        );
         assert_eq!(r.slice_timeline.len() as u64, r.slice_recalcs);
     }
 
     #[test]
     fn demotions_happen_for_long_functions() {
-        let w = WorkloadSpec::azure_sampled(1_500, 29).with_load(4, 0.9).generate();
+        let w = WorkloadSpec::azure_sampled(1_500, 29)
+            .with_load(4, 0.9)
+            .generate();
         let r = run_sfs(SfsConfig::new(4), 4, &w);
         assert!(r.demoted > 0, "long functions must exceed the slice");
         let long_demoted = r
@@ -172,7 +188,7 @@ mod tests {
         let mut spec = WorkloadSpec::azure_sampled(3_000, 37);
         spec.iat = IatSpec::Bursty {
             base_mean_ms: 1.0,
-            spikes: Spike::evenly_spaced(2, 400, 12.0, 3_000),
+            spikes: Spike::evenly_spaced(2, 400, 25.0, 3_000),
         };
         let w = spec.with_load(4, 0.85).generate();
         let hybrid = run_sfs(SfsConfig::new(4), 4, &w);
@@ -189,7 +205,9 @@ mod tests {
 
     #[test]
     fn deterministic_end_to_end() {
-        let w = WorkloadSpec::azure_sampled(600, 41).with_load(4, 0.9).generate();
+        let w = WorkloadSpec::azure_sampled(600, 41)
+            .with_load(4, 0.9)
+            .generate();
         let a = run_sfs(SfsConfig::new(4), 4, &w);
         let b = run_sfs(SfsConfig::new(4), 4, &w);
         assert_eq!(a.outcomes.len(), b.outcomes.len());
@@ -209,7 +227,9 @@ mod tests {
         // SFS they run to completion in FILTER with zero involuntary
         // switches. (Totals are dominated by the demoted long tail, so the
         // paper's claim — and this test — is per-request.)
-        let w = WorkloadSpec::azure_sampled(1_500, 43).with_load(8, 1.0).generate();
+        let w = WorkloadSpec::azure_sampled(1_500, 43)
+            .with_load(8, 1.0)
+            .generate();
         let sfs = run_sfs(SfsConfig::new(8), 8, &w);
         let cfs = run_baseline(Baseline::Cfs, 8, &w);
         let shorts: Vec<(&RequestOutcome, &RequestOutcome)> = sfs
@@ -239,7 +259,9 @@ mod tests {
 
     #[test]
     fn fixed_slice_variants_run() {
-        let w = WorkloadSpec::azure_sampled(400, 47).with_load(4, 0.8).generate();
+        let w = WorkloadSpec::azure_sampled(400, 47)
+            .with_load(4, 0.8)
+            .generate();
         for ms in [50, 100, 200] {
             let r = run_sfs(SfsConfig::new(4).with_fixed_slice(ms), 4, &w);
             assert_eq!(r.outcomes.len(), 400);
@@ -252,12 +274,17 @@ mod tests {
         // The paper's §VI design argument: a single global queue gives
         // natural work conservation; static per-worker queues suffer load
         // imbalance, inflating the tail.
-        let w = WorkloadSpec::azure_sampled(2_000, 59).with_load(8, 0.9).generate();
+        let w = WorkloadSpec::azure_sampled(2_000, 59)
+            .with_load(8, 0.9)
+            .generate();
         let global = run_sfs(SfsConfig::new(8), 8, &w);
         let per = run_sfs(SfsConfig::new(8).per_worker_queues(), 8, &w);
         let p99 = |r: &SfsRunResult| {
             let mut s = sfs_simcore::Samples::from_vec(
-                r.outcomes.iter().map(|o| o.turnaround.as_millis_f64()).collect(),
+                r.outcomes
+                    .iter()
+                    .map(|o| o.turnaround.as_millis_f64())
+                    .collect(),
             );
             s.percentile(99.0)
         };
@@ -267,17 +294,23 @@ mod tests {
             p99(&global),
             p99(&per)
         );
-        assert_eq!(per.outcomes.len(), 2_000, "per-worker mode must still complete");
+        assert_eq!(
+            per.outcomes.len(),
+            2_000,
+            "per-worker mode must still complete"
+        );
     }
 
     #[test]
     fn overhead_model_produces_small_fraction() {
-        let w = WorkloadSpec::azure_sampled(1_000, 53).with_load(8, 0.8).generate();
+        let w = WorkloadSpec::azure_sampled(1_000, 53)
+            .with_load(8, 0.8)
+            .generate();
         let r = run_sfs(SfsConfig::new(8), 8, &w);
-        let f = r.overhead_fraction(
-            SimDuration::from_micros(120),
-            SimDuration::from_micros(150),
+        let f = r.overhead_fraction(SimDuration::from_micros(120), SimDuration::from_micros(150));
+        assert!(
+            f > 0.0 && f < 0.15,
+            "overhead fraction {f} out of plausible range"
         );
-        assert!(f > 0.0 && f < 0.15, "overhead fraction {f} out of plausible range");
     }
 }

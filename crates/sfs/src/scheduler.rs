@@ -319,8 +319,12 @@ impl SfsSimulator {
         }
 
         // Step 2: promote to FIFO — the FILTER pool.
-        self.machine
-            .set_policy(pid, Policy::Fifo { prio: self.cfg.filter_prio });
+        self.machine.set_policy(
+            pid,
+            Policy::Fifo {
+                prio: self.cfg.filter_prio,
+            },
+        );
         self.sched_actions += 1;
         let cpu_at_start = self.machine.cpu_time(pid);
         let st = self.reqs.get_mut(&id).expect("tracked");
@@ -333,7 +337,8 @@ impl SfsSimulator {
             budget,
             cpu_at_start,
         });
-        self.events.push(now + budget, SfsEv::SliceExpiry { w, gen });
+        self.events
+            .push(now + budget, SfsEv::SliceExpiry { w, gen });
     }
 
     /// 4.2: the FILTER slice timer fired.
@@ -460,10 +465,7 @@ impl SfsSimulator {
             let id = self.by_pid[&rec.pid];
             // Free the worker if this function was in a FILTER round.
             for w in 0..self.workers.len() {
-                if self.workers[w]
-                    .current
-                    .is_some_and(|a| a.pid == rec.pid)
-                {
+                if self.workers[w].current.is_some_and(|a| a.pid == rec.pid) {
                     self.workers[w].current = None;
                     self.workers[w].gen += 1;
                 }

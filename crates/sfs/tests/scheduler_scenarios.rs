@@ -162,7 +162,9 @@ fn queued_functions_still_run_under_cfs_work_conservation() {
     }
     let w = craft(&rows);
     let per = SfsSimulator::new(
-        SfsConfig::new(2).with_fixed_slice(1_000).per_worker_queues(),
+        SfsConfig::new(2)
+            .with_fixed_slice(1_000)
+            .per_worker_queues(),
         exact(2),
         w,
     )
@@ -233,8 +235,8 @@ fn io_oblivious_wastes_slice_on_blocked_functions() {
     // is demoted at t=60ms and still sleeps past its own 60ms slice);
     // aware SFS detects the sleeps and recycles the worker.
     let w = craft(&[(0, 30.0, Some(200.0)), (0, 30.0, Some(200.0))]);
-    let aware = SfsSimulator::new(SfsConfig::new(1).with_fixed_slice(60), exact(1), w.clone())
-        .run();
+    let aware =
+        SfsSimulator::new(SfsConfig::new(1).with_fixed_slice(60), exact(1), w.clone()).run();
     let oblivious = SfsSimulator::new(
         SfsConfig::new(1).with_fixed_slice(60).io_oblivious(),
         exact(1),

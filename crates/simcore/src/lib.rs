@@ -16,6 +16,8 @@
 //! experiment output, which is what lets the bench harnesses regenerate the
 //! paper's figures reproducibly.
 
+#![warn(missing_docs)]
+
 pub mod events;
 pub mod rng;
 pub mod series;

@@ -3,25 +3,62 @@
 //! Every stochastic component (duration sampling, IAT generation, I/O jitter)
 //! draws from a [`SimRng`] derived from an experiment-level master seed, so a
 //! bench binary re-run with the same seed regenerates the exact same figure.
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, with the handful of
+//! distributions the workloads need implemented on top — no external crates,
+//! so the workspace builds hermetically.
 
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Exp, LogNormal, Uniform};
-
-/// A deterministic RNG wrapper with distribution helpers used across the
-/// workload generator and scheduler substrates.
+/// A deterministic RNG with distribution helpers used across the workload
+/// generator and scheduler substrates.
+///
+/// Streams are stable across runs and platforms: the same seed always
+/// produces the same draw sequence.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+    /// Cached second output of the Box-Muller transform.
+    spare_normal: Option<f64>,
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Construct from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+            spare_normal: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child RNG for a named sub-component.
@@ -34,50 +71,76 @@ impl SimRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        SimRng::seed_from_u64(self.inner.gen::<u64>() ^ h)
+        SimRng::seed_from_u64(self.next_u64() ^ h)
     }
 
     /// Uniform draw in `[0, 1)` (half-open unit interval).
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard max-precision construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in the half-open range `lo..hi`. Requires `lo < hi`.
     #[inline]
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         debug_assert!(lo < hi, "uniform range must be non-empty");
-        Uniform::new(lo, hi).sample(&mut self.inner)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Uniform integer draw in the inclusive range `lo..=hi`.
     #[inline]
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo <= hi);
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Rejection sampling over the largest multiple of (span+1) below
+        // 2^64 keeps the draw exactly uniform.
+        let n = span + 1;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return lo + x % n;
+            }
+        }
     }
 
     /// Exponential draw with the given mean (used for Poisson inter-arrivals).
     #[inline]
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0, "exponential mean must be positive");
-        Exp::new(1.0 / mean)
-            .expect("valid exponential rate")
-            .sample(&mut self.inner)
+        // Inverse-CDF; 1 - unit() is in (0, 1] so ln never sees zero.
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Standard normal draw (Box-Muller, with the second output cached).
+    #[inline]
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1 = 1.0 - self.unit(); // (0, 1]: safe for ln
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
     }
 
     /// Log-normal draw parameterised by the *underlying* normal's mu/sigma.
     #[inline]
     pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
-        LogNormal::new(mu, sigma)
-            .expect("valid lognormal params")
-            .sample(&mut self.inner)
+        debug_assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+        (mu + sigma * self.normal()).exp()
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Pick an index from a discrete probability table (weights need not sum
@@ -93,11 +156,6 @@ impl SimRng {
             x -= w;
         }
         weights.len() - 1
-    }
-
-    /// Access the underlying `rand` RNG for ad-hoc use.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 
@@ -153,6 +211,32 @@ mod tests {
     }
 
     #[test]
+    fn normal_moments_are_approximately_right() {
+        let mut r = SimRng::seed_from_u64(5);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "normal mean {mean} not ~0");
+        assert!((var - 1.0).abs() < 0.02, "normal variance {var} not ~1");
+    }
+
+    #[test]
+    fn lognormal_median_matches_exp_mu() {
+        let mut r = SimRng::seed_from_u64(17);
+        let n = 100_001;
+        let mut draws: Vec<f64> = (0..n).map(|_| r.lognormal(2.0, 0.7)).collect();
+        draws.sort_by(|a, b| a.total_cmp(b));
+        let median = draws[n / 2];
+        let expected = 2.0f64.exp();
+        assert!(
+            (median - expected).abs() / expected < 0.03,
+            "lognormal median {median} far from {expected}"
+        );
+        assert!(draws.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
     fn pick_weighted_respects_probabilities() {
         let mut r = SimRng::seed_from_u64(9);
         let weights = [0.5, 0.3, 0.2];
@@ -179,6 +263,14 @@ mod tests {
             let y = r.uniform_u64(3, 7);
             assert!((3..=7).contains(&y));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_full_and_degenerate_ranges() {
+        let mut r = SimRng::seed_from_u64(19);
+        assert_eq!(r.uniform_u64(5, 5), 5);
+        // Full-range draw must not hang or panic.
+        let _ = r.uniform_u64(0, u64::MAX);
     }
 
     #[test]

@@ -103,7 +103,7 @@ impl SlidingWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
     #[test]
     fn mean_of_partial_window() {
@@ -146,27 +146,43 @@ mod tests {
         let _ = SlidingWindow::new(0);
     }
 
-    proptest! {
-        #[test]
-        fn incremental_mean_matches_exact(values in proptest::collection::vec(0.0f64..1e6, 1..500), cap in 1usize..64) {
+    // Property-style cases driven by the crate's own seeded RNG (no
+    // proptest dependency); a fixed seed makes failures reproducible.
+
+    #[test]
+    fn incremental_mean_matches_exact() {
+        let mut rng = SimRng::seed_from_u64(0x51D0);
+        for case in 0..64 {
+            let cap = rng.uniform_u64(1, 63) as usize;
+            let n = rng.uniform_u64(1, 499) as usize;
+            let values: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 1e6)).collect();
             let mut w = SlidingWindow::new(cap);
             for &v in &values {
                 w.push(v);
             }
             let expect = w.mean_exact();
-            prop_assert!((w.mean() - expect).abs() <= 1e-6 * expect.max(1.0));
-            prop_assert_eq!(w.len(), values.len().min(cap));
+            assert!(
+                (w.mean() - expect).abs() <= 1e-6 * expect.max(1.0),
+                "case {case}"
+            );
+            assert_eq!(w.len(), values.len().min(cap), "case {case}");
         }
+    }
 
-        #[test]
-        fn window_retains_suffix(values in proptest::collection::vec(-1e3f64..1e3, 1..200), cap in 1usize..32) {
+    #[test]
+    fn window_retains_suffix() {
+        let mut rng = SimRng::seed_from_u64(0x51D1);
+        for case in 0..64 {
+            let cap = rng.uniform_u64(1, 31) as usize;
+            let n = rng.uniform_u64(1, 199) as usize;
+            let values: Vec<f64> = (0..n).map(|_| rng.uniform(-1e3, 1e3)).collect();
             let mut w = SlidingWindow::new(cap);
             for &v in &values {
                 w.push(v);
             }
             let kept: Vec<f64> = w.iter().collect();
             let start = values.len().saturating_sub(cap);
-            prop_assert_eq!(kept, values[start..].to_vec());
+            assert_eq!(kept, values[start..].to_vec(), "case {case}");
         }
     }
 }

@@ -1,12 +1,26 @@
-//! Property tests for the simulation primitives.
+//! Property-style tests for the simulation primitives.
+//!
+//! Randomised cases are generated from the crate's own seeded [`SimRng`]
+//! (no proptest dependency): each test runs a fixed number of cases from a
+//! fixed seed, so failures are exactly reproducible.
 
-use proptest::prelude::*;
-use sfs_simcore::{EventQueue, Histogram, OnlineStats, Samples, SimDuration, SimTime};
+use sfs_simcore::{EventQueue, Histogram, OnlineStats, Samples, SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// Events pop in non-decreasing time order; equal timestamps pop FIFO.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..300)) {
+const CASES: u64 = 64;
+
+fn case_rng(test: &str, case: u64) -> SimRng {
+    SimRng::seed_from_u64(0xA11CE)
+        .derive(test)
+        .derive(&case.to_string())
+}
+
+/// Events pop in non-decreasing time order; equal timestamps pop FIFO.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..CASES {
+        let mut rng = case_rng("event_queue_total_order", case);
+        let n = rng.uniform_u64(1, 299) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 999)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::ZERO + SimDuration::from_millis(t), i);
@@ -15,11 +29,11 @@ proptest! {
         let mut seen_at_time: Vec<usize> = Vec::new();
         let mut last_time = None;
         while let Some((at, idx)) = q.pop() {
-            prop_assert!(at >= prev_time, "time went backwards");
+            assert!(at >= prev_time, "time went backwards (case {case})");
             if Some(at) == last_time {
-                prop_assert!(
+                assert!(
                     *seen_at_time.last().unwrap() < idx,
-                    "FIFO violated for simultaneous events"
+                    "FIFO violated for simultaneous events (case {case})"
                 );
             } else {
                 seen_at_time.clear();
@@ -29,45 +43,75 @@ proptest! {
             prev_time = at;
         }
     }
+}
 
-    /// Nearest-rank quantiles are actual samples and monotone in q.
-    #[test]
-    fn quantiles_are_samples_and_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..400)) {
+/// Nearest-rank quantiles are actual samples and monotone in q.
+#[test]
+fn quantiles_are_samples_and_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng("quantiles", case);
+        let n = rng.uniform_u64(1, 399) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
         let mut s = Samples::from_vec(xs.clone());
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=20 {
             let q = i as f64 / 20.0;
             let v = s.quantile(q);
-            prop_assert!(xs.contains(&v), "quantile {v} is not a sample");
-            prop_assert!(v >= prev, "quantile not monotone");
+            assert!(
+                xs.contains(&v),
+                "quantile {v} is not a sample (case {case})"
+            );
+            assert!(v >= prev, "quantile not monotone (case {case})");
             prev = v;
         }
-        prop_assert_eq!(s.quantile(1.0), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        assert_eq!(
+            s.quantile(1.0),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            "case {case}"
+        );
     }
+}
 
-    /// Welford mean matches the naive mean to floating tolerance.
-    #[test]
-    fn online_stats_match_naive(xs in proptest::collection::vec(-1e4f64..1e4, 1..500)) {
+/// Welford mean matches the naive mean to floating tolerance.
+#[test]
+fn online_stats_match_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng("online_stats", case);
+        let n = rng.uniform_u64(1, 499) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e4, 1e4)).collect();
         let mut o = OnlineStats::new();
         for &x in &xs {
             o.push(x);
         }
         let naive = xs.iter().sum::<f64>() / xs.len() as f64;
-        prop_assert!((o.mean() - naive).abs() < 1e-6);
-        prop_assert_eq!(o.count(), xs.len() as u64);
-        prop_assert!(o.min() <= o.mean() + 1e-9 && o.mean() <= o.max() + 1e-9);
+        assert!((o.mean() - naive).abs() < 1e-6, "case {case}");
+        assert_eq!(o.count(), xs.len() as u64, "case {case}");
+        assert!(
+            o.min() <= o.mean() + 1e-9 && o.mean() <= o.max() + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Histogram counts everything exactly once.
-    #[test]
-    fn histogram_conserves_counts(xs in proptest::collection::vec(1e-3f64..1e9, 1..400)) {
+/// Histogram counts everything exactly once.
+#[test]
+fn histogram_conserves_counts() {
+    for case in 0..CASES {
+        let mut rng = case_rng("histogram", case);
+        let n = rng.uniform_u64(1, 399) as usize;
+        // Log-uniform over [1e-3, 1e9) so values land across (and beyond)
+        // the bucket range.
+        let xs: Vec<f64> = (0..n).map(|_| 10f64.powf(rng.uniform(-3.0, 9.0))).collect();
         let mut h = Histogram::new(1.0, 10.0, 10);
         for &x in &xs {
             h.record(x);
         }
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(h.total(), xs.len() as u64, "case {case}");
         let sum: u64 = h.buckets().map(|(_, c)| c).sum();
-        prop_assert_eq!(sum, xs.len() as u64);
-        prop_assert!((h.cumulative_fraction(9) - 1.0).abs() < 1e-12);
+        assert_eq!(sum, xs.len() as u64, "case {case}");
+        assert!(
+            (h.cumulative_fraction(9) - 1.0).abs() < 1e-12,
+            "case {case}"
+        );
     }
 }

@@ -84,7 +84,14 @@ pub enum AppMix {
     FibOnly,
     /// Weighted mix of the three OpenLambda apps (§IX). Weights need not
     /// sum to 1.
-    Mixed { fib: f64, md: f64, sa: f64 },
+    Mixed {
+        /// Relative weight of the CPU-bound `fib` app.
+        fib: f64,
+        /// Relative weight of the markdown-rendering `md` app.
+        md: f64,
+        /// Relative weight of the sentiment-analysis `sa` app.
+        sa: f64,
+    },
 }
 
 impl AppMix {
@@ -101,13 +108,11 @@ impl AppMix {
     pub fn sample(&self, rng: &mut SimRng) -> AppKind {
         match self {
             AppMix::FibOnly => AppKind::Fib,
-            AppMix::Mixed { fib, md, sa } => {
-                match rng.pick_weighted(&[*fib, *md, *sa]) {
-                    0 => AppKind::Fib,
-                    1 => AppKind::Md,
-                    _ => AppKind::Sa,
-                }
-            }
+            AppMix::Mixed { fib, md, sa } => match rng.pick_weighted(&[*fib, *md, *sa]) {
+                0 => AppKind::Fib,
+                1 => AppKind::Md,
+                _ => AppKind::Sa,
+            },
         }
     }
 }

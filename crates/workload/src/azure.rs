@@ -11,7 +11,7 @@
 //! anchor fractions are reproduced *exactly* in expectation — which the
 //! tests verify, and which `fig01_azure_cdf` plots.
 
-use sfs_simcore::{SimRng, Samples};
+use sfs_simcore::{Samples, SimRng};
 
 /// `(duration_ms, cumulative_fraction)` anchors of the Azure duration CDF.
 /// Points between anchors are interpolated log-linearly in duration.

@@ -13,15 +13,28 @@ use sfs_simcore::{SimDuration, SimRng, SimTime};
 #[derive(Debug, Clone)]
 pub enum IatSpec {
     /// Exponential IATs with the given mean (a Poisson arrival process).
-    Poisson { mean_ms: f64 },
+    Poisson {
+        /// Mean inter-arrival time in milliseconds.
+        mean_ms: f64,
+    },
     /// Uniform IATs on `[lo, hi)` ms.
-    Uniform { lo_ms: f64, hi_ms: f64 },
+    Uniform {
+        /// Lower bound of the IAT range, milliseconds.
+        lo_ms: f64,
+        /// Upper bound of the IAT range, milliseconds.
+        hi_ms: f64,
+    },
     /// Fixed (deterministic) IAT.
-    Fixed { iat_ms: f64 },
+    Fixed {
+        /// The constant inter-arrival time, milliseconds.
+        iat_ms: f64,
+    },
     /// Poisson base process with spike windows: during a spike, the mean IAT
     /// is divided by `factor` (arrival rate multiplies by `factor`).
     Bursty {
+        /// Mean IAT of the base Poisson process, milliseconds.
         base_mean_ms: f64,
+        /// Transient overload windows superimposed on the base process.
         spikes: Vec<Spike>,
     },
 }
@@ -237,9 +250,8 @@ mod tests {
         };
         let mut rng = SimRng::seed_from_u64(11);
         let arr = spec.arrivals(10_000, &mut rng);
-        let mean_iat = |lo: usize, hi: usize| {
-            (arr[hi - 1] - arr[lo]).as_millis_f64() / (hi - lo - 1) as f64
-        };
+        let mean_iat =
+            |lo: usize, hi: usize| (arr[hi - 1] - arr[lo]).as_millis_f64() / (hi - lo - 1) as f64;
         let base = mean_iat(0, 5_000);
         let spike = mean_iat(5_000, 7_000);
         assert!(
@@ -254,16 +266,27 @@ mod tests {
         // factor = (8000 + 2000/10) / 10000 = 0.82.
         let spec = IatSpec::Bursty {
             base_mean_ms: 50.0,
-            spikes: vec![Spike { start_idx: 4_000, len: 2_000, factor: 10.0 }],
+            spikes: vec![Spike {
+                start_idx: 4_000,
+                len: 2_000,
+                factor: 10.0,
+            }],
         };
         assert!((spec.compression_factor(10_000) - 0.82).abs() < 1e-12);
         // Non-bursty processes never compress.
-        assert_eq!(IatSpec::Poisson { mean_ms: 1.0 }.compression_factor(10_000), 1.0);
+        assert_eq!(
+            IatSpec::Poisson { mean_ms: 1.0 }.compression_factor(10_000),
+            1.0
+        );
         assert_eq!(IatSpec::Fixed { iat_ms: 1.0 }.compression_factor(0), 1.0);
         // A spike hanging past the end only counts its covered portion.
         let tail = IatSpec::Bursty {
             base_mean_ms: 1.0,
-            spikes: vec![Spike { start_idx: 9_500, len: 2_000, factor: 5.0 }],
+            spikes: vec![Spike {
+                start_idx: 9_500,
+                len: 2_000,
+                factor: 5.0,
+            }],
         };
         let f = tail.compression_factor(10_000);
         assert!((f - (9_500.0 + 500.0 / 5.0) / 10_000.0).abs() < 1e-12);
@@ -275,8 +298,11 @@ mod tests {
         // target despite the spikes.
         let n = 30_000;
         let spikes = Spike::evenly_spaced(3, n / 10, 10.0, n);
-        let spec = IatSpec::Bursty { base_mean_ms: 1.0, spikes }
-            .for_target_load_n(100.0, 4, 0.8, n);
+        let spec = IatSpec::Bursty {
+            base_mean_ms: 1.0,
+            spikes,
+        }
+        .for_target_load_n(100.0, 4, 0.8, n);
         let mut rng = SimRng::seed_from_u64(3);
         let arr = spec.arrivals(n, &mut rng);
         let span_ms = arr.last().unwrap().as_millis_f64();

@@ -12,6 +12,8 @@
 //! [`WorkloadSpec::generate`] assembles these into a deterministic list of
 //! `(arrival, TaskSpec)` pairs that every experiment harness replays.
 
+#![warn(missing_docs)]
+
 pub mod apps;
 pub mod azure;
 pub mod iat;
@@ -32,9 +34,17 @@ pub enum DurationDist {
     /// The paper's Table I (Azure Day-1 multimodal distribution).
     AzureTable1,
     /// Every request has the same duration (microbenchmarks).
-    Fixed { ms: f64 },
+    Fixed {
+        /// The constant ideal duration, milliseconds.
+        ms: f64,
+    },
     /// Log-uniform on `[lo, hi)` ms.
-    LogUniform { lo_ms: f64, hi_ms: f64 },
+    LogUniform {
+        /// Lower bound of the duration range, milliseconds.
+        lo_ms: f64,
+        /// Upper bound of the duration range, milliseconds.
+        hi_ms: f64,
+    },
 }
 
 impl DurationDist {

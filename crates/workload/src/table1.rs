@@ -108,8 +108,8 @@ impl Table1Sampler {
                     return nlo;
                 }
                 let (lo, hi) = b.range_ms;
-                let frac = ((duration_ms.max(lo).ln() - lo.ln()) / (hi.ln() - lo.ln()))
-                    .clamp(0.0, 1.0);
+                let frac =
+                    ((duration_ms.max(lo).ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0);
                 return nlo + (frac * (nhi - nlo) as f64).round() as u32;
             }
         }
@@ -179,7 +179,9 @@ mod tests {
         assert_eq!(s.fib_n_for(999999.0), 35);
         // Monotone in duration.
         let mut prev = 0;
-        for d in [3.0, 10.0, 40.0, 60.0, 90.0, 150.0, 250.0, 390.0, 1600.0, 3400.0] {
+        for d in [
+            3.0, 10.0, 40.0, 60.0, 90.0, 150.0, 250.0, 390.0, 1600.0, 3400.0,
+        ] {
             let n = s.fib_n_for(d);
             assert!(n >= prev, "fib N not monotone at {d}");
             prev = n;

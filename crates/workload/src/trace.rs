@@ -23,10 +23,7 @@ use crate::{Request, Workload};
 pub fn to_csv(workload: &Workload) -> String {
     let mut out = String::from("id,arrival_ms,app,duration_ms,injected_io_ms\n");
     for r in &workload.requests {
-        let io = r
-            .injected_io_ms
-            .map(|x| format!("{x}"))
-            .unwrap_or_default();
+        let io = r.injected_io_ms.map(|x| format!("{x}")).unwrap_or_default();
         let _ = writeln!(
             out,
             "{},{},{},{},{}",
@@ -159,7 +156,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert_eq!(from_csv("nope\n1,2,fib,3,").unwrap_err(), TraceError::BadHeader);
+        assert_eq!(
+            from_csv("nope\n1,2,fib,3,").unwrap_err(),
+            TraceError::BadHeader
+        );
         assert_eq!(from_csv("").unwrap_err(), TraceError::BadHeader);
     }
 

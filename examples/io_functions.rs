@@ -51,7 +51,10 @@ fn main() {
     ]);
     let p99 = |r: &sfs_repro::sfs::SfsRunResult| {
         let mut s = Samples::from_vec(
-            r.outcomes.iter().map(|o| o.turnaround.as_millis_f64()).collect(),
+            r.outcomes
+                .iter()
+                .map(|o| o.turnaround.as_millis_f64())
+                .collect(),
         );
         s.percentile(99.0)
     };
@@ -60,9 +63,8 @@ fn main() {
         format!("{:.1}", p99(&aware)),
         format!("{:.1}", p99(&oblivious)),
     ]);
-    let blocks = |r: &sfs_repro::sfs::SfsRunResult| -> u32 {
-        r.outcomes.iter().map(|o| o.io_blocks).sum()
-    };
+    let blocks =
+        |r: &sfs_repro::sfs::SfsRunResult| -> u32 { r.outcomes.iter().map(|o| o.io_blocks).sum() };
     t.row(&[
         "I/O blocks detected".into(),
         format!("{}", blocks(&aware)),

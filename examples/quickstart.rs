@@ -37,7 +37,11 @@ fn main() {
 
     // 4. Compare.
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-    let sfs_durs: Vec<f64> = sfs.outcomes.iter().map(|o| o.turnaround.as_millis_f64()).collect();
+    let sfs_durs: Vec<f64> = sfs
+        .outcomes
+        .iter()
+        .map(|o| o.turnaround.as_millis_f64())
+        .collect();
     let cfs_durs: Vec<f64> = cfs.iter().map(|o| o.turnaround.as_millis_f64()).collect();
 
     let mut t = MarkdownTable::new(&["metric", "SFS", "CFS"]);
@@ -46,9 +50,8 @@ fn main() {
         format!("{:.1}", mean(&sfs_durs)),
         format!("{:.1}", mean(&cfs_durs)),
     ]);
-    let rte95 = |rtes: Vec<f64>| {
-        rtes.iter().filter(|&&x| x >= 0.95).count() as f64 / rtes.len() as f64
-    };
+    let rte95 =
+        |rtes: Vec<f64>| rtes.iter().filter(|&&x| x >= 0.95).count() as f64 / rtes.len() as f64;
     t.row(&[
         "fraction RTE >= 0.95".into(),
         format!("{:.3}", rte95(sfs.outcomes.iter().map(|o| o.rte).collect())),

@@ -140,8 +140,7 @@ fn cmd_run(flags: &HashMap<String, String>) {
     let gantt = flags.contains_key("gantt");
     match sched {
         "sfs" => {
-            let mut sim =
-                SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w);
+            let mut sim = SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w);
             if gantt {
                 sim = sim.with_tracing();
             }
@@ -184,9 +183,13 @@ fn cmd_run(flags: &HashMap<String, String>) {
 fn cmd_compare(flags: &HashMap<String, String>) {
     let cores = get(flags, "cores", 16usize);
     let w = build_workload(flags, cores);
-    let sfs = SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w.clone())
-        .run()
-        .outcomes;
+    let sfs = SfsSimulator::new(
+        SfsConfig::new(cores),
+        MachineParams::linux(cores),
+        w.clone(),
+    )
+    .run()
+    .outcomes;
     let cfs = run_baseline(Baseline::Cfs, cores, &w);
     summarise("SFS", &sfs);
     summarise("CFS", &cfs);
@@ -240,9 +243,13 @@ fn cmd_slo(flags: &HashMap<String, String>) {
     };
     row(
         "SFS",
-        &SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w.clone())
-            .run()
-            .outcomes,
+        &SfsSimulator::new(
+            SfsConfig::new(cores),
+            MachineParams::linux(cores),
+            w.clone(),
+        )
+        .run()
+        .outcomes,
     );
     for b in [Baseline::Cfs, Baseline::Rr, Baseline::Fifo] {
         row(b.name(), &run_baseline(b, cores, &w));

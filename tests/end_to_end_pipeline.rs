@@ -10,13 +10,19 @@ use sfs_repro::workload::{Workload, WorkloadSpec};
 const CORES: usize = 8;
 
 fn workload(n: usize, seed: u64, load: f64) -> Workload {
-    WorkloadSpec::azure_sampled(n, seed).with_load(CORES, load).generate()
+    WorkloadSpec::azure_sampled(n, seed)
+        .with_load(CORES, load)
+        .generate()
 }
 
 fn run_sfs(w: &Workload) -> Vec<RequestOutcome> {
-    SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w.clone())
-        .run()
-        .outcomes
+    SfsSimulator::new(
+        SfsConfig::new(CORES),
+        MachineParams::linux(CORES),
+        w.clone(),
+    )
+    .run()
+    .outcomes
 }
 
 #[test]
@@ -63,16 +69,17 @@ fn scheduler_ordering_on_median_turnaround() {
     // and FIFO worst for the short-dominated population median.
     let w = workload(3_000, 7, 1.0);
     let median = |outs: &[RequestOutcome]| {
-        let mut s = Samples::from_vec(
-            outs.iter().map(|o| o.turnaround.as_millis_f64()).collect(),
-        );
+        let mut s = Samples::from_vec(outs.iter().map(|o| o.turnaround.as_millis_f64()).collect());
         s.percentile(50.0)
     };
     let sfs = median(&run_sfs(&w));
     let srtf = median(&run_baseline(Baseline::Srtf, CORES, &w));
     let cfs = median(&run_baseline(Baseline::Cfs, CORES, &w));
     let fifo = median(&run_baseline(Baseline::Fifo, CORES, &w));
-    assert!(srtf <= sfs * 1.2, "SRTF {srtf} should not lose to SFS {sfs}");
+    assert!(
+        srtf <= sfs * 1.2,
+        "SRTF {srtf} should not lose to SFS {sfs}"
+    );
     assert!(sfs < cfs, "SFS {sfs} must beat CFS {cfs} at the median");
     assert!(cfs < fifo, "CFS {cfs} must beat FIFO {fifo} (convoy)");
 }
@@ -95,9 +102,21 @@ fn headline_pipeline_produces_consistent_aggregates() {
         .collect();
     let h = headline_claims(&pairs, 1550.0);
     // Table I renormalised: ~16.4% long → ~83.6% short.
-    assert!((h.short_fraction - 0.836).abs() < 0.03, "short share {}", h.short_fraction);
-    assert!(h.short_mean_speedup > 1.5, "speedup {}", h.short_mean_speedup);
-    assert!(h.improved_fraction > 0.5, "improved {}", h.improved_fraction);
+    assert!(
+        (h.short_fraction - 0.836).abs() < 0.03,
+        "short share {}",
+        h.short_fraction
+    );
+    assert!(
+        h.short_mean_speedup > 1.5,
+        "speedup {}",
+        h.short_mean_speedup
+    );
+    assert!(
+        h.improved_fraction > 0.5,
+        "improved {}",
+        h.improved_fraction
+    );
 }
 
 #[test]
@@ -108,9 +127,8 @@ fn sfs_median_stays_flat_across_loads() {
     for &load in &[0.5, 0.8, 1.0] {
         let w = workload(2_500, 13, load);
         let med = |outs: &[RequestOutcome]| {
-            let mut s = Samples::from_vec(
-                outs.iter().map(|o| o.turnaround.as_millis_f64()).collect(),
-            );
+            let mut s =
+                Samples::from_vec(outs.iter().map(|o| o.turnaround.as_millis_f64()).collect());
             s.percentile(50.0)
         };
         sfs_medians.push(med(&run_sfs(&w)));

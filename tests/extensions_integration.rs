@@ -31,15 +31,19 @@ fn trace_roundtrip_preserves_the_schedule_exactly() {
 
 #[test]
 fn slo_rule_separates_sfs_from_fifo_at_load() {
-    let w = WorkloadSpec::azure_sampled(2_000, 35).with_load(8, 1.0).generate();
+    let w = WorkloadSpec::azure_sampled(2_000, 35)
+        .with_load(8, 1.0)
+        .generate();
     let inv = |outs: &[sfs_repro::sfs::RequestOutcome]| -> Vec<(f64, f64)> {
         outs.iter()
             .map(|o| (o.ideal.as_millis_f64(), o.turnaround.as_millis_f64()))
             .collect()
     };
-    let sfs = inv(&SfsSimulator::new(SfsConfig::new(8), MachineParams::linux(8), w.clone())
-        .run()
-        .outcomes);
+    let sfs = inv(
+        &SfsSimulator::new(SfsConfig::new(8), MachineParams::linux(8), w.clone())
+            .run()
+            .outcomes,
+    );
     let fifo = inv(&run_baseline(Baseline::Fifo, 8, &w));
 
     let rule = SloRule::soft();
@@ -63,7 +67,9 @@ fn slo_rule_separates_sfs_from_fifo_at_load() {
 #[test]
 fn cluster_matches_single_host_when_hosts_is_one() {
     // A 1-host cluster must behave exactly like the plain simulator.
-    let w = WorkloadSpec::azure_sampled(500, 37).with_load(8, 0.9).generate();
+    let w = WorkloadSpec::azure_sampled(500, 37)
+        .with_load(8, 0.9)
+        .generate();
     let cluster = Cluster::new(1, 8);
     let run = cluster.run(Placement::RoundRobin, &w);
     let direct = SfsSimulator::new(SfsConfig::new(8), MachineParams::linux(8), w).run();
@@ -77,12 +83,13 @@ fn cluster_matches_single_host_when_hosts_is_one() {
 fn cluster_scales_throughput_with_hosts() {
     // The same workload at fixed arrival rate finishes sooner on 4 hosts
     // than on 1 (makespan comparison).
-    let w = WorkloadSpec::azure_sampled(1_200, 39).with_load(8, 1.0).generate();
+    let w = WorkloadSpec::azure_sampled(1_200, 39)
+        .with_load(8, 1.0)
+        .generate();
     let one = Cluster::new(1, 8).run(Placement::RoundRobin, &w);
     let four = Cluster::new(4, 8).run(Placement::RoundRobin, &w);
-    let makespan = |r: &sfs_repro::faas::ClusterRun| {
-        r.outcomes.iter().map(|o| o.finished).max().unwrap()
-    };
+    let makespan =
+        |r: &sfs_repro::faas::ClusterRun| r.outcomes.iter().map(|o| o.finished).max().unwrap();
     assert!(
         makespan(&four) < makespan(&one),
         "4 hosts {} must beat 1 host {}",

@@ -12,7 +12,9 @@ const CORES: usize = 24;
 #[test]
 fn platform_preserves_request_identity() {
     let ol = OpenLambda::new(OpenLambdaParams::default());
-    let w = WorkloadSpec::openlambda(400, 3).with_duration_load(CORES, 0.7).generate();
+    let w = WorkloadSpec::openlambda(400, 3)
+        .with_duration_load(CORES, 0.7)
+        .generate();
     let out = ol.run(HostScheduler::Sfs(SfsConfig::new(CORES)), CORES, &w);
     assert_eq!(out.len(), 400);
     for (i, o) in out.iter().enumerate() {
@@ -57,9 +59,7 @@ fn contention_hurts_cfs_more_than_sfs_under_bursts() {
     let sfs = ol.run(HostScheduler::Sfs(SfsConfig::new(CORES)), CORES, &w);
     let cfs = ol.run(HostScheduler::Kernel(Baseline::Cfs), CORES, &w);
     let median = |outs: &[sfs_repro::sfs::RequestOutcome]| {
-        let mut s = Samples::from_vec(
-            outs.iter().map(|o| o.turnaround.as_millis_f64()).collect(),
-        );
+        let mut s = Samples::from_vec(outs.iter().map(|o| o.turnaround.as_millis_f64()).collect());
         s.percentile(50.0)
     };
     assert!(
@@ -73,9 +73,14 @@ fn contention_hurts_cfs_more_than_sfs_under_bursts() {
 #[test]
 fn container_pool_is_generously_sized_by_default() {
     let ol = OpenLambda::new(OpenLambdaParams::default());
-    let w = WorkloadSpec::openlambda(2_000, 11).with_duration_load(CORES, 1.0).generate();
+    let w = WorkloadSpec::openlambda(2_000, 11)
+        .with_duration_load(CORES, 1.0)
+        .generate();
     let d = ol.dispatch(&w);
-    assert!(!d.pool_blocked, "default pool must never block (pre-warmed)");
+    assert!(
+        !d.pool_blocked,
+        "default pool must never block (pre-warmed)"
+    );
     assert!(d.container_peak <= 4_096);
     assert!(d.container_peak > 0);
 }
@@ -86,7 +91,9 @@ fn disabling_contention_restores_ideal_substrate() {
         contention_beta: 0.0,
         ..Default::default()
     });
-    let w = WorkloadSpec::openlambda(500, 13).with_duration_load(CORES, 0.5).generate();
+    let w = WorkloadSpec::openlambda(500, 13)
+        .with_duration_load(CORES, 0.5)
+        .generate();
     let out = ol.run(HostScheduler::Kernel(Baseline::Cfs), CORES, &w);
     // At 50% duration load with no contention, the vast majority of
     // requests should complete near-ideally (only pipeline overhead).

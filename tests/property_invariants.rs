@@ -1,95 +1,110 @@
-//! Property-based invariants over randomly generated workloads and
+//! Property-style invariants over randomly generated workloads and
 //! scheduler configurations: nothing is lost, time is conserved, and the
 //! metrics stay in range, for every scheduling policy.
-
-use proptest::prelude::*;
+//!
+//! Randomised cases come from the workspace's seeded `SimRng` (no proptest
+//! dependency): each test runs a fixed number of cases from a fixed seed,
+//! so failures are exactly reproducible.
 
 use sfs_repro::sched::{run_open_loop, MachineParams, Phase, Policy, SchedMode, TaskSpec};
 use sfs_repro::sfs::{run_baseline, Baseline, SfsConfig, SfsSimulator};
-use sfs_repro::simcore::{SimDuration, SimTime};
+use sfs_repro::simcore::{SimDuration, SimRng, SimTime};
 use sfs_repro::workload::{DurationDist, IatSpec, WorkloadSpec};
 
-/// Strategy: a small random task mix with optional I/O phases.
-fn arb_tasks() -> impl Strategy<Value = Vec<(u64, TaskSpec)>> {
-    proptest::collection::vec(
-        (
-            1u64..600,       // arrival offset ms
-            1u64..400,       // cpu ms
-            0u64..80,        // io ms (0 = pure cpu)
-            0u8..3,          // policy selector
-        ),
-        1..40,
-    )
-    .prop_map(|rows| {
-        let mut at = 0u64;
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (gap, cpu, io, pol))| {
-                at += gap;
-                let mut phases = Vec::new();
-                if io > 0 {
-                    phases.push(Phase::Io(SimDuration::from_millis(io)));
-                }
-                phases.push(Phase::Cpu(SimDuration::from_millis(cpu)));
-                let policy = match pol {
-                    0 => Policy::NORMAL,
-                    1 => Policy::Fifo { prio: 50 },
-                    _ => Policy::Rr { prio: 50 },
-                };
-                (
-                    at,
-                    TaskSpec {
-                        phases,
-                        policy,
-                        label: i as u64,
-                    },
-                )
-            })
-            .collect()
-    })
+fn case_rng(test: &str, case: u64) -> SimRng {
+    SimRng::seed_from_u64(0x1AB5)
+        .derive(test)
+        .derive(&case.to_string())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A small random task mix with optional I/O phases.
+fn arb_tasks(rng: &mut SimRng) -> Vec<(u64, TaskSpec)> {
+    let n = rng.uniform_u64(1, 39) as usize;
+    let mut at = 0u64;
+    (0..n)
+        .map(|i| {
+            at += rng.uniform_u64(1, 599);
+            let cpu = rng.uniform_u64(1, 399);
+            let io = rng.uniform_u64(0, 79);
+            let mut phases = Vec::new();
+            if io > 0 {
+                phases.push(Phase::Io(SimDuration::from_millis(io)));
+            }
+            phases.push(Phase::Cpu(SimDuration::from_millis(cpu)));
+            let policy = match rng.uniform_u64(0, 2) {
+                0 => Policy::NORMAL,
+                1 => Policy::Fifo { prio: 50 },
+                _ => Policy::Rr { prio: 50 },
+            };
+            (
+                at,
+                TaskSpec {
+                    phases,
+                    policy,
+                    label: i as u64,
+                },
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn machine_conserves_work_and_loses_nothing(
-        tasks in arb_tasks(),
-        cores in 1usize..5,
-        srtf in proptest::bool::ANY,
-    ) {
+#[test]
+fn machine_conserves_work_and_loses_nothing() {
+    for case in 0..48 {
+        let mut rng = case_rng("machine_conserves", case);
+        let tasks = arb_tasks(&mut rng);
+        let cores = rng.uniform_u64(1, 4) as usize;
+        let srtf = rng.chance(0.5);
         let n = tasks.len();
         let total_cpu: u64 = tasks.iter().map(|(_, s)| s.cpu_demand().as_nanos()).sum();
         let params = MachineParams {
             cores,
             ctx_switch_cost: SimDuration::ZERO,
-            mode: if srtf { SchedMode::Srtf } else { SchedMode::Linux },
+            mode: if srtf {
+                SchedMode::Srtf
+            } else {
+                SchedMode::Linux
+            },
             ..Default::default()
         };
         let arrivals = tasks
             .into_iter()
             .map(|(ms, s)| (SimTime::ZERO + SimDuration::from_millis(ms), s));
         let done = run_open_loop(params, arrivals);
-        prop_assert_eq!(done.len(), n, "lost tasks");
+        assert_eq!(done.len(), n, "lost tasks (case {case})");
         let charged: u64 = done.iter().map(|t| t.cpu_time.as_nanos()).sum();
-        prop_assert_eq!(charged, total_cpu, "CPU time not conserved");
+        assert_eq!(charged, total_cpu, "CPU time not conserved (case {case})");
         for t in &done {
-            prop_assert!(t.finished >= t.arrival);
-            prop_assert!(t.turnaround() >= t.ideal, "task {} beat ideal", t.pid);
-            prop_assert!(t.rte() > 0.0 && t.rte() <= 1.0);
-            prop_assert!(t.first_run.is_some(), "task {} never ran", t.pid);
+            assert!(t.finished >= t.arrival, "case {case}");
+            assert!(
+                t.turnaround() >= t.ideal,
+                "task {} beat ideal (case {case})",
+                t.pid
+            );
+            assert!(t.rte() > 0.0 && t.rte() <= 1.0, "case {case}");
+            assert!(
+                t.first_run.is_some(),
+                "task {} never ran (case {case})",
+                t.pid
+            );
         }
     }
+}
 
-    #[test]
-    fn sfs_completes_arbitrary_workloads(
-        n in 20usize..150,
-        seed in 0u64..1_000,
-        load in 0.3f64..1.1,
-        cores in 2usize..7,
-        io_fraction in 0.0f64..0.9,
-        fixed_slice in proptest::option::of(20u64..300),
-    ) {
+#[test]
+fn sfs_completes_arbitrary_workloads() {
+    for case in 0..48 {
+        let mut rng = case_rng("sfs_completes", case);
+        let n = rng.uniform_u64(20, 149) as usize;
+        let seed = rng.uniform_u64(0, 999);
+        let load = rng.uniform(0.3, 1.1);
+        let cores = rng.uniform_u64(2, 6) as usize;
+        let io_fraction = rng.uniform(0.0, 0.9);
+        let fixed_slice = if rng.chance(0.5) {
+            Some(rng.uniform_u64(20, 299))
+        } else {
+            None
+        };
         let mut spec = WorkloadSpec::azure_sampled(n, seed);
         spec.io_fraction = io_fraction;
         let w = spec.with_load(cores, load).generate();
@@ -98,24 +113,35 @@ proptest! {
             cfg = cfg.with_fixed_slice(ms);
         }
         let r = SfsSimulator::new(cfg, MachineParams::linux(cores), w).run();
-        prop_assert_eq!(r.outcomes.len(), n);
+        assert_eq!(r.outcomes.len(), n, "case {case}");
         for o in &r.outcomes {
-            prop_assert!(o.rte > 0.0 && o.rte <= 1.0);
-            prop_assert!(o.turnaround.as_nanos() + 1_000 >= o.ideal.as_nanos());
+            assert!(o.rte > 0.0 && o.rte <= 1.0, "case {case}");
+            assert!(
+                o.turnaround.as_nanos() + 1_000 >= o.ideal.as_nanos(),
+                "case {case}"
+            );
         }
         // Offload + demotion counts can never exceed the request count…
-        prop_assert!(r.offloaded <= n as u64);
+        assert!(r.offloaded <= n as u64, "case {case}");
         // …though a request may be demoted after several I/O rounds.
-        prop_assert!(r.polls == 0 || r.polled_tasks > 0 || io_fraction == 0.0);
+        assert!(
+            r.polls == 0 || r.polled_tasks > 0 || io_fraction == 0.0,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn baselines_agree_on_totals(
-        n in 20usize..120,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn baselines_agree_on_totals() {
+    for case in 0..32 {
+        let mut rng = case_rng("baselines_totals", case);
+        let n = rng.uniform_u64(20, 119) as usize;
+        let seed = rng.uniform_u64(0, 499);
         let w = WorkloadSpec {
-            durations: DurationDist::LogUniform { lo_ms: 2.0, hi_ms: 500.0 },
+            durations: DurationDist::LogUniform {
+                lo_ms: 2.0,
+                hi_ms: 500.0,
+            },
             iat: IatSpec::Poisson { mean_ms: 30.0 },
             ..WorkloadSpec::azure_sampled(n, seed)
         }
@@ -123,24 +149,32 @@ proptest! {
         let total_demand: f64 = w.total_cpu_ms();
         for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
             let outs = run_baseline(b, 3, &w);
-            prop_assert_eq!(outs.len(), n);
+            assert_eq!(outs.len(), n, "case {case}");
             let sum: f64 = outs.iter().map(|o| o.cpu_demand.as_millis_f64()).sum();
-            prop_assert!((sum - total_demand).abs() < 1e-3, "{} demand mismatch", b.name());
+            assert!(
+                (sum - total_demand).abs() < 1e-3,
+                "{} demand mismatch (case {case})",
+                b.name()
+            );
         }
     }
+}
 
-    #[test]
-    fn determinism_across_policies(
-        n in 10usize..60,
-        seed in 0u64..200,
-    ) {
-        let w = WorkloadSpec::azure_sampled(n, seed).with_load(4, 0.9).generate();
+#[test]
+fn determinism_across_policies() {
+    for case in 0..24 {
+        let mut rng = case_rng("determinism", case);
+        let n = rng.uniform_u64(10, 59) as usize;
+        let seed = rng.uniform_u64(0, 199);
+        let w = WorkloadSpec::azure_sampled(n, seed)
+            .with_load(4, 0.9)
+            .generate();
         for b in [Baseline::Cfs, Baseline::Srtf] {
             let a = run_baseline(b, 4, &w);
             let bb = run_baseline(b, 4, &w);
             for (x, y) in a.iter().zip(bb.iter()) {
-                prop_assert_eq!(x.finished, y.finished);
-                prop_assert_eq!(x.ctx_switches, y.ctx_switches);
+                assert_eq!(x.finished, y.finished, "case {case}");
+                assert_eq!(x.ctx_switches, y.ctx_switches, "case {case}");
             }
         }
     }

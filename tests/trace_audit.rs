@@ -36,14 +36,12 @@ fn trace_time_equals_charged_cpu_time() {
 
 #[test]
 fn sfs_trace_shows_filter_phases_as_rt_segments() {
-    let w = WorkloadSpec::azure_sampled(300, 5).with_load(4, 0.9).generate();
-    let r = SfsSimulator::new(
-        SfsConfig::new(4),
-        MachineParams::linux(4),
-        w,
-    )
-    .with_tracing()
-    .run();
+    let w = WorkloadSpec::azure_sampled(300, 5)
+        .with_load(4, 0.9)
+        .generate();
+    let r = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), w)
+        .with_tracing()
+        .run();
     let trace = r.schedule_trace.expect("tracing requested");
     assert!(trace.find_overlap().is_none());
     let rt_segments = trace
@@ -80,10 +78,7 @@ fn gantt_rendering_covers_the_run() {
         label: 1,
     });
     m.run_until_quiescent();
-    let g = m
-        .trace()
-        .unwrap()
-        .render_gantt(SimTime::ZERO, m.now(), 60);
+    let g = m.trace().unwrap().render_gantt(SimTime::ZERO, m.now(), 60);
     assert!(g.contains("core 0") && g.contains("core 1"));
     // CFS task renders as its digit, RT task as a letter.
     assert!(g.contains('0'));
