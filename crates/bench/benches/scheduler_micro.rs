@@ -11,7 +11,7 @@ use std::hint::black_box;
 use sfs_bench::timebench::Harness;
 use sfs_core::{SfsConfig, SliceController};
 use sfs_sched::{CfsRunqueue, Pid, RtRunqueue};
-use sfs_simcore::{SimDuration, SimRng, SimTime};
+use sfs_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use sfs_workload::Table1Sampler;
 
 fn bench_cfs_runqueue(h: &mut Harness) {
@@ -48,6 +48,37 @@ fn bench_rt_runqueue(h: &mut Harness) {
     });
 }
 
+fn bench_event_queue(h: &mut Harness) {
+    // One simulated drain step over a 4k-event backlog with ~8 events per
+    // timestamp: the incremental peek+pop loop vs the batch fast path with
+    // a reused buffer (the shape of SfsSimulator::run's inner loop).
+    let build = || {
+        let mut q = EventQueue::with_capacity(4_096);
+        for i in 0..4_096u64 {
+            q.push(SimTime::ZERO + SimDuration::from_millis(i / 8), i);
+        }
+        q
+    };
+    let horizon = SimTime::ZERO + SimDuration::from_millis(4_096 / 8);
+    let mut q = build();
+    h.bench("event_queue/drain_incremental_pop_until", || {
+        while let Some(ev) = q.pop_until(horizon) {
+            black_box(ev);
+        }
+        q = build();
+    });
+    let mut q = build();
+    let mut buf: Vec<(SimTime, u64)> = Vec::new();
+    h.bench("event_queue/drain_batch_reused_buffer", || {
+        buf.clear();
+        black_box(q.pop_batch_until(horizon, &mut buf));
+        q.recycle();
+        for i in 0..4_096u64 {
+            q.push(SimTime::ZERO + SimDuration::from_millis(i / 8), i);
+        }
+    });
+}
+
 fn bench_timeslice(h: &mut Harness) {
     let cfg = SfsConfig::new(16);
     let mut sc = SliceController::new(&cfg);
@@ -71,6 +102,7 @@ fn main() {
     let mut h = Harness::from_args();
     bench_cfs_runqueue(&mut h);
     bench_rt_runqueue(&mut h);
+    bench_event_queue(&mut h);
     bench_timeslice(&mut h);
     bench_workload_gen(&mut h);
     h.finish();

@@ -6,7 +6,7 @@
 //! imbalance, core under-utilisation). This harness quantifies them on the
 //! standalone workload at 90% load.
 
-use sfs_bench::{banner, save, section, turnarounds_ms};
+use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
 use sfs_core::{SfsConfig, SfsSimulator};
 use sfs_metrics::{cdf_chart, PercentileTable};
 use sfs_sched::MachineParams;
@@ -24,21 +24,25 @@ fn main() {
         seed,
     );
 
-    let w = WorkloadSpec::azure_sampled(n, seed)
-        .with_load(CORES, 0.9)
-        .generate();
-    let global = SfsSimulator::new(
-        SfsConfig::new(CORES),
-        MachineParams::linux(CORES),
-        w.clone(),
-    )
-    .run();
-    let per = SfsSimulator::new(
-        SfsConfig::new(CORES).per_worker_queues(),
-        MachineParams::linux(CORES),
-        w,
-    )
-    .run();
+    let gen = move || {
+        WorkloadSpec::azure_sampled(n, seed)
+            .with_load(CORES, 0.9)
+            .generate()
+    };
+    let mut sweep = Sweep::new("ablation_queues", seed);
+    sweep.scenario("global queue", move |_| {
+        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen()).run()
+    });
+    sweep.scenario("per-worker queues", move |_| {
+        SfsSimulator::new(
+            SfsConfig::new(CORES).per_worker_queues(),
+            MachineParams::linux(CORES),
+            gen(),
+        )
+        .run()
+    });
+    let results = sweep.run();
+    let (global, per) = (&results[0].value, &results[1].value);
 
     let g = turnarounds_ms(&global.outcomes);
     let p = turnarounds_ms(&per.outcomes);

@@ -3,8 +3,8 @@
 //! short-function win comes from (the shorter the bucket, the larger the
 //! speedup) and how the crossover approaches 1× at the long bucket.
 
-use sfs_bench::{banner, save, section};
-use sfs_core::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_bench::{banner, save, section, Sweep};
+use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
 use sfs_metrics::MarkdownTable;
 use sfs_sched::MachineParams;
 use sfs_simcore::Samples;
@@ -22,17 +22,32 @@ fn main() {
         seed,
     );
 
-    let w = WorkloadSpec::azure_sampled(n, seed)
-        .with_load(CORES, 1.0)
-        .generate();
-    let sfs = SfsSimulator::new(
-        SfsConfig::new(CORES),
-        MachineParams::linux(CORES),
-        w.clone(),
-    )
-    .run()
-    .outcomes;
-    let cfs = run_baseline(Baseline::Cfs, CORES, &w);
+    let gen = move || {
+        WorkloadSpec::azure_sampled(n, seed)
+            .with_load(CORES, 1.0)
+            .generate()
+    };
+    let mut sweep: Sweep<'_, (Vec<RequestOutcome>, Option<sfs_workload::Workload>)> =
+        Sweep::new("breakdown_buckets", seed);
+    sweep.scenario("SFS", move |_| {
+        let outs = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen())
+            .run()
+            .outcomes;
+        (outs, None)
+    });
+    sweep.scenario("CFS", move |_| {
+        // The CFS trial keeps its workload so the bucketing below doesn't
+        // regenerate it a third time on the main thread.
+        let w = gen();
+        (run_baseline(Baseline::Cfs, CORES, &w), Some(w))
+    });
+    let results = sweep.run();
+    let (sfs, cfs) = (&results[0].value.0, &results[1].value.0);
+    let w = results[1]
+        .value
+        .1
+        .as_ref()
+        .expect("CFS trial keeps workload");
 
     let mut table = MarkdownTable::new(&[
         "bucket",

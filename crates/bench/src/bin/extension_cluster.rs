@@ -2,7 +2,7 @@
 //! stated future work, §VIII-A): a global dispatcher steering predicted
 //! long functions to the lightest host of an SFS cluster.
 
-use sfs_bench::{banner, save, section};
+use sfs_bench::{banner, save, section, Sweep};
 use sfs_faas::{Cluster, Placement};
 use sfs_metrics::MarkdownTable;
 use sfs_simcore::Samples;
@@ -21,10 +21,20 @@ fn main() {
         seed,
     );
 
-    let w = WorkloadSpec::azure_sampled(n, seed)
-        .with_load(HOSTS * CORES_PER_HOST, 1.0)
-        .generate();
-    let cluster = Cluster::new(HOSTS, CORES_PER_HOST);
+    let mut sweep = Sweep::new("extension_cluster", seed);
+    for p in [
+        Placement::RoundRobin,
+        Placement::LeastLoaded,
+        Placement::LongToLightest,
+    ] {
+        sweep.scenario(p.name(), move |_| {
+            let w = WorkloadSpec::azure_sampled(n, seed)
+                .with_load(HOSTS * CORES_PER_HOST, 1.0)
+                .generate();
+            Cluster::new(HOSTS, CORES_PER_HOST).run(p, &w)
+        });
+    }
+    let results = sweep.run();
 
     let mut table = MarkdownTable::new(&[
         "placement",
@@ -33,12 +43,8 @@ fn main() {
         "long p99 (ms)",
         "per-host counts",
     ]);
-    for p in [
-        Placement::RoundRobin,
-        Placement::LeastLoaded,
-        Placement::LongToLightest,
-    ] {
-        let run = cluster.run(p, &w);
+    for r in &results {
+        let run = &r.value;
         let mut long_samples = Samples::from_vec(
             run.outcomes
                 .iter()
@@ -47,7 +53,7 @@ fn main() {
                 .collect(),
         );
         table.row(&[
-            p.name().into(),
+            r.label.clone(),
             format!("{:.1}", run.short_mean_ms()),
             format!("{:.1}", run.long_mean_ms()),
             format!("{:.1}", long_samples.percentile(99.0)),

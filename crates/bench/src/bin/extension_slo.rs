@@ -6,13 +6,14 @@
 //! SFS and every kernel baseline at 80% and 100% load, plus the tightest
 //! sellable bound per scheduler.
 
-use sfs_bench::{banner, save, section};
+use sfs_bench::{banner, save, section, Sweep};
 use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
 use sfs_metrics::{evaluate_slo, tightest_bound, MarkdownTable, SloRule};
 use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 16;
+const BASELINES: [Baseline; 4] = [Baseline::Srtf, Baseline::Cfs, Baseline::Rr, Baseline::Fifo];
 
 fn main() {
     let n = sfs_bench::n_requests(10_000);
@@ -24,6 +25,31 @@ fn main() {
         seed,
     );
 
+    let gen = move |load: f64| {
+        WorkloadSpec::azure_sampled(n, seed)
+            .with_load(CORES, load)
+            .generate()
+    };
+    let mut sweep: Sweep<'_, (f64, Vec<RequestOutcome>)> = Sweep::new("extension_slo", seed);
+    for &load in &[0.8, 1.0] {
+        sweep.scenario("SFS", move |_| {
+            let outs = SfsSimulator::new(
+                SfsConfig::new(CORES),
+                MachineParams::linux(CORES),
+                gen(load),
+            )
+            .run()
+            .outcomes;
+            (load, outs)
+        });
+        for b in BASELINES {
+            sweep.scenario(b.name(), move |_| {
+                (load, run_baseline(b, CORES, &gen(load)))
+            });
+        }
+    }
+    let results = sweep.run();
+
     let mut table = MarkdownTable::new(&[
         "scheduler",
         "load",
@@ -31,48 +57,30 @@ fn main() {
         "hard SLO (99% in 10x)",
         "tightest p95 bound",
     ]);
-
-    for &load in &[0.8, 1.0] {
-        let w = WorkloadSpec::azure_sampled(n, seed)
-            .with_load(CORES, load)
-            .generate();
-        let mut runs: Vec<(&str, Vec<RequestOutcome>)> = vec![(
-            "SFS",
-            SfsSimulator::new(
-                SfsConfig::new(CORES),
-                MachineParams::linux(CORES),
-                w.clone(),
-            )
-            .run()
-            .outcomes,
-        )];
-        for b in [Baseline::Srtf, Baseline::Cfs, Baseline::Rr, Baseline::Fifo] {
-            runs.push((b.name(), run_baseline(b, CORES, &w)));
-        }
-        for (name, outs) in runs {
-            let invocations: Vec<(f64, f64)> = outs
-                .iter()
-                .map(|o| (o.ideal.as_millis_f64(), o.turnaround.as_millis_f64()))
-                .collect();
-            let soft = evaluate_slo(SloRule::soft(), &invocations);
-            let hard = evaluate_slo(SloRule::hard(), &invocations);
-            let bound = tightest_bound(0.95, 10.0, &invocations);
-            table.row(&[
-                name.into(),
-                format!("{:.0}%", load * 100.0),
-                format!(
-                    "{:.1}% {}",
-                    soft.attained_fraction * 100.0,
-                    if soft.met { "MET" } else { "missed" }
-                ),
-                format!(
-                    "{:.1}% {}",
-                    hard.attained_fraction * 100.0,
-                    if hard.met { "MET" } else { "missed" }
-                ),
-                format!("{bound:.1}x"),
-            ]);
-        }
+    for r in &results {
+        let (load, outs) = &r.value;
+        let invocations: Vec<(f64, f64)> = outs
+            .iter()
+            .map(|o| (o.ideal.as_millis_f64(), o.turnaround.as_millis_f64()))
+            .collect();
+        let soft = evaluate_slo(SloRule::soft(), &invocations);
+        let hard = evaluate_slo(SloRule::hard(), &invocations);
+        let bound = tightest_bound(0.95, 10.0, &invocations);
+        table.row(&[
+            r.label.clone(),
+            format!("{:.0}%", load * 100.0),
+            format!(
+                "{:.1}% {}",
+                soft.attained_fraction * 100.0,
+                if soft.met { "MET" } else { "missed" }
+            ),
+            format!(
+                "{:.1}% {}",
+                hard.attained_fraction * 100.0,
+                if hard.met { "MET" } else { "missed" }
+            ),
+            format!("{bound:.1}x"),
+        ]);
     }
 
     section("SLO attainment");

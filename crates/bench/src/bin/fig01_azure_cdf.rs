@@ -5,7 +5,7 @@
 //! population (see `sfs_workload::azure` for the substitution note). The
 //! printed checkpoints are the quantile claims from §IV-A.
 
-use sfs_bench::{banner, save, section};
+use sfs_bench::{banner, save, section, Sweep};
 use sfs_metrics::{cdf_chart, MarkdownTable};
 use sfs_simcore::SimRng;
 use sfs_workload::azure;
@@ -15,8 +15,13 @@ fn main() {
     let seed = sfs_bench::seed();
     banner("Fig. 1", "CDF of Azure function durations", n, seed);
 
-    let mut rng = SimRng::seed_from_u64(seed);
-    let mut pop = azure::sample_population(n, &mut rng);
+    // A single scenario: population sampling is the whole experiment.
+    let mut sweep = Sweep::new("fig01", seed);
+    sweep.scenario("azure population", move |_| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        azure::sample_population(n, &mut rng)
+    });
+    let mut pop = sweep.run().remove(0).value;
 
     section("paper checkpoints (§IV-A)");
     let mut t = MarkdownTable::new(&["duration", "paper CDF", "measured CDF"]);

@@ -6,12 +6,13 @@
 //! Linux policies but with a large RTE < 0.2 mass at 100%; FIFO worst
 //! (convoy effect).
 
-use sfs_bench::{banner, rtes, save, section, turnarounds_ms};
-use sfs_core::{run_baseline, run_ideal, Baseline};
+use sfs_bench::{banner, rtes, save, section, turnarounds_ms, Sweep};
+use sfs_core::{run_baseline, run_ideal, Baseline, RequestOutcome};
 use sfs_metrics::{cdf_chart, CdfReport, MarkdownTable};
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 12;
+const BASELINES: [Baseline; 4] = [Baseline::Srtf, Baseline::Cfs, Baseline::Fifo, Baseline::Rr];
 
 fn main() {
     let n = sfs_bench::n_requests(49_712);
@@ -23,33 +24,44 @@ fn main() {
         seed,
     );
 
+    // One trial per (load, scheduler); all trials at a load share the
+    // replayed workload by regenerating it from the master seed.
+    let gen = move |load: f64| {
+        WorkloadSpec::azure_replay(n, seed)
+            .with_load(CORES, load)
+            .generate()
+    };
+    let mut sweep: Sweep<'_, (f64, Vec<RequestOutcome>)> = Sweep::new("fig02", seed);
+    for &load in &[0.8, 1.0] {
+        for b in BASELINES {
+            sweep.scenario(format!("{} {:.0}%", b.name(), load * 100.0), move |_| {
+                (load, run_baseline(b, CORES, &gen(load)))
+            });
+        }
+    }
+    // IDEAL is load-independent.
+    sweep.scenario("IDEAL", move |_| (1.0, run_ideal(&gen(1.0))));
+    let results = sweep.run();
+
     let mut duration_report = CdfReport::new("duration_ms");
     let mut rte_report = CdfReport::new("rte");
     let mut rte_twenty = MarkdownTable::new(&["series", "fraction RTE < 0.2"]);
     let mut chart_series: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for &load in &[0.8, 1.0] {
-        let w = WorkloadSpec::azure_replay(n, seed)
-            .with_load(CORES, load)
-            .generate();
-        for b in [Baseline::Srtf, Baseline::Cfs, Baseline::Fifo, Baseline::Rr] {
-            let out = run_baseline(b, CORES, &w);
-            let label = format!("{} {:.0}%", b.name(), load * 100.0);
-            let durs = turnarounds_ms(&out);
-            let rt = rtes(&out);
+    for r in &results {
+        let (load, outs) = &r.value;
+        let at_full_load = (load - 1.0).abs() < 1e-9;
+        let is_ideal = r.label == "IDEAL";
+        let durs = turnarounds_ms(outs);
+        let rt = rtes(outs);
+        if !is_ideal {
             let below = rt.iter().filter(|&&x| x < 0.2).count() as f64 / rt.len() as f64;
-            rte_twenty.row(&[label.clone(), format!("{below:.3}")]);
-            duration_report.push(label.clone(), durs.clone());
-            rte_report.push(label.clone(), rt);
-            if load == 1.0 {
-                chart_series.push((label, durs));
-            }
+            rte_twenty.row(&[r.label.clone(), format!("{below:.3}")]);
         }
-        // IDEAL is load-independent.
-        if load == 1.0 {
-            let ideal = run_ideal(&w);
-            duration_report.push("IDEAL", turnarounds_ms(&ideal));
-            rte_report.push("IDEAL", rtes(&ideal));
+        duration_report.push(r.label.clone(), durs.clone());
+        rte_report.push(r.label.clone(), rt);
+        if at_full_load && !is_ideal {
+            chart_series.push((r.label.clone(), durs));
         }
     }
 

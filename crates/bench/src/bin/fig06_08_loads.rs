@@ -5,8 +5,8 @@
 //! requests (median ~constant); CFS median and tail grow with load; SFS
 //! tail slightly above CFS's at matched load.
 
-use sfs_bench::{banner, rtes, save, section, split_short_long, turnarounds_ms};
-use sfs_core::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_bench::{banner, rtes, save, section, split_short_long, turnarounds_ms, Sweep};
+use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
 use sfs_metrics::{cdf_chart, CdfReport, MarkdownTable, PercentileTable};
 use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
@@ -24,6 +24,26 @@ fn main() {
         seed,
     );
 
+    // One trial per (load, scheduler); SFS and CFS at the same load share
+    // the workload by regenerating it from the master seed.
+    let mut sweep: Sweep<'_, Vec<RequestOutcome>> = Sweep::new("fig06_08", seed);
+    for &load in &LOADS {
+        let gen = move || {
+            WorkloadSpec::azure_sampled(n, seed)
+                .with_load(CORES, load)
+                .generate()
+        };
+        sweep.scenario(format!("SFS {:.0}%", load * 100.0), move |_| {
+            SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen())
+                .run()
+                .outcomes
+        });
+        sweep.scenario(format!("CFS {:.0}%", load * 100.0), move |_| {
+            run_baseline(Baseline::Cfs, CORES, &gen())
+        });
+    }
+    let results = sweep.run();
+
     let mut dur_report = CdfReport::new("duration_ms");
     let mut rte_report = CdfReport::new("rte");
     let mut pct = PercentileTable::new();
@@ -31,33 +51,23 @@ fn main() {
     let mut medians = MarkdownTable::new(&["load", "SFS p50 (ms)", "CFS p50 (ms)"]);
     let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for &load in &LOADS {
-        let w = WorkloadSpec::azure_sampled(n, seed)
-            .with_load(CORES, load)
-            .generate();
-        let sfs = SfsSimulator::new(
-            SfsConfig::new(CORES),
-            MachineParams::linux(CORES),
-            w.clone(),
-        )
-        .run();
-        let cfs = run_baseline(Baseline::Cfs, CORES, &w);
-
-        for (name, outs) in [("SFS", &sfs.outcomes), ("CFS", &cfs)] {
-            let label = format!("{name} {:.0}%", load * 100.0);
-            let durs = turnarounds_ms(outs);
-            let rt = rtes(outs);
+    for (li, &load) in LOADS.iter().enumerate() {
+        let sfs = &results[2 * li];
+        let cfs = &results[2 * li + 1];
+        for r in [sfs, cfs] {
+            let durs = turnarounds_ms(&r.value);
+            let rt = rtes(&r.value);
             let at95 = rt.iter().filter(|&&x| x >= 0.95).count() as f64 / rt.len() as f64;
-            rte95.row(&[label.clone(), format!("{at95:.3}")]);
-            pct.push(label.clone(), durs.clone());
-            dur_report.push(label.clone(), durs.clone());
-            rte_report.push(label.clone(), rt);
+            rte95.row(&[r.label.clone(), format!("{at95:.3}")]);
+            pct.push(r.label.clone(), durs.clone());
+            dur_report.push(r.label.clone(), durs.clone());
+            rte_report.push(r.label.clone(), rt);
             if (load - 0.8).abs() < 1e-9 || (load - 1.0).abs() < 1e-9 {
-                chart.push((label, durs.clone()));
+                chart.push((r.label.clone(), durs));
             }
         }
-        let mut s_samples = sfs_simcore::Samples::from_vec(turnarounds_ms(&sfs.outcomes));
-        let mut c_samples = sfs_simcore::Samples::from_vec(turnarounds_ms(&cfs));
+        let mut s_samples = sfs_simcore::Samples::from_vec(turnarounds_ms(&sfs.value));
+        let mut c_samples = sfs_simcore::Samples::from_vec(turnarounds_ms(&cfs.value));
         medians.row(&[
             format!("{:.0}%", load * 100.0),
             format!("{:.1}", s_samples.percentile(50.0)),
@@ -66,8 +76,8 @@ fn main() {
 
         // Short/long split at 100% for the headline cross-check.
         if (load - 1.0).abs() < 1e-9 {
-            let (s_short, s_long) = split_short_long(&sfs.outcomes);
-            let (c_short, c_long) = split_short_long(&cfs);
+            let (s_short, s_long) = split_short_long(&sfs.value);
+            let (c_short, c_long) = split_short_long(&cfs.value);
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             section("100% load short/long means (ms)");
             println!(

@@ -4,7 +4,7 @@
 //! Expected shape: adaptive SFS beats the 100/200 ms fixed slices overall;
 //! the 50 ms slice helps ~30% of short requests but hurts the rest.
 
-use sfs_bench::{banner, save, section, turnarounds_ms};
+use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
 use sfs_core::{SfsConfig, SfsSimulator};
 use sfs_metrics::{cdf_chart, CdfReport};
 use sfs_sched::MachineParams;
@@ -22,12 +22,6 @@ fn main() {
         seed,
     );
 
-    let w = WorkloadSpec::azure_sampled(n, seed)
-        .with_load(CORES, 0.8)
-        .generate();
-    let mut report = CdfReport::new("duration_ms");
-    let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
-
     let variants: Vec<(String, SfsConfig)> = vec![
         ("SFS".into(), SfsConfig::new(CORES)),
         ("SFS 50".into(), SfsConfig::new(CORES).with_fixed_slice(50)),
@@ -40,17 +34,30 @@ fn main() {
             SfsConfig::new(CORES).with_fixed_slice(200),
         ),
     ];
+    let mut sweep = Sweep::new("fig09", seed);
     for (label, cfg) in variants {
-        let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
-        let durs = turnarounds_ms(&r.outcomes);
+        sweep.scenario(label, move |_| {
+            let w = WorkloadSpec::azure_sampled(n, seed)
+                .with_load(CORES, 0.8)
+                .generate();
+            SfsSimulator::new(cfg, MachineParams::linux(CORES), w).run()
+        });
+    }
+    let results = sweep.run();
+
+    let mut report = CdfReport::new("duration_ms");
+    let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in &results {
+        let durs = turnarounds_ms(&r.value.outcomes);
         println!(
-            "{label:>8}: mean {:.1} ms, demoted {}, recalcs {}",
-            r.mean_turnaround_ms(),
-            r.demoted,
-            r.slice_recalcs
+            "{:>8}: mean {:.1} ms, demoted {}, recalcs {}",
+            r.label,
+            r.value.mean_turnaround_ms(),
+            r.value.demoted,
+            r.value.slice_recalcs
         );
-        report.push(label.clone(), durs.clone());
-        chart.push((label, durs));
+        report.push(r.label.clone(), durs.clone());
+        chart.push((r.label.clone(), durs));
     }
 
     section("duration CDF quantiles (ms)");

@@ -4,7 +4,7 @@
 //! Expected shape: S tracks the IAT signal scaled by the core count —
 //! when arrivals speed up the slice tightens, and vice versa.
 
-use sfs_bench::{banner, save, section};
+use sfs_bench::{banner, save, section, Sweep};
 use sfs_core::{SfsConfig, SfsSimulator};
 use sfs_metrics::timeline_chart;
 use sfs_sched::MachineParams;
@@ -20,13 +20,17 @@ fn main() {
     // A bursty arrival process makes the adaptation visible (the paper's
     // replayed trace has rate variation; a constant-rate Poisson would give
     // a flat line).
-    let mut spec = WorkloadSpec::azure_sampled(n, seed);
-    spec.iat = IatSpec::Bursty {
-        base_mean_ms: 1.0,
-        spikes: Spike::evenly_spaced(4, n / 12, 4.0, n),
-    };
-    let w = spec.with_load(CORES, 0.8).generate();
-    let r = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w).run();
+    let mut sweep = Sweep::new("fig10", seed);
+    sweep.scenario("SFS timeline", move |_| {
+        let mut spec = WorkloadSpec::azure_sampled(n, seed);
+        spec.iat = IatSpec::Bursty {
+            base_mean_ms: 1.0,
+            spikes: Spike::evenly_spaced(4, n / 12, 4.0, n),
+        };
+        let w = spec.with_load(CORES, 0.8).generate();
+        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w).run()
+    });
+    let r = sweep.run().remove(0).value;
 
     section(&format!(
         "slice recalculations: {} (every 100 arrivals)",

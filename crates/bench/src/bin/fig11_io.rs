@@ -6,7 +6,7 @@
 //! I/O-oblivious SFS is clearly worse (blocked functions burn their FILTER
 //! slice and get demoted).
 
-use sfs_bench::{banner, save, section, turnarounds_ms};
+use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
 use sfs_core::{SfsConfig, SfsSimulator};
 use sfs_metrics::{cdf_chart, CdfReport};
 use sfs_sched::MachineParams;
@@ -29,15 +29,14 @@ fn main() {
     // burstiness matters because the adaptive slice S dips during spikes,
     // which is exactly when an I/O-oblivious FILTER pool wastes slice
     // credit on sleeping functions.
-    let mut spec = WorkloadSpec::azure_replay(n, seed);
-    spec.io_fraction = 0.75;
-    spec.io_range_ms = (10.0, 100.0);
-    let w = spec.with_load(CORES, 0.8).generate();
+    let gen = move || {
+        let mut spec = WorkloadSpec::azure_replay(n, seed);
+        spec.io_fraction = 0.75;
+        spec.io_range_ms = (10.0, 100.0);
+        spec.with_load(CORES, 0.8).generate()
+    };
 
-    let mut report = CdfReport::new("duration_ms");
-    let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
-
-    for (label, cfg) in [
+    let variants: Vec<(&str, SfsConfig)> = vec![
         ("SFS + 1ms", poll_cfg(1)),
         ("SFS + 4ms", poll_cfg(4)),
         ("SFS + 8ms", poll_cfg(8)),
@@ -50,18 +49,30 @@ fn main() {
             "SFS 50ms oblivious",
             SfsConfig::new(CORES).io_oblivious().with_fixed_slice(50),
         ),
-    ] {
-        let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
-        let io_blocks: u32 = r.outcomes.iter().map(|o| o.io_blocks).sum();
+    ];
+    let mut sweep = Sweep::new("fig11", seed);
+    for (label, cfg) in variants {
+        sweep.scenario(label, move |_| {
+            SfsSimulator::new(cfg, MachineParams::linux(CORES), gen()).run()
+        });
+    }
+    let results = sweep.run();
+
+    let mut report = CdfReport::new("duration_ms");
+    let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for r in &results {
+        let io_blocks: u32 = r.value.outcomes.iter().map(|o| o.io_blocks).sum();
         println!(
-            "{label:>18}: mean {:.1} ms, io-blocks detected {}, demoted {}",
-            r.mean_turnaround_ms(),
+            "{:>18}: mean {:.1} ms, io-blocks detected {}, demoted {}",
+            r.label,
+            r.value.mean_turnaround_ms(),
             io_blocks,
-            r.demoted
+            r.value.demoted
         );
-        let durs = turnarounds_ms(&r.outcomes);
-        report.push(label, durs.clone());
-        chart.push((label.to_string(), durs));
+        let durs = turnarounds_ms(&r.value.outcomes);
+        report.push(r.label.clone(), durs.clone());
+        chart.push((r.label.clone(), durs));
     }
 
     section("duration CDF quantiles (ms)");

@@ -6,7 +6,7 @@
 //! drain slowly; with it the timeline stays smooth and ~50% of requests see
 //! materially lower turnaround.
 
-use sfs_bench::{banner, save, section, turnarounds_ms};
+use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
 use sfs_core::{SfsConfig, SfsSimulator};
 use sfs_metrics::{cdf_chart, timeline_chart, CdfReport};
 use sfs_sched::MachineParams;
@@ -24,38 +24,43 @@ fn main() {
         seed,
     );
 
-    let mut spec = WorkloadSpec::azure_sampled(n, seed);
-    spec.iat = IatSpec::Bursty {
-        base_mean_ms: 1.0,
-        spikes: Spike::evenly_spaced(5, n / 25, 10.0, n),
+    let gen = move || {
+        let mut spec = WorkloadSpec::azure_sampled(n, seed);
+        spec.iat = IatSpec::Bursty {
+            base_mean_ms: 1.0,
+            spikes: Spike::evenly_spaced(5, n / 25, 10.0, n),
+        };
+        spec.with_load(CORES, 0.85).generate()
     };
-    let w = spec.with_load(CORES, 0.85).generate();
-
-    let hybrid = SfsSimulator::new(
-        SfsConfig::new(CORES),
-        MachineParams::linux(CORES),
-        w.clone(),
-    )
-    .run();
-    let pure = SfsSimulator::new(
-        SfsConfig::new(CORES).without_hybrid(),
-        MachineParams::linux(CORES),
-        w,
-    )
-    .run();
+    let mut sweep = Sweep::new("fig12", seed);
+    sweep.scenario("SFS", move |_| {
+        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen()).run()
+    });
+    sweep.scenario("SFS w/o hybrid", move |_| {
+        SfsSimulator::new(
+            SfsConfig::new(CORES).without_hybrid(),
+            MachineParams::linux(CORES),
+            gen(),
+        )
+        .run()
+    });
+    let results = sweep.run();
+    let (hybrid, pure) = (&results[0].value, &results[1].value);
 
     section("Fig. 12(a) queuing delay timeline (s)");
-    for (label, r) in [("SFS", &hybrid), ("SFS w/o hybrid", &pure)] {
+    for r in &results {
         let pts: Vec<(f64, f64)> = r
+            .value
             .queue_delay_series
             .points()
             .iter()
             .map(|&(t, v)| (t.as_secs_f64(), v))
             .collect();
         println!(
-            "{label}: peak {:.2}s mean {:.3}s",
-            r.queue_delay_series.max_value(),
-            r.queue_delay_series.mean_value()
+            "{}: peak {:.2}s mean {:.3}s",
+            r.label,
+            r.value.queue_delay_series.max_value(),
+            r.value.queue_delay_series.mean_value()
         );
         println!("{}", timeline_chart(&pts, 72, 10));
     }

@@ -7,7 +7,7 @@
 //! load; p99 speedup grows with load (paper: 1.65× / 4.04× / 7.93×); CFS
 //! out-switches SFS ≥10× for most requests.
 
-use sfs_bench::{banner, rtes, save, section, turnarounds_ms};
+use sfs_bench::{banner, rtes, save, section, turnarounds_ms, Sweep};
 use sfs_core::{Baseline, RequestOutcome, SfsConfig};
 use sfs_faas::{HostScheduler, OpenLambda, OpenLambdaParams};
 use sfs_metrics::{
@@ -19,6 +19,27 @@ use sfs_workload::{IatSpec, Spike, WorkloadSpec};
 const CORES: usize = 72;
 const LOADS: [f64; 3] = [0.8, 0.9, 1.0];
 
+/// The §IX-A workload at the paper's nominal `load` level.
+fn gen(n: usize, seed: u64, load: f64) -> sfs_workload::Workload {
+    // The replayed trace's overload spikes are concurrent-invocation
+    // floods (hundreds of simultaneous requests, §V-E); on a 72-core
+    // host a burst must be large relative to the core count to show up.
+    let mut spec = WorkloadSpec::openlambda(n, seed);
+    spec.iat = IatSpec::Bursty {
+        base_mean_ms: 1.0,
+        spikes: Spike::evenly_spaced(4, n / 20, 10.0, n),
+    };
+    // Load calibration: the paper's 80–100% levels are duration-based
+    // (fib+md+sa durations include I/O), and on its real testbed they
+    // bracket the consolidation-contention regime where CFS's backlog
+    // spirals but SFS's FILTER drains. The simulator's idealised
+    // substrate has a narrower critical window, so the paper's span is
+    // mapped linearly into it (0.84..0.94 duration-based load); see
+    // EXPERIMENTS.md for the calibration discussion.
+    let rho = 0.84 + 0.5 * (load - 0.8);
+    spec.with_duration_load(CORES, rho).generate()
+}
+
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
@@ -29,7 +50,27 @@ fn main() {
         seed,
     );
 
-    let ol = OpenLambda::new(OpenLambdaParams::default());
+    let mut sweep: Sweep<'_, Vec<RequestOutcome>> = Sweep::new("fig13_16", seed);
+    for &load in &LOADS {
+        sweep.scenario(format!("OL+SFS {:.0}%", load * 100.0), move |_| {
+            let ol = OpenLambda::new(OpenLambdaParams::default());
+            ol.run(
+                HostScheduler::Sfs(SfsConfig::new(CORES)),
+                CORES,
+                &gen(n, seed, load),
+            )
+        });
+        sweep.scenario(format!("OL+CFS {:.0}%", load * 100.0), move |_| {
+            let ol = OpenLambda::new(OpenLambdaParams::default());
+            ol.run(
+                HostScheduler::Kernel(Baseline::Cfs),
+                CORES,
+                &gen(n, seed, load),
+            )
+        });
+    }
+    let results = sweep.run();
+
     let mut dur_report = CdfReport::new("duration_ms");
     let mut rte_report = CdfReport::new("rte");
     let mut pct = PercentileTable::new();
@@ -42,39 +83,20 @@ fn main() {
     ]);
     let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for &load in &LOADS {
-        // The replayed trace's overload spikes are concurrent-invocation
-        // floods (hundreds of simultaneous requests, §V-E); on a 72-core
-        // host a burst must be large relative to the core count to show up.
-        let mut spec = WorkloadSpec::openlambda(n, seed);
-        spec.iat = IatSpec::Bursty {
-            base_mean_ms: 1.0,
-            spikes: Spike::evenly_spaced(4, n / 20, 10.0, n),
-        };
-        // Load calibration: the paper's 80–100% levels are duration-based
-        // (fib+md+sa durations include I/O), and on its real testbed they
-        // bracket the consolidation-contention regime where CFS's backlog
-        // spirals but SFS's FILTER drains. The simulator's idealised
-        // substrate has a narrower critical window, so the paper's span is
-        // mapped linearly into it (0.84..0.94 duration-based load); see
-        // EXPERIMENTS.md for the calibration discussion.
-        let rho = 0.84 + 0.5 * (load - 0.8);
-        let w = spec.with_duration_load(CORES, rho).generate();
-        let sfs = ol.run(HostScheduler::Sfs(SfsConfig::new(CORES)), CORES, &w);
-        let cfs = ol.run(HostScheduler::Kernel(Baseline::Cfs), CORES, &w);
-
-        for (name, outs) in [("OL+SFS", &sfs), ("OL+CFS", &cfs)] {
-            let label = format!("{name} {:.0}%", load * 100.0);
-            dur_report.push(label.clone(), turnarounds_ms(outs));
-            rte_report.push(label.clone(), rtes(outs));
-            pct.push(label.clone(), turnarounds_ms(outs));
+    for (li, &load) in LOADS.iter().enumerate() {
+        let sfs = &results[2 * li];
+        let cfs = &results[2 * li + 1];
+        for r in [sfs, cfs] {
+            dur_report.push(r.label.clone(), turnarounds_ms(&r.value));
+            rte_report.push(r.label.clone(), rtes(&r.value));
+            pct.push(r.label.clone(), turnarounds_ms(&r.value));
             if (load - 1.0).abs() < 1e-9 {
-                chart.push((label, turnarounds_ms(outs)));
+                chart.push((r.label.clone(), turnarounds_ms(&r.value)));
             }
         }
 
-        let mut s = Samples::from_vec(turnarounds_ms(&sfs));
-        let mut c = Samples::from_vec(turnarounds_ms(&cfs));
+        let mut s = Samples::from_vec(turnarounds_ms(&sfs.value));
+        let mut c = Samples::from_vec(turnarounds_ms(&cfs.value));
         let (sp99, cp99) = (s.percentile(99.0), c.percentile(99.0));
         speedups.row(&[
             format!("{:.0}%", load * 100.0),
@@ -84,7 +106,7 @@ fn main() {
         ]);
 
         // Fig. 16: per-request context-switch ratio.
-        let pairs = pair(&sfs, &cfs);
+        let pairs = pair(&sfs.value, &cfs.value);
         let ratios = ctx_switch_ratios(&pairs);
         let more = pairs
             .iter()

@@ -7,8 +7,8 @@
 //! Runs the standalone Fig. 6 setup at 100% load and aggregates per-request
 //! speedups with `sfs_metrics::headline_claims`.
 
-use sfs_bench::{banner, save, section};
-use sfs_core::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_bench::{banner, save, section, Sweep};
+use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
 use sfs_metrics::{headline_claims, MarkdownTable, Paired};
 use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
@@ -25,17 +25,20 @@ fn main() {
         seed,
     );
 
-    let w = WorkloadSpec::azure_sampled(n, seed)
-        .with_load(CORES, 1.0)
-        .generate();
-    let sfs = SfsSimulator::new(
-        SfsConfig::new(CORES),
-        MachineParams::linux(CORES),
-        w.clone(),
-    )
-    .run()
-    .outcomes;
-    let cfs = run_baseline(Baseline::Cfs, CORES, &w);
+    let gen = move || {
+        WorkloadSpec::azure_sampled(n, seed)
+            .with_load(CORES, 1.0)
+            .generate()
+    };
+    let mut sweep: Sweep<'_, Vec<RequestOutcome>> = Sweep::new("headline", seed);
+    sweep.scenario("SFS", move |_| {
+        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen())
+            .run()
+            .outcomes
+    });
+    sweep.scenario("CFS", move |_| run_baseline(Baseline::Cfs, CORES, &gen()));
+    let results = sweep.run();
+    let (sfs, cfs) = (&results[0].value, &results[1].value);
 
     let pairs: Vec<Paired> = sfs
         .iter()

@@ -1,0 +1,128 @@
+//! Scenario matrix: SFS vs CFS on the workload families beyond the
+//! paper's evaluation — diurnal load ramps, correlated (Markov-modulated)
+//! bursts, and a heavy-tailed cold-start mix.
+//!
+//! Expected shape: SFS's short-function advantage survives every family;
+//! diurnal ramps are the easiest (the slice controller tracks them),
+//! correlated bursts lean hardest on the hybrid bypass, and the cold-start
+//! mix erodes part of the short-function win because spin-up CPU makes
+//! "short" requests long in disguise.
+
+use sfs_bench::{banner, rtes, save, section, turnarounds_ms, Sweep};
+use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_metrics::{cdf_chart, MarkdownTable, PercentileTable};
+use sfs_sched::MachineParams;
+use sfs_workload::WorkloadSpec;
+
+const CORES: usize = 16;
+const LOAD: f64 = 0.85;
+
+/// The three extension families, by name.
+fn family(name: &str, n: usize, seed: u64) -> WorkloadSpec {
+    match name {
+        "diurnal" => WorkloadSpec::diurnal(n, seed),
+        "correlated" => WorkloadSpec::correlated_bursts(n, seed),
+        "cold-start" => WorkloadSpec::cold_start_mix(n, seed),
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+struct Cell {
+    outcomes: Vec<RequestOutcome>,
+    offloaded: u64,
+    demoted: u64,
+}
+
+fn main() {
+    let n = sfs_bench::n_requests(10_000);
+    let seed = sfs_bench::seed();
+    banner(
+        "Matrix",
+        "SFS vs CFS on diurnal / correlated-burst / cold-start workloads",
+        n,
+        seed,
+    );
+
+    let mut sweep: Sweep<'_, Cell> = Sweep::new("matrix_scenarios", seed);
+    for fam in ["diurnal", "correlated", "cold-start"] {
+        sweep.scenario(format!("SFS {fam}"), move |_| {
+            let w = family(fam, n, seed).with_load(CORES, LOAD).generate();
+            let r = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w).run();
+            Cell {
+                offloaded: r.offloaded,
+                demoted: r.demoted,
+                outcomes: r.outcomes,
+            }
+        });
+        sweep.scenario(format!("CFS {fam}"), move |_| {
+            let w = family(fam, n, seed).with_load(CORES, LOAD).generate();
+            Cell {
+                outcomes: run_baseline(Baseline::Cfs, CORES, &w),
+                offloaded: 0,
+                demoted: 0,
+            }
+        });
+    }
+    let results = sweep.run();
+
+    let mut pct = PercentileTable::new();
+    let mut summary = MarkdownTable::new(&[
+        "scenario",
+        "mean (ms)",
+        "fraction RTE >= 0.95",
+        "offloaded",
+        "demoted",
+    ]);
+    let mut chart: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in &results {
+        let durs = turnarounds_ms(&r.value.outcomes);
+        let rt = rtes(&r.value.outcomes);
+        let mean = durs.iter().sum::<f64>() / durs.len().max(1) as f64;
+        let at95 = rt.iter().filter(|&&x| x >= 0.95).count() as f64 / rt.len().max(1) as f64;
+        summary.row(&[
+            r.label.clone(),
+            format!("{mean:.1}"),
+            format!("{at95:.3}"),
+            format!("{}", r.value.offloaded),
+            format!("{}", r.value.demoted),
+        ]);
+        pct.push(r.label.clone(), durs.clone());
+        chart.push((r.label.clone(), durs));
+    }
+
+    section(&format!("scenario matrix @{:.0}% load", LOAD * 100.0));
+    println!("{}", summary.to_markdown());
+    save("matrix_scenarios.csv", &summary.to_csv());
+
+    section("percentiles (ms)");
+    println!("{}", pct.to_markdown());
+    save("matrix_scenarios_percentiles.csv", &pct.to_csv());
+
+    // Per-family headline: mean speedup of the short population.
+    section("short-function (<1550 ms ideal) mean speedup, SFS vs CFS");
+    for (fi, fam) in ["diurnal", "correlated", "cold-start"].iter().enumerate() {
+        let sfs = &results[2 * fi].value.outcomes;
+        let cfs = &results[2 * fi + 1].value.outcomes;
+        let mean_short = |v: &[RequestOutcome]| {
+            let xs: Vec<f64> = v
+                .iter()
+                .filter(|o| o.ideal.as_millis_f64() < 1550.0)
+                .map(|o| o.turnaround.as_millis_f64())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len().max(1) as f64
+        };
+        println!(
+            "{fam:>11}: SFS {:.1} ms vs CFS {:.1} ms ({:.1}x)",
+            mean_short(sfs),
+            mean_short(cfs),
+            mean_short(cfs) / mean_short(sfs)
+        );
+    }
+
+    section("duration CDF (log-x)");
+    let refs: Vec<(&str, &[f64])> = chart
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_slice()))
+        .collect();
+    println!("{}", cdf_chart(&refs, 64, 16));
+}

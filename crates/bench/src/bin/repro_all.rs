@@ -5,11 +5,14 @@
 //!
 //! ```text
 //! cargo build --release -p sfs-bench
-//! cargo run   --release -p sfs-bench --bin repro_all
+//! cargo run   --release -p sfs-bench --bin repro_all -- --threads 8
 //! ```
 //!
 //! `SFS_BENCH_REQUESTS` applies to every harness (default here: 10_000;
-//! pass a smaller value for a quick smoke run).
+//! pass a smaller value for a quick smoke run). `--threads N` (or
+//! `SFS_BENCH_THREADS=N`) sets the sweep worker count inside every
+//! harness: trials fan out over N threads, but every number printed or
+//! saved is bit-identical for any N — parallelism buys wall-clock only.
 
 use std::process::Command;
 use std::time::Instant;
@@ -28,19 +31,22 @@ const HARNESSES: [&str; 11] = [
     "headline_claims",
 ];
 
-const EXTRAS: [&str; 5] = [
+const EXTRAS: [&str; 6] = [
     "ablation_queues",
     "sensitivity_window",
     "breakdown_buckets",
+    "matrix_scenarios",
     "extension_slo",
     "extension_cluster",
 ];
 
 fn main() {
+    let threads = parse_threads();
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("target dir").to_path_buf();
     let mut failures = Vec::new();
     let overall = Instant::now();
+    eprintln!("[repro_all: sweeps run on {threads} worker thread(s)]");
 
     for name in HARNESSES.iter().chain(EXTRAS.iter()) {
         let bin = dir.join(name);
@@ -53,7 +59,9 @@ fn main() {
         println!("==> {name}");
         println!("================================================================");
         let t = Instant::now();
-        let status = Command::new(&bin).status();
+        let status = Command::new(&bin)
+            .env("SFS_BENCH_THREADS", threads.to_string())
+            .status();
         match status {
             Ok(s) if s.success() => {
                 println!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
@@ -81,4 +89,36 @@ fn main() {
         std::process::exit(1);
     }
     println!("CSV outputs are under results/.");
+}
+
+/// `--threads N` beats `SFS_BENCH_THREADS`, which beats the core count.
+fn parse_threads() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" | "-t" => {
+                let v = args.get(i + 1).cloned().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(t) if t >= 1 => threads = Some(t),
+                    _ => {
+                        eprintln!("repro_all: --threads needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro_all [--threads N]");
+                println!("  --threads N   sweep worker threads per harness (default: autodetect)");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("repro_all: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    threads.unwrap_or_else(sfs_simcore::parallel::default_threads)
 }

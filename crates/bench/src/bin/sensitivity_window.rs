@@ -3,40 +3,49 @@
 //! window length matters most: short windows chase noise, long windows lag
 //! rate changes.
 
-use sfs_bench::{banner, save, section, turnarounds_ms};
+use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
 use sfs_core::{SfsConfig, SfsSimulator};
 use sfs_metrics::PercentileTable;
 use sfs_sched::MachineParams;
 use sfs_workload::{IatSpec, Spike, WorkloadSpec};
 
 const CORES: usize = 16;
+const WINDOWS: [usize; 4] = [10, 50, 100, 500];
 
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
     banner("Sensitivity", "IAT window length N sweep", n, seed);
 
-    let mut spec = WorkloadSpec::azure_sampled(n, seed);
-    spec.iat = IatSpec::Bursty {
-        base_mean_ms: 1.0,
-        spikes: Spike::evenly_spaced(4, n / 20, 6.0, n),
+    let gen = move || {
+        let mut spec = WorkloadSpec::azure_sampled(n, seed);
+        spec.iat = IatSpec::Bursty {
+            base_mean_ms: 1.0,
+            spikes: Spike::evenly_spaced(4, n / 20, 6.0, n),
+        };
+        spec.with_load(CORES, 0.85).generate()
     };
-    let w = spec.with_load(CORES, 0.85).generate();
+    let mut sweep = Sweep::new("sensitivity_window", seed);
+    for window_n in WINDOWS {
+        sweep.scenario(format!("N={window_n}"), move |_| {
+            let mut cfg = SfsConfig::new(CORES);
+            cfg.window_n = window_n;
+            SfsSimulator::new(cfg, MachineParams::linux(CORES), gen()).run()
+        });
+    }
+    let results = sweep.run();
 
     let mut t = PercentileTable::new();
     section("per-window-length results");
-    for window_n in [10usize, 50, 100, 500] {
-        let mut cfg = SfsConfig::new(CORES);
-        cfg.window_n = window_n;
-        let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
+    for (r, window_n) in results.iter().zip(WINDOWS) {
         println!(
             "N={window_n:>4}: mean {:.1} ms, recalcs {}, offloaded {}, peak queue delay {:.2}s",
-            r.mean_turnaround_ms(),
-            r.slice_recalcs,
-            r.offloaded,
-            r.queue_delay_series.max_value()
+            r.value.mean_turnaround_ms(),
+            r.value.slice_recalcs,
+            r.value.offloaded,
+            r.value.queue_delay_series.max_value()
         );
-        t.push(format!("N={window_n}"), turnarounds_ms(&r.outcomes));
+        t.push(r.label.clone(), turnarounds_ms(&r.value.outcomes));
     }
 
     section("percentiles (ms)");

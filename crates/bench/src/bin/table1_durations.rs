@@ -1,7 +1,7 @@
 //! Table I: probability distribution of function duration ranges and the
 //! corresponding `fib` N values, verified against a generated workload.
 
-use sfs_bench::{banner, section};
+use sfs_bench::{banner, section, Sweep};
 use sfs_metrics::MarkdownTable;
 use sfs_simcore::SimRng;
 use sfs_workload::{Table1Sampler, TABLE1};
@@ -16,13 +16,18 @@ fn main() {
         seed,
     );
 
-    let sampler = Table1Sampler::new();
-    let mut rng = SimRng::seed_from_u64(seed);
-    let mut counts = vec![0usize; TABLE1.len()];
-    for _ in 0..n {
-        let (_, idx) = sampler.sample_with_bucket(&mut rng);
-        counts[idx] += 1;
-    }
+    let mut sweep = Sweep::new("table1", seed);
+    sweep.scenario("bucket frequencies", move |_| {
+        let sampler = Table1Sampler::new();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; TABLE1.len()];
+        for _ in 0..n {
+            let (_, idx) = sampler.sample_with_bucket(&mut rng);
+            counts[idx] += 1;
+        }
+        counts
+    });
+    let counts = sweep.run().remove(0).value;
     let total_w: f64 = TABLE1.iter().map(|b| b.probability_pct).sum();
 
     let mut t = MarkdownTable::new(&[
@@ -55,6 +60,7 @@ fn main() {
     sfs_bench::save("table1_durations.csv", &t.to_csv());
 
     section("derived quantities");
+    let sampler = Table1Sampler::new();
     println!("analytic mean duration : {:.1} ms", sampler.mean_ms());
     println!(
         "short (<1550 ms) share : {:.1}% (paper: ~83%)",

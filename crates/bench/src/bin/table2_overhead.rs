@@ -11,7 +11,7 @@
 //! Expected shape: a few percent, dominated by polling, and only weakly
 //! dependent on the polling interval (the paper measures 3.4–3.8% average).
 
-use sfs_bench::{banner, save, section};
+use sfs_bench::{banner, save, section, Sweep};
 use sfs_core::{SfsConfig, SfsSimulator};
 use sfs_metrics::MarkdownTable;
 use sfs_sched::MachineParams;
@@ -30,13 +30,23 @@ fn main() {
         seed,
     );
 
-    // I/O-heavy mix so the blocked-set polling is exercised like the OL run.
-    let w = WorkloadSpec::openlambda(n, seed)
-        .with_load(CORES, 0.9)
-        .generate();
-
     let poll_cost = SimDuration::from_micros(120);
     let action_cost = SimDuration::from_micros(150);
+
+    let mut sweep = Sweep::new("table2", seed);
+    for ms in [1u64, 4, 8] {
+        sweep.scenario(format!("{ms} ms"), move |_| {
+            // I/O-heavy mix so the blocked-set polling is exercised like
+            // the OL run.
+            let w = WorkloadSpec::openlambda(n, seed)
+                .with_load(CORES, 0.9)
+                .generate();
+            let mut cfg = SfsConfig::new(CORES);
+            cfg.poll_interval = SimDuration::from_millis(ms);
+            SfsSimulator::new(cfg, MachineParams::linux(CORES), w).run()
+        });
+    }
+    let results = sweep.run();
 
     let mut t = MarkdownTable::new(&[
         "interval",
@@ -46,17 +56,14 @@ fn main() {
         "overhead (avg)",
         "polling share",
     ]);
-    for ms in [1u64, 4, 8] {
-        let mut cfg = SfsConfig::new(CORES);
-        cfg.poll_interval = SimDuration::from_millis(ms);
-        let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), w.clone()).run();
-        let f = r.overhead_fraction(poll_cost, action_cost);
-        let share = r.polling_overhead_share(poll_cost, action_cost);
+    for r in &results {
+        let f = r.value.overhead_fraction(poll_cost, action_cost);
+        let share = r.value.polling_overhead_share(poll_cost, action_cost);
         t.row(&[
-            format!("{ms} ms"),
-            format!("{}", r.polls),
-            format!("{}", r.polled_tasks),
-            format!("{}", r.sched_actions),
+            r.label.clone(),
+            format!("{}", r.value.polls),
+            format!("{}", r.value.polled_tasks),
+            format!("{}", r.value.sched_actions),
             format!("{:.1}%", f * 100.0),
             format!("{:.1}%", share * 100.0),
         ]);

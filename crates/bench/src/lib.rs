@@ -3,15 +3,20 @@
 //! One binary per figure and table of the paper's evaluation (see
 //! DESIGN.md §4 for the full index). Every binary:
 //!
-//! 1. generates the experiment's workload deterministically (fixed seed),
-//! 2. runs the schedulers the figure compares,
-//! 3. prints the figure's series as markdown + an ASCII chart,
-//! 4. writes CSV under `results/`.
+//! 1. describes the experiment as [`sweep::Scenario`]s and runs them on a
+//!    [`sweep::Sweep`] — in parallel, with bit-identical results for any
+//!    worker-thread count,
+//! 2. prints the figure's series as markdown + an ASCII chart,
+//! 3. writes CSV under `results/`.
 //!
 //! Scale knobs come from the environment so CI and laptops can downsize:
-//! `SFS_BENCH_REQUESTS` (default figure-specific), `SFS_BENCH_SEED`.
+//! `SFS_BENCH_REQUESTS` (default figure-specific), `SFS_BENCH_SEED`,
+//! `SFS_BENCH_THREADS` (wall-clock only — never the numbers).
 
+pub mod sweep;
 pub mod timebench;
+
+pub use sweep::{Scenario, Sweep, SweepResult, Trial};
 
 use sfs_core::RequestOutcome;
 use sfs_simcore::SimDuration;

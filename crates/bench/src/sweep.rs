@@ -1,0 +1,190 @@
+//! The shared experiment matrix engine: [`Scenario`] / [`Sweep`].
+//!
+//! Every bench binary describes its figure as a list of *scenarios* — one
+//! independent trial per config point (a load level, a slice variant, a
+//! scheduler) — and hands the list to a [`Sweep`], which fans the trials
+//! out over `sfs_simcore::parallel` and returns the results **in
+//! submission order**. Printing and CSV writing happen afterwards on the
+//! main thread, so a binary's stdout is byte-identical for every
+//! `SFS_BENCH_THREADS` value.
+//!
+//! The RNG stream-splitting contract: each trial receives a [`Trial`]
+//! carrying a seed derived from the sweep's master seed by the SplitMix64
+//! [`sfs_simcore::SeedSequencer`] — a pure function of
+//! `(master, trial index)`. Trials that must *share* a workload with a
+//! sibling (e.g. SFS and CFS runs compared pairwise on the same request
+//! list) instead regenerate it from the captured master seed; both
+//! disciplines are order- and thread-count-independent.
+//!
+//! ```
+//! use sfs_bench::sweep::Sweep;
+//!
+//! let mut sweep = Sweep::new("doc", 42);
+//! for load in [50u32, 80, 100] {
+//!     sweep.scenario(format!("load {load}%"), move |t| load as u64 + t.seed % 2);
+//! }
+//! let results = sweep.run();
+//! assert_eq!(results.len(), 3);
+//! assert_eq!(results[0].label, "load 50%");
+//! ```
+
+use sfs_simcore::parallel::{self, SeedSequencer};
+use sfs_simcore::SimRng;
+
+/// Per-trial context handed to a scenario body.
+#[derive(Debug, Clone, Copy)]
+pub struct Trial {
+    /// Position of this scenario in the sweep (also its result slot).
+    pub index: usize,
+    /// This trial's own seed, sequenced from the master seed.
+    pub seed: u64,
+    /// The sweep-wide master seed (for scenarios that must share a
+    /// workload with siblings).
+    pub master_seed: u64,
+}
+
+impl Trial {
+    /// A fresh RNG on this trial's private stream.
+    pub fn rng(&self) -> SimRng {
+        SimRng::seed_from_u64(self.seed)
+    }
+}
+
+/// One labelled point of an experiment matrix.
+pub struct Scenario<'a, R> {
+    /// Display label (series name, table row, chart legend).
+    pub label: String,
+    body: Box<dyn Fn(&Trial) -> R + Send + Sync + 'a>,
+}
+
+/// Result of one scenario, in submission order.
+#[derive(Debug, Clone)]
+pub struct SweepResult<R> {
+    /// The scenario's label.
+    pub label: String,
+    /// Whatever the scenario body returned.
+    pub value: R,
+}
+
+/// A deterministic parallel sweep over labelled scenarios.
+pub struct Sweep<'a, R> {
+    name: String,
+    master_seed: u64,
+    scenarios: Vec<Scenario<'a, R>>,
+}
+
+impl<'a, R: Send> Sweep<'a, R> {
+    /// An empty sweep named `name` (progress line) rooted at `master_seed`.
+    pub fn new(name: impl Into<String>, master_seed: u64) -> Sweep<'a, R> {
+        Sweep {
+            name: name.into(),
+            master_seed,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Append a scenario; trials run in submission order slots.
+    pub fn scenario(
+        &mut self,
+        label: impl Into<String>,
+        body: impl Fn(&Trial) -> R + Send + Sync + 'a,
+    ) -> &mut Self {
+        self.scenarios.push(Scenario {
+            label: label.into(),
+            body: Box::new(body),
+        });
+        self
+    }
+
+    /// Number of scenarios queued.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True iff no scenarios were added.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Run every scenario with the default worker count
+    /// (`SFS_BENCH_THREADS`, else available parallelism).
+    pub fn run(&self) -> Vec<SweepResult<R>> {
+        self.run_with_threads(parallel::default_threads())
+    }
+
+    /// Run every scenario across `threads` workers. The returned vector is
+    /// in scenario-submission order and bit-identical for every `threads`
+    /// value ≥ 1.
+    pub fn run_with_threads(&self, threads: usize) -> Vec<SweepResult<R>> {
+        let n = self.scenarios.len();
+        let seq = SeedSequencer::new(self.master_seed);
+        eprintln!(
+            "[sweep {}: {} trial{} on {} thread{}]",
+            self.name,
+            n,
+            if n == 1 { "" } else { "s" },
+            threads.min(n.max(1)),
+            if threads.min(n.max(1)) == 1 { "" } else { "s" },
+        );
+        parallel::run_indexed(n, threads, |i| {
+            let trial = Trial {
+                index: i,
+                seed: seq.seed_for(i as u64),
+                master_seed: self.master_seed,
+            };
+            SweepResult {
+                label: self.scenarios[i].label.clone(),
+                value: (self.scenarios[i].body)(&trial),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order_across_thread_counts() {
+        let mut sweep = Sweep::new("test", 7);
+        for i in 0..13usize {
+            sweep.scenario(format!("s{i}"), move |t| (i, t.seed, t.rng().next_u64()));
+        }
+        assert_eq!(sweep.len(), 13);
+        let one = sweep.run_with_threads(1);
+        for threads in [2, 4, 8] {
+            let many = sweep.run_with_threads(threads);
+            for (a, b) in one.iter().zip(many.iter()) {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.value, b.value, "threads={threads}");
+            }
+        }
+        for (i, r) in one.iter().enumerate() {
+            assert_eq!(r.label, format!("s{i}"));
+            assert_eq!(r.value.0, i);
+        }
+    }
+
+    #[test]
+    fn trials_see_distinct_seeds_but_shared_master() {
+        let mut sweep = Sweep::new("seeds", 99);
+        for i in 0..4usize {
+            let _ = i;
+            sweep.scenario("x", |t| (t.seed, t.master_seed));
+        }
+        let rs = sweep.run_with_threads(2);
+        let seeds: Vec<u64> = rs.iter().map(|r| r.value.0).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "per-trial seeds must differ");
+        assert!(rs.iter().all(|r| r.value.1 == 99));
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let sweep: Sweep<'_, ()> = Sweep::new("empty", 0);
+        assert!(sweep.is_empty());
+        assert!(sweep.run_with_threads(4).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Golden-metrics regression suite.
+//!
+//! Every scenario in `support::SCENARIOS` runs at a fixed seed and its
+//! headline metrics (p50/p99/mean latency, throughput, plus a per-request
+//! fingerprint) must match the snapshot in `tests/golden/<name>.txt`
+//! **exactly** — down to the IEEE-754 bit pattern. Any change to the
+//! simulator, the workload generator, the RNG streams, or the event-queue
+//! fast paths that shifts a single number in any request fails here.
+//!
+//! Scenarios run through the same parallel `Sweep` engine the bench
+//! binaries use, so this suite also re-checks thread-count invariance on
+//! whatever `SFS_BENCH_THREADS` CI sets.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! SFS_GOLDEN_UPDATE=1 cargo test -p sfs-bench --test golden
+//! git diff crates/bench/tests/golden/   # review what moved, then commit
+//! ```
+
+mod support;
+
+use std::path::PathBuf;
+
+use sfs_bench::Sweep;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn headline_metrics_match_golden_snapshots() {
+    let mut sweep = Sweep::new("golden", support::SEED);
+    for &name in support::SCENARIOS {
+        sweep.scenario(name, move |_| {
+            support::metrics_report(name, &support::run_scenario(name))
+        });
+    }
+    let results = sweep.run();
+
+    let update = std::env::var("SFS_GOLDEN_UPDATE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut mismatches = Vec::new();
+    for r in &results {
+        let path = dir.join(format!("{}.txt", r.label));
+        if update {
+            std::fs::write(&path, &r.value).expect("write golden snapshot");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == r.value => {}
+            Ok(expected) => mismatches.push(format!(
+                "{}: metrics drifted from snapshot\n--- expected ({})\n{}--- got\n{}",
+                r.label,
+                path.display(),
+                expected,
+                r.value
+            )),
+            Err(e) => mismatches.push(format!(
+                "{}: cannot read {} ({e}); run with SFS_GOLDEN_UPDATE=1 to create it",
+                r.label,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden-metrics regressions:\n{}\n\
+         If the change is intentional, regenerate with SFS_GOLDEN_UPDATE=1 and review the diff.",
+        mismatches.join("\n")
+    );
+}

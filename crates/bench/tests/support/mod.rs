@@ -1,0 +1,144 @@
+//! Shared scenario definitions for the golden-metrics and determinism
+//! suites: a fixed matrix of small-but-representative experiment points,
+//! each a pure function of `(name, n, seed)`.
+
+use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_faas::{HostScheduler, OpenLambda, OpenLambdaParams};
+use sfs_sched::MachineParams;
+use sfs_simcore::Samples;
+use sfs_workload::WorkloadSpec;
+
+/// Scenario names locked by `tests/golden/*.txt` (one file each).
+pub const SCENARIOS: &[&str] = &[
+    "azure80_sfs",
+    "azure80_cfs",
+    "azure100_sfs",
+    "replay_sfs",
+    "diurnal_sfs",
+    "correlated_sfs",
+    "coldstart_sfs",
+    "openlambda_sfs",
+];
+
+/// Request count: small enough for CI, large enough for stable shapes.
+pub const N: usize = 1_200;
+/// Fixed master seed for the whole suite.
+pub const SEED: u64 = 0x5EED_601D;
+
+fn sfs(cores: usize, w: sfs_workload::Workload) -> Vec<RequestOutcome> {
+    SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w)
+        .run()
+        .outcomes
+}
+
+/// Run one named scenario to completion.
+pub fn run_scenario(name: &str) -> Vec<RequestOutcome> {
+    match name {
+        "azure80_sfs" => sfs(
+            8,
+            WorkloadSpec::azure_sampled(N, SEED)
+                .with_load(8, 0.8)
+                .generate(),
+        ),
+        "azure80_cfs" => run_baseline(
+            Baseline::Cfs,
+            8,
+            &WorkloadSpec::azure_sampled(N, SEED)
+                .with_load(8, 0.8)
+                .generate(),
+        ),
+        "azure100_sfs" => sfs(
+            8,
+            WorkloadSpec::azure_sampled(N, SEED)
+                .with_load(8, 1.0)
+                .generate(),
+        ),
+        "replay_sfs" => sfs(
+            8,
+            WorkloadSpec::azure_replay(N, SEED)
+                .with_load(8, 0.85)
+                .generate(),
+        ),
+        "diurnal_sfs" => sfs(
+            8,
+            WorkloadSpec::diurnal(N, SEED).with_load(8, 0.85).generate(),
+        ),
+        "correlated_sfs" => sfs(
+            8,
+            WorkloadSpec::correlated_bursts(N, SEED)
+                .with_load(8, 0.85)
+                .generate(),
+        ),
+        "coldstart_sfs" => sfs(
+            8,
+            WorkloadSpec::cold_start_mix(N, SEED)
+                .with_load(8, 0.85)
+                .generate(),
+        ),
+        "openlambda_sfs" => {
+            let w = WorkloadSpec::openlambda(N, SEED)
+                .with_duration_load(24, 0.88)
+                .generate();
+            OpenLambda::new(OpenLambdaParams::default()).run(
+                HostScheduler::Sfs(SfsConfig::new(24)),
+                24,
+                &w,
+            )
+        }
+        other => panic!("unknown scenario {other:?}"),
+    }
+}
+
+/// FNV-1a over every outcome's exact fields: any bit-level drift in any
+/// request changes the fingerprint.
+pub fn fingerprint(outcomes: &[RequestOutcome]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for o in outcomes {
+        mix(o.id);
+        mix(o.arrival.as_nanos());
+        mix(o.finished.as_nanos());
+        mix(o.turnaround.as_nanos());
+        mix(o.rte.to_bits());
+        mix(o.ctx_switches);
+        mix(o.queue_delay.as_nanos());
+        mix(o.demoted as u64);
+        mix(o.offloaded as u64);
+        mix(o.filter_rounds as u64);
+        mix(o.io_blocks as u64);
+    }
+    h
+}
+
+/// The headline metrics of a run, exactly formatted: a decimal rendering
+/// for humans plus the raw IEEE-754 bits as the machine-checked lock.
+pub fn metrics_report(name: &str, outcomes: &[RequestOutcome]) -> String {
+    let durs: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.turnaround.as_millis_f64())
+        .collect();
+    let mut samples = Samples::from_vec(durs.clone());
+    let p50 = samples.percentile(50.0);
+    let p99 = samples.percentile(99.0);
+    let mean = durs.iter().sum::<f64>() / durs.len().max(1) as f64;
+    let span_s = outcomes
+        .iter()
+        .map(|o| o.finished.as_nanos())
+        .max()
+        .unwrap_or(1) as f64
+        / 1e9;
+    let throughput = outcomes.len() as f64 / span_s;
+    let f = |v: f64| format!("{v} bits={:#018x}", v.to_bits());
+    format!(
+        "scenario={name}\nrequests={}\np50_ms={}\np99_ms={}\nmean_ms={}\nthroughput_rps={}\nfingerprint={:#018x}\n",
+        outcomes.len(),
+        f(p50),
+        f(p99),
+        f(mean),
+        f(throughput),
+        fingerprint(outcomes),
+    )
+}

@@ -158,6 +158,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_wait_is_accounted_exactly() {
+        // Queued and handed off at the same instant (a release and an
+        // acquire colliding on one event-queue timestamp): the wait must
+        // count as exactly zero — present in total_waits, absent from
+        // total_wait_time — not skipped and not negative.
+        let mut p = ContainerPool::new(1);
+        assert_eq!(p.acquire(1, at(5)), Acquire::Granted);
+        assert_eq!(p.acquire(2, at(5)), Acquire::Queued);
+        assert_eq!(p.release(at(5)), Some(2));
+        assert_eq!(p.total_wait_time(), SimDuration::ZERO);
+        assert_eq!(p.total_waits(), 1);
+        assert_eq!(p.acquisitions(), 2);
+        assert_eq!(p.in_use(), 1, "hand-off keeps the container occupied");
+    }
+
+    #[test]
+    fn drained_pool_resets_to_clean_idle_state() {
+        // Fill, queue, drain completely: the emptied pool must grant
+        // again immediately and its wait queue must be truly empty (no
+        // ghost waiters after the last hand-off).
+        let mut p = ContainerPool::new(2);
+        assert_eq!(p.acquire(1, at(0)), Acquire::Granted);
+        assert_eq!(p.acquire(2, at(0)), Acquire::Granted);
+        assert_eq!(p.acquire(3, at(1)), Acquire::Queued);
+        assert_eq!(p.release(at(2)), Some(3));
+        assert_eq!(p.release(at(3)), None);
+        assert_eq!(p.release(at(4)), None);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.queued(), 0);
+        assert_eq!(p.acquire(4, at(5)), Acquire::Granted);
+        assert_eq!(p.peak_in_use(), 2, "peak survives the drain");
+        assert_eq!(p.total_waits(), 1);
+    }
+
+    #[test]
     fn ample_pool_never_blocks() {
         let mut p = ContainerPool::new(1_000);
         for i in 0..500 {

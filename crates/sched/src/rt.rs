@@ -167,6 +167,43 @@ mod tests {
     }
 
     #[test]
+    fn empty_queue_operations_are_all_safe_noops() {
+        // Every read/remove on an empty queue must degrade gracefully —
+        // the scheduler polls the RT queue unconditionally on each
+        // scheduling decision, including when no FILTER task exists.
+        let mut rq = RtRunqueue::new();
+        assert_eq!(rq.pop(), None);
+        assert_eq!(rq.top_prio(), None);
+        assert!(!rq.remove(Pid(9)));
+        assert!(!rq.would_preempt(0));
+        assert_eq!(rq.len(), 0);
+        // Drained-back-to-empty must behave identically to never-used:
+        // popping the last task erases its priority level, leaving no
+        // ghost entry behind.
+        rq.push_back(Pid(1), 50);
+        assert_eq!(rq.pop(), Some((Pid(1), 50)));
+        assert_eq!(rq.pop(), None);
+        assert_eq!(rq.top_prio(), None);
+        assert!(!rq.would_preempt(0));
+        assert!(rq.is_empty());
+    }
+
+    #[test]
+    fn removing_last_task_of_a_level_clears_the_level() {
+        let mut rq = RtRunqueue::new();
+        rq.push_back(Pid(1), 50);
+        rq.push_back(Pid(2), 10);
+        assert!(rq.remove(Pid(1)));
+        // Level 50 is gone: top_prio must fall through to 10, and an
+        // equal-priority arrival at 50 must start a fresh FIFO.
+        assert_eq!(rq.top_prio(), Some(10));
+        rq.push_back(Pid(3), 50);
+        assert_eq!(rq.pop(), Some((Pid(3), 50)));
+        assert_eq!(rq.pop(), Some((Pid(2), 10)));
+        assert!(rq.is_empty());
+    }
+
+    #[test]
     fn len_tracks_mixed_operations() {
         let mut rq = RtRunqueue::new();
         assert!(rq.is_empty());

@@ -150,6 +150,13 @@ impl SfsSimulator {
     /// plus the controller timelines.
     pub fn run(mut self) -> SfsRunResult {
         let total = self.workload.len();
+        // Reusable batch buffer: every SFS event handler schedules strictly
+        // into the future (slice timers at now + budget with budget > 0,
+        // polls at now + interval), so all events due at `next` can be
+        // drained in one peek-based batch without missing same-instant
+        // insertions — the EventQueue fast path, allocation-free in steady
+        // state.
+        let mut due: Vec<(SimTime, SfsEv)> = Vec::with_capacity(64);
         while self.outcomes.len() < total {
             let tm = self.machine.next_event_time();
             let ts = self.events.peek_time();
@@ -165,7 +172,9 @@ impl SfsSimulator {
             for n in notes {
                 self.on_machine_note(n);
             }
-            while let Some((_, ev)) = self.events.pop_until(next) {
+            due.clear();
+            self.events.pop_batch_until(next, &mut due);
+            for &(_, ev) in due.iter() {
                 self.on_sfs_event(ev);
             }
         }

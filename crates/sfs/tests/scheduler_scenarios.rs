@@ -24,6 +24,7 @@ fn craft(rows: &[(u64, f64, Option<f64>)]) -> Workload {
                 app: AppKind::Fib,
                 duration_ms: dur,
                 injected_io_ms: io,
+                cold_start_ms: None,
                 spec,
             }
         })
@@ -104,6 +105,7 @@ fn io_block_carries_slice_remainder() {
             app: AppKind::Fib,
             duration_ms: 20.0,
             injected_io_ms: Some(50.0),
+            cold_start_ms: None,
             spec,
         }],
     };
@@ -116,6 +118,41 @@ fn io_block_carries_slice_remainder() {
     // Polling granularity (4ms) bounds the detection lag; total turnaround
     // stays near ideal 70ms.
     assert!(o.turnaround <= ms(90), "turnaround {}", o.turnaround);
+}
+
+#[test]
+fn zero_remaining_slice_after_io_demotes_instead_of_zero_round() {
+    // 10ms of CPU burns the entire fixed 10ms slice, then the function
+    // blocks on I/O. On wake its carried-over slice is exactly zero, so
+    // the worker must demote it to CFS instead of granting a
+    // zero-duration FILTER round (which would spin promote → instant
+    // expiry → repeat, never progressing).
+    let spec = TaskSpec {
+        phases: vec![Phase::Cpu(ms(10)), Phase::Io(ms(30)), Phase::Cpu(ms(10))],
+        policy: Policy::NORMAL,
+        label: 0,
+    };
+    let w = Workload {
+        requests: vec![Request {
+            id: 0,
+            arrival: SimTime::ZERO,
+            app: AppKind::Fib,
+            duration_ms: 20.0,
+            injected_io_ms: None,
+            cold_start_ms: None,
+            spec,
+        }],
+    };
+    let cfg = SfsConfig::new(1).with_fixed_slice(10);
+    let r = SfsSimulator::new(cfg, exact(1), w).run();
+    let o = &r.outcomes[0];
+    assert_eq!(o.io_blocks, 1, "the block must be detected");
+    assert!(
+        o.demoted,
+        "zero remaining slice must demote, not re-promote"
+    );
+    assert_eq!(o.filter_rounds, 1, "no zero-duration second round");
+    assert_eq!(r.outcomes.len(), 1, "the request still completes under CFS");
 }
 
 #[test]

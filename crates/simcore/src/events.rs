@@ -111,6 +111,47 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Pop every event firing at or before `t` into `out` (in time/FIFO
+    /// order), returning how many were popped.
+    ///
+    /// This is the peek-based batch fast path for hot simulation loops:
+    /// one bound comparison per event against a reusable output buffer,
+    /// instead of a peek + pop call pair per event with a fresh allocation
+    /// per step. `out` is appended to, not cleared — callers reuse one
+    /// buffer across iterations (drain-and-reuse) so steady-state batch
+    /// popping performs zero allocations.
+    ///
+    /// Only safe when event handlers never schedule new events at or
+    /// before `t`; otherwise the incremental [`EventQueue::pop_until`]
+    /// loop must be used so late insertions are observed.
+    pub fn pop_batch_until(&mut self, t: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let before = out.len();
+        while let Some(s) = self.heap.peek() {
+            if s.at > t {
+                break;
+            }
+            let s = self.heap.pop().expect("peeked event present");
+            out.push((s.at, s.payload));
+        }
+        out.len() - before
+    }
+
+    /// Pending capacity of the internal heap (allocation retained across
+    /// [`EventQueue::recycle`]).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reset the queue for a fresh run while keeping its allocation: all
+    /// pending events are dropped and the FIFO sequence counter restarts,
+    /// so a recycled queue behaves exactly like a new one — minus the
+    /// reallocation. Trial loops that simulate many runs back to back use
+    /// this to keep the event heap warm.
+    pub fn recycle(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -176,6 +217,41 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn batch_pop_matches_incremental_and_reuses_buffer() {
+        let mut q = EventQueue::new();
+        for i in 0..6 {
+            q.push(at(10 * (i % 3) as u64), i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch_until(at(10), &mut out), 4);
+        let evs: Vec<i32> = out.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![0, 3, 1, 4], "time order then FIFO within ties");
+        // Appends without clearing: the same buffer accumulates.
+        assert_eq!(q.pop_batch_until(at(100), &mut out), 2);
+        assert_eq!(out.len(), 6);
+        assert!(q.is_empty());
+        assert_eq!(q.pop_batch_until(at(100), &mut out), 0);
+    }
+
+    #[test]
+    fn recycle_keeps_capacity_and_restarts_fifo_numbering() {
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..50 {
+            q.push(at(1), i);
+        }
+        let cap = q.capacity();
+        assert!(cap >= 50);
+        q.recycle();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), cap, "recycle must keep the allocation");
+        // FIFO ordering restarts cleanly after recycling.
+        q.push(at(5), 100);
+        q.push(at(5), 200);
+        assert_eq!(q.pop().unwrap().1, 100);
+        assert_eq!(q.pop().unwrap().1, 200);
     }
 
     #[test]

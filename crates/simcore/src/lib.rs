@@ -6,6 +6,9 @@
 //! * [`EventQueue`] — a deterministic discrete-event queue with stable
 //!   FIFO tie-breaking for simultaneous events,
 //! * [`rng`] — seeded, reproducible random number generation helpers,
+//! * [`parallel`] — deterministic trial fan-out: SplitMix64 seed
+//!   sequencing plus scoped-thread execution whose results are
+//!   bit-identical for every worker-thread count,
 //! * [`stats`] — online statistics, exact percentile/CDF estimation, and
 //!   log-scale histograms used by every experiment harness,
 //! * [`window`] — the fixed-capacity sliding window behind SFS's
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod parallel;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -26,6 +30,7 @@ pub mod time;
 pub mod window;
 
 pub use events::EventQueue;
+pub use parallel::SeedSequencer;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{Cdf, Histogram, OnlineStats, Samples};

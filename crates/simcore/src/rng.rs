@@ -137,6 +137,16 @@ impl SimRng {
         (mu + sigma * self.normal()).exp()
     }
 
+    /// Pareto draw with minimum `scale` and tail index `alpha` (inverse
+    /// CDF). Small `alpha` (≤ 2) gives the heavy tail used for cold-start
+    /// penalty mixes; the mean is `scale·α/(α−1)` for `α > 1`.
+    #[inline]
+    pub fn pareto(&mut self, scale: f64, alpha: f64) -> f64 {
+        debug_assert!(scale > 0.0 && alpha > 0.0, "pareto needs positive params");
+        // 1 - unit() is in (0, 1] so the power never divides by zero.
+        scale * (1.0 - self.unit()).powf(-1.0 / alpha)
+    }
+
     /// Bernoulli draw with probability `p` of `true`.
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
@@ -234,6 +244,25 @@ mod tests {
             "lognormal median {median} far from {expected}"
         );
         assert!(draws.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_bounds_and_mean() {
+        let mut r = SimRng::seed_from_u64(23);
+        let n = 400_000;
+        let (scale, alpha) = (50.0, 3.0);
+        let mut total = 0.0;
+        for _ in 0..n {
+            let x = r.pareto(scale, alpha);
+            assert!(x >= scale, "pareto below scale: {x}");
+            total += x;
+        }
+        let expected = scale * alpha / (alpha - 1.0);
+        let observed = total / n as f64;
+        assert!(
+            (observed - expected).abs() / expected < 0.02,
+            "pareto mean {observed} far from {expected}"
+        );
     }
 
     #[test]

@@ -45,6 +45,88 @@ fn event_queue_total_order() {
     }
 }
 
+/// Randomized push/pop interleavings against a reference model.
+///
+/// The model is a plain `Vec<(time, push_order, payload)>` with a stable
+/// sort: the specification of "ascending time, FIFO within ties". Every
+/// queue operation — `push`, `pop`, `pop_until`, the `pop_batch_until`
+/// fast path, and `recycle` — must agree with it at every step, so the
+/// capacity-reuse fast paths cannot drift from the reference semantics.
+#[test]
+fn event_queue_matches_reference_model() {
+    for case in 0..CASES {
+        let mut rng = case_rng("event_queue_model", case);
+        let n_ops = rng.uniform_u64(1, 399);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Reference: (time_ms, insertion order, payload), kept sorted
+        // lazily by a stable sort before every removal.
+        let mut model: Vec<(u64, u64, u64)> = Vec::new();
+        let mut pushed = 0u64;
+        let mut batch: Vec<(SimTime, u64)> = Vec::new();
+        for op in 0..n_ops {
+            // A tiny time domain forces many equal-timestamp ties.
+            let t_ms = rng.uniform_u64(0, 7);
+            match rng.pick_weighted(&[0.5, 0.2, 0.2, 0.08, 0.02]) {
+                0 => {
+                    q.push(at_ms(t_ms), pushed);
+                    model.push((t_ms, pushed, pushed));
+                    pushed += 1;
+                }
+                1 => {
+                    model.sort_by_key(|&(t, ord, _)| (t, ord));
+                    let expect = if model.is_empty() {
+                        None
+                    } else {
+                        let (t, _, p) = model.remove(0);
+                        Some((at_ms(t), p))
+                    };
+                    assert_eq!(q.pop(), expect, "pop (case {case} op {op})");
+                }
+                2 => {
+                    model.sort_by_key(|&(t, ord, _)| (t, ord));
+                    let expect = match model.first() {
+                        Some(&(t, _, p)) if t <= t_ms => {
+                            model.remove(0);
+                            Some((at_ms(t), p))
+                        }
+                        _ => None,
+                    };
+                    assert_eq!(
+                        q.pop_until(at_ms(t_ms)),
+                        expect,
+                        "pop_until (case {case} op {op})"
+                    );
+                }
+                3 => {
+                    model.sort_by_key(|&(t, ord, _)| (t, ord));
+                    let cut = model.partition_point(|&(t, _, _)| t <= t_ms);
+                    let expect: Vec<(SimTime, u64)> =
+                        model.drain(..cut).map(|(t, _, p)| (at_ms(t), p)).collect();
+                    batch.clear();
+                    let popped = q.pop_batch_until(at_ms(t_ms), &mut batch);
+                    assert_eq!(popped, expect.len(), "batch count (case {case} op {op})");
+                    assert_eq!(batch, expect, "batch order (case {case} op {op})");
+                }
+                _ => {
+                    q.recycle();
+                    model.clear();
+                }
+            }
+            assert_eq!(q.len(), model.len(), "len (case {case} op {op})");
+            model.sort_by_key(|&(t, ord, _)| (t, ord));
+            assert_eq!(
+                q.peek_time(),
+                model.first().map(|&(t, _, _)| at_ms(t)),
+                "peek (case {case} op {op})"
+            );
+        }
+    }
+}
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
 /// Nearest-rank quantiles are actual samples and monotone in q.
 #[test]
 fn quantiles_are_samples_and_monotone() {

@@ -37,6 +37,34 @@ pub enum IatSpec {
         /// Transient overload windows superimposed on the base process.
         spikes: Vec<Spike>,
     },
+    /// Sinusoidally rate-modulated Poisson process (diurnal load): the
+    /// arrival rate swings by `±amplitude` around its base level over
+    /// `cycles` full day-cycles across the workload, so load ramps up and
+    /// down smoothly instead of stepping.
+    Diurnal {
+        /// Mean IAT of the unmodulated process, milliseconds.
+        base_mean_ms: f64,
+        /// Relative swing of the arrival rate, in `[0, 1)`.
+        amplitude: f64,
+        /// Number of full sine cycles across the workload.
+        cycles: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: *correlated* bursts.
+    /// Unlike [`IatSpec::Bursty`], whose spike windows sit at scheduled
+    /// request indices, burst onsets here are random and self-sustaining —
+    /// once a burst starts, it tends to persist (geometric dwell times),
+    /// reproducing the clustered-arrival correlation of production FaaS
+    /// traces.
+    MarkovBursty {
+        /// Mean IAT of the calm state, milliseconds.
+        base_mean_ms: f64,
+        /// Arrival-rate multiplier while bursting (> 1).
+        burst_factor: f64,
+        /// Per-arrival probability of entering a burst from calm.
+        p_enter: f64,
+        /// Per-arrival probability of leaving a burst back to calm.
+        p_exit: f64,
+    },
 }
 
 /// A transient overload window for [`IatSpec::Bursty`], expressed over
@@ -73,6 +101,8 @@ impl IatSpec {
             IatSpec::Uniform { lo_ms, hi_ms } => (lo_ms + hi_ms) / 2.0,
             IatSpec::Fixed { iat_ms } => *iat_ms,
             IatSpec::Bursty { base_mean_ms, .. } => *base_mean_ms,
+            IatSpec::Diurnal { base_mean_ms, .. } => *base_mean_ms,
+            IatSpec::MarkovBursty { base_mean_ms, .. } => *base_mean_ms,
         }
     }
 
@@ -91,6 +121,38 @@ impl IatSpec {
                 }
                 let base = n.saturating_sub(covered.min(n)) as f64;
                 (base + weighted) / n as f64
+            }
+            IatSpec::Diurnal {
+                amplitude, cycles, ..
+            } if n > 0 => {
+                // Exact per-request expectation: arrival i draws with mean
+                // base / (1 + a·sin θ_i), so the average IAT shrink is the
+                // mean of 1/(1 + a·sin θ) over the sampled phases (→
+                // 1/√(1−a²) for whole cycles as n grows).
+                let a = amplitude.clamp(0.0, 0.999);
+                (0..n)
+                    .map(|i| 1.0 / (1.0 + a * phase_sin(i, n, *cycles)))
+                    .sum::<f64>()
+                    / n as f64
+            }
+            IatSpec::MarkovBursty {
+                burst_factor,
+                p_enter,
+                p_exit,
+                ..
+            } if n > 0 => {
+                // Stationary expectation of the two-state chain: the burst
+                // state holds a π = p_enter/(p_enter+p_exit) share of
+                // arrivals, each `burst_factor`× faster. Realised load
+                // varies by seed (that is the point of correlated bursts);
+                // the expectation is what load targeting corrects for.
+                let denom = p_enter + p_exit;
+                if denom <= 0.0 {
+                    1.0
+                } else {
+                    let pi_burst = p_enter / denom;
+                    (1.0 - pi_burst) + pi_burst / burst_factor.max(1.0)
+                }
             }
             _ => 1.0,
         }
@@ -137,6 +199,24 @@ impl IatSpec {
                 base_mean_ms: target_mean,
                 spikes,
             },
+            IatSpec::Diurnal {
+                amplitude, cycles, ..
+            } => IatSpec::Diurnal {
+                base_mean_ms: target_mean,
+                amplitude,
+                cycles,
+            },
+            IatSpec::MarkovBursty {
+                burst_factor,
+                p_enter,
+                p_exit,
+                ..
+            } => IatSpec::MarkovBursty {
+                base_mean_ms: target_mean,
+                burst_factor,
+                p_enter,
+                p_exit,
+            },
         }
     }
 
@@ -144,6 +224,8 @@ impl IatSpec {
     pub fn arrivals(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
         let mut out = Vec::with_capacity(n);
         let mut t = SimTime::ZERO;
+        // Markov burst state, advanced per arrival for MarkovBursty.
+        let mut bursting = false;
         for i in 0..n {
             let iat_ms = match self {
                 IatSpec::Poisson { mean_ms } => rng.exponential(*mean_ms),
@@ -162,12 +244,45 @@ impl IatSpec {
                     };
                     rng.exponential(mean)
                 }
+                IatSpec::Diurnal {
+                    base_mean_ms,
+                    amplitude,
+                    cycles,
+                } => {
+                    let a = amplitude.clamp(0.0, 0.999);
+                    let rate = 1.0 + a * phase_sin(i, n, *cycles);
+                    rng.exponential(base_mean_ms / rate)
+                }
+                IatSpec::MarkovBursty {
+                    base_mean_ms,
+                    burst_factor,
+                    p_enter,
+                    p_exit,
+                } => {
+                    bursting = if bursting {
+                        !rng.chance(*p_exit)
+                    } else {
+                        rng.chance(*p_enter)
+                    };
+                    let mean = if bursting {
+                        base_mean_ms / burst_factor.max(1.0)
+                    } else {
+                        *base_mean_ms
+                    };
+                    rng.exponential(mean)
+                }
             };
             t += SimDuration::from_millis_f64(iat_ms);
             out.push(t);
         }
         out
     }
+}
+
+/// Sine of the diurnal phase for arrival `i` of `n` over `cycles` cycles.
+#[inline]
+fn phase_sin(i: usize, n: usize, cycles: f64) -> f64 {
+    (2.0 * std::f64::consts::PI * cycles * i as f64 / n as f64).sin()
 }
 
 #[cfg(test)]
@@ -312,6 +427,113 @@ mod tests {
             (offered - 0.8).abs() < 0.05,
             "corrected offered load {offered} vs target 0.8"
         );
+    }
+
+    #[test]
+    fn diurnal_rate_swings_and_load_targeting_corrects() {
+        let n = 40_000;
+        let spec = IatSpec::Diurnal {
+            base_mean_ms: 10.0,
+            amplitude: 0.6,
+            cycles: 2.0,
+        };
+        let mut rng = SimRng::seed_from_u64(29);
+        let arr = spec.arrivals(n, &mut rng);
+        // First quarter of a cycle is the rate crest (shorter IATs), the
+        // third quarter the trough: their realised means must separate.
+        let mean_iat =
+            |lo: usize, hi: usize| (arr[hi - 1] - arr[lo]).as_millis_f64() / (hi - lo - 1) as f64;
+        let crest = mean_iat(0, n / 4);
+        let trough = mean_iat(n / 4, n / 2);
+        assert!(
+            crest * 1.5 < trough,
+            "diurnal crest {crest} should be well below trough {trough}"
+        );
+        // Eq.-2 targeting must hit the average load despite the modulation.
+        let targeted = spec.for_target_load_n(100.0, 4, 0.8, n);
+        let mut rng = SimRng::seed_from_u64(31);
+        let arr = targeted.arrivals(n, &mut rng);
+        let offered = n as f64 * 100.0 / (arr.last().unwrap().as_millis_f64() * 4.0);
+        assert!(
+            (offered - 0.8).abs() < 0.05,
+            "diurnal corrected offered load {offered} vs target 0.8"
+        );
+    }
+
+    #[test]
+    fn markov_bursts_are_correlated_and_targeting_corrects() {
+        let n = 60_000;
+        let spec = IatSpec::MarkovBursty {
+            base_mean_ms: 10.0,
+            burst_factor: 8.0,
+            p_enter: 0.002,
+            p_exit: 0.02,
+        };
+        let mut rng = SimRng::seed_from_u64(37);
+        let arr = spec.arrivals(n, &mut rng);
+        let iats: Vec<f64> = arr
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_millis_f64())
+            .collect();
+        // Burst arrivals (IAT far below base mean) must cluster: the chance
+        // that a short IAT follows a short IAT must far exceed the chance it
+        // follows a long one — the correlation scheduled spikes don't have.
+        let short = |x: f64| x < 10.0 / 8.0;
+        let (mut ss, mut s_total, mut ls, mut l_total) = (0u64, 0u64, 0u64, 0u64);
+        for w in iats.windows(2) {
+            if short(w[0]) {
+                s_total += 1;
+                ss += short(w[1]) as u64;
+            } else {
+                l_total += 1;
+                ls += short(w[1]) as u64;
+            }
+        }
+        let p_after_short = ss as f64 / s_total as f64;
+        let p_after_long = ls as f64 / l_total as f64;
+        assert!(
+            p_after_short > 2.0 * p_after_long,
+            "bursts not correlated: P(short|short)={p_after_short} vs P(short|long)={p_after_long}"
+        );
+        // The stationary-expectation correction keeps the average load on
+        // target (within the wider tolerance this stochastic process needs).
+        let targeted = spec.for_target_load_n(100.0, 4, 0.8, n);
+        let mut rng = SimRng::seed_from_u64(41);
+        let arr = targeted.arrivals(n, &mut rng);
+        let offered = n as f64 * 100.0 / (arr.last().unwrap().as_millis_f64() * 4.0);
+        assert!(
+            (offered - 0.8).abs() < 0.12,
+            "markov corrected offered load {offered} vs target 0.8"
+        );
+    }
+
+    #[test]
+    fn new_variants_report_base_mean_and_compression() {
+        let d = IatSpec::Diurnal {
+            base_mean_ms: 5.0,
+            amplitude: 0.5,
+            cycles: 1.0,
+        };
+        assert_eq!(d.base_mean_ms(), 5.0);
+        // Whole-cycle analytic value: 1/√(1−a²) ≈ 1.1547 for a = 0.5.
+        let f = d.compression_factor(100_000);
+        assert!((f - 1.0 / (1.0 - 0.25f64).sqrt()).abs() < 1e-3, "got {f}");
+        let m = IatSpec::MarkovBursty {
+            base_mean_ms: 5.0,
+            burst_factor: 10.0,
+            p_enter: 0.01,
+            p_exit: 0.03,
+        };
+        assert_eq!(m.base_mean_ms(), 5.0);
+        // π_burst = 0.25 → factor = 0.75 + 0.25/10 = 0.775.
+        assert!((m.compression_factor(1_000) - 0.775).abs() < 1e-12);
+        // Amplitude 0 / factor 1 degrade to plain Poisson behaviour.
+        let flat = IatSpec::Diurnal {
+            base_mean_ms: 5.0,
+            amplitude: 0.0,
+            cycles: 3.0,
+        };
+        assert!((flat.compression_factor(10_000) - 1.0).abs() < 1e-12);
     }
 
     #[test]

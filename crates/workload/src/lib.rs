@@ -26,7 +26,7 @@ pub use table1::{DurationBucket, Table1Sampler, LONG_THRESHOLD_MS, TABLE1};
 pub use trace::{from_csv, to_csv, TraceError};
 
 use sfs_sched::TaskSpec;
-use sfs_simcore::{SimRng, SimTime};
+use sfs_simcore::{SimDuration, SimRng, SimTime};
 
 /// How function durations are drawn.
 #[derive(Debug, Clone)]
@@ -85,6 +85,13 @@ pub struct WorkloadSpec {
     pub io_fraction: f64,
     /// Injected I/O duration range in ms (paper: 10–100 ms, uniform).
     pub io_range_ms: (f64, f64),
+    /// Fraction of requests that pay a cold start: container spin-up burns
+    /// CPU *before* the function body runs. 0 disables (the paper's
+    /// pre-warmed setup).
+    pub cold_start_fraction: f64,
+    /// Heavy-tailed cold-start penalty, Pareto `(scale_ms, alpha)`: most
+    /// spin-ups are near `scale_ms`, a few dominate the tail.
+    pub cold_start_pareto: (f64, f64),
     /// Master RNG seed: same seed → identical workload.
     pub seed: u64,
 }
@@ -101,7 +108,51 @@ impl WorkloadSpec {
             apps: AppMix::FibOnly,
             io_fraction: 0.0,
             io_range_ms: (10.0, 100.0),
+            cold_start_fraction: 0.0,
+            cold_start_pareto: (50.0, 1.8),
             seed,
+        }
+    }
+
+    /// Diurnal-load scenario: the Azure-sampled population under a
+    /// sinusoidally modulated arrival rate (two day-cycles across the
+    /// workload, ±60% rate swing). Exercises the slice controller's
+    /// tracking of slow load ramps rather than step spikes.
+    pub fn diurnal(n_requests: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            iat: IatSpec::Diurnal {
+                base_mean_ms: 1.0,
+                amplitude: 0.6,
+                cycles: 2.0,
+            },
+            ..WorkloadSpec::azure_sampled(n_requests, seed)
+        }
+    }
+
+    /// Correlated-burst scenario: a two-state Markov-modulated Poisson
+    /// arrival process whose bursts start at random and persist (mean
+    /// burst length 1/p_exit = 200 requests, 8× rate), unlike the
+    /// scheduled spike windows of [`WorkloadSpec::azure_replay`].
+    pub fn correlated_bursts(n_requests: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            iat: IatSpec::MarkovBursty {
+                base_mean_ms: 1.0,
+                burst_factor: 8.0,
+                p_enter: 0.004,
+                p_exit: 0.005,
+            },
+            ..WorkloadSpec::azure_sampled(n_requests, seed)
+        }
+    }
+
+    /// Heavy-tailed cold-start mix: 30% of requests pay a Pareto(50 ms,
+    /// α = 1.8) CPU spin-up before the function body — the un-pre-warmed
+    /// regime the paper's setup deliberately avoids, where short functions
+    /// can be shadowed by their own container start.
+    pub fn cold_start_mix(n_requests: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            cold_start_fraction: 0.3,
+            ..WorkloadSpec::azure_sampled(n_requests, seed)
         }
     }
 
@@ -152,7 +203,7 @@ impl WorkloadSpec {
 
     /// Mean per-request CPU demand (ms), analytic: duration mean scaled by
     /// the CPU share of the app mix (injected I/O is pure sleep and adds
-    /// no CPU).
+    /// no CPU), plus the expected cold-start CPU when the mix has one.
     pub fn mean_cpu_ms(&self) -> f64 {
         let d = self.durations.mean_ms();
         let cpu_share = match &self.apps {
@@ -162,7 +213,19 @@ impl WorkloadSpec {
                 (fib * 1.0 + md * 0.3 + sa * 0.6) / total
             }
         };
-        d * cpu_share
+        d * cpu_share + self.cold_start_fraction * self.mean_cold_start_ms()
+    }
+
+    /// Analytic mean of one cold-start penalty (ms): Pareto mean
+    /// `scale·α/(α−1)` for `α > 1` (undefined-mean tails are clamped to
+    /// the scale so load targeting stays finite).
+    fn mean_cold_start_ms(&self) -> f64 {
+        let (scale, alpha) = self.cold_start_pareto;
+        if alpha > 1.0 {
+            scale * alpha / (alpha - 1.0)
+        } else {
+            scale
+        }
     }
 
     /// Generate the workload deterministically.
@@ -172,6 +235,9 @@ impl WorkloadSpec {
         let mut rng_iat = master.derive("iat");
         let mut rng_app = master.derive("apps");
         let mut rng_io = master.derive("io");
+        // Derived after the original four so pre-existing scenario streams
+        // are unchanged by the cold-start extension.
+        let mut rng_cold = master.derive("cold_start");
 
         let t1 = Table1Sampler::new();
         let arrivals = self.iat.arrivals(self.n_requests, &mut rng_iat);
@@ -184,13 +250,29 @@ impl WorkloadSpec {
             } else {
                 None
             };
-            let spec = build_task(i as u64, app, duration_ms, injected);
+            let cold =
+                if self.cold_start_fraction > 0.0 && rng_cold.chance(self.cold_start_fraction) {
+                    let (scale, alpha) = self.cold_start_pareto;
+                    Some(rng_cold.pareto(scale, alpha))
+                } else {
+                    None
+                };
+            let mut spec = build_task(i as u64, app, duration_ms, injected);
+            if let Some(cold_ms) = cold {
+                // Container spin-up burns CPU before everything else, the
+                // injected I/O knob included.
+                spec.phases.insert(
+                    0,
+                    sfs_sched::Phase::Cpu(SimDuration::from_millis_f64(cold_ms)),
+                );
+            }
             requests.push(Request {
                 id: i as u64,
                 arrival,
                 app,
                 duration_ms,
                 injected_io_ms: injected,
+                cold_start_ms: cold,
                 spec,
             });
         }
@@ -211,6 +293,8 @@ pub struct Request {
     pub duration_ms: f64,
     /// Injected leading I/O (ms) if the I/O knob selected this request.
     pub injected_io_ms: Option<f64>,
+    /// Cold-start CPU penalty (ms) if this request drew one.
+    pub cold_start_ms: Option<f64>,
     /// The runnable task spec.
     pub spec: TaskSpec,
 }
@@ -353,6 +437,68 @@ mod tests {
                 assert!(r.spec.io_demand().as_nanos() > 0);
             }
         }
+    }
+
+    #[test]
+    fn cold_start_mix_is_heavy_tailed_and_prepends_cpu() {
+        let w = WorkloadSpec::cold_start_mix(20_000, 7).generate();
+        let cold: Vec<f64> = w.requests.iter().filter_map(|r| r.cold_start_ms).collect();
+        let frac = cold.len() as f64 / w.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "cold fraction {frac}");
+        // Pareto tail: every draw ≥ scale, and the tail dominates the bulk.
+        assert!(cold.iter().all(|&c| c >= 50.0));
+        let mut sorted = cold.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(
+            max > 20.0 * median,
+            "tail not heavy: max {max} vs median {median}"
+        );
+        for r in &w.requests {
+            if let Some(c) = r.cold_start_ms {
+                let p0 = &r.spec.phases[0];
+                assert!(p0.is_cpu(), "cold start must lead as CPU");
+                assert!((p0.duration().as_millis_f64() - c).abs() < 1e-6);
+            }
+        }
+        // Load targeting accounts for the extra CPU.
+        let spec = WorkloadSpec::cold_start_mix(20_000, 7).with_load(8, 0.8);
+        let got = spec.generate().offered_load(8);
+        assert!((got - 0.8).abs() / 0.8 < 0.1, "offered {got} vs 0.8");
+    }
+
+    #[test]
+    fn new_scenario_families_generate_deterministically() {
+        for spec in [
+            WorkloadSpec::diurnal(1_000, 11).with_load(8, 0.85),
+            WorkloadSpec::correlated_bursts(1_000, 11).with_load(8, 0.85),
+            WorkloadSpec::cold_start_mix(1_000, 11).with_load(8, 0.85),
+        ] {
+            let a = spec.generate();
+            let b = spec.generate();
+            assert_eq!(a.len(), 1_000);
+            for (x, y) in a.requests.iter().zip(b.requests.iter()) {
+                assert_eq!(x.arrival, y.arrival);
+                assert_eq!(x.duration_ms.to_bits(), y.duration_ms.to_bits());
+                assert_eq!(
+                    x.cold_start_ms.map(f64::to_bits),
+                    y.cold_start_ms.map(f64::to_bits)
+                );
+                assert!(x.spec.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_scenarios_are_unchanged_by_the_cold_start_extension() {
+        // The cold-start stream is derived after the original four, so a
+        // zero-fraction workload must be identical to the pre-extension
+        // generator output (locked by the golden suite downstream).
+        let w = WorkloadSpec::azure_sampled(500, 42)
+            .with_load(12, 0.8)
+            .generate();
+        assert!(w.requests.iter().all(|r| r.cold_start_ms.is_none()));
     }
 
     #[test]

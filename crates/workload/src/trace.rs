@@ -125,6 +125,9 @@ pub fn from_csv(text: &str) -> Result<Workload, TraceError> {
             app,
             duration_ms,
             injected_io_ms: injected,
+            // The CSV schema predates cold starts; replayed traces are
+            // always warm (matching the paper's pre-warmed setup).
+            cold_start_ms: None,
             spec,
         });
     }
