@@ -8,8 +8,8 @@
 use std::hint::black_box;
 
 use sfs_bench::timebench::Harness;
-use sfs_core::{run_baseline, Baseline, SfsConfig, SfsSimulator};
-use sfs_sched::MachineParams;
+use sfs_bench::{run_factory, run_sfs};
+use sfs_core::{Baseline, SfsConfig};
 use sfs_workload::{Workload, WorkloadSpec};
 
 const CORES: usize = 8;
@@ -25,16 +25,11 @@ fn bench_baselines(h: &mut Harness) {
     let w = workload();
     for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
         h.bench(&format!("end_to_end/baseline/{}", b.name()), || {
-            black_box(run_baseline(b, CORES, &w));
+            black_box(run_factory(&b, CORES, &w).outcomes.len());
         });
     }
     h.bench("end_to_end/sfs", || {
-        let sim = SfsSimulator::new(
-            SfsConfig::new(CORES),
-            MachineParams::linux(CORES),
-            w.clone(),
-        );
-        black_box(sim.run().outcomes.len());
+        black_box(run_sfs(SfsConfig::new(CORES), CORES, &w).outcomes.len());
     });
 }
 

@@ -6,10 +6,9 @@
 //! imbalance, core under-utilisation). This harness quantifies them on the
 //! standalone workload at 90% load.
 
-use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
-use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_sfs, save, section, turnarounds_ms, Sweep};
+use sfs_core::SfsConfig;
 use sfs_metrics::{cdf_chart, PercentileTable};
-use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 16;
@@ -31,15 +30,10 @@ fn main() {
     };
     let mut sweep = Sweep::new("ablation_queues", seed);
     sweep.scenario("global queue", move |_| {
-        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen()).run()
+        run_sfs(SfsConfig::new(CORES), CORES, &gen())
     });
     sweep.scenario("per-worker queues", move |_| {
-        SfsSimulator::new(
-            SfsConfig::new(CORES).per_worker_queues(),
-            MachineParams::linux(CORES),
-            gen(),
-        )
-        .run()
+        run_sfs(SfsConfig::new(CORES).per_worker_queues(), CORES, &gen())
     });
     let results = sweep.run();
     let (global, per) = (&results[0].value, &results[1].value);
@@ -61,8 +55,8 @@ fn main() {
     );
     println!(
         "peak queue delay: global {:.2}s vs per-worker {:.2}s",
-        global.queue_delay_series.max_value(),
-        per.queue_delay_series.max_value()
+        global.telemetry.queue_delay_series.max_value(),
+        per.telemetry.queue_delay_series.max_value()
     );
 
     section("duration CDF (log-x)");

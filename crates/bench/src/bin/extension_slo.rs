@@ -6,10 +6,9 @@
 //! SFS and every kernel baseline at 80% and 100% load, plus the tightest
 //! sellable bound per scheduler.
 
-use sfs_bench::{banner, save, section, Sweep};
-use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_factory, run_sfs, save, section, Sweep};
+use sfs_core::{Baseline, RequestOutcome, SfsConfig};
 use sfs_metrics::{evaluate_slo, tightest_bound, MarkdownTable, SloRule};
-use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 16;
@@ -33,18 +32,14 @@ fn main() {
     let mut sweep: Sweep<'_, (f64, Vec<RequestOutcome>)> = Sweep::new("extension_slo", seed);
     for &load in &[0.8, 1.0] {
         sweep.scenario("SFS", move |_| {
-            let outs = SfsSimulator::new(
-                SfsConfig::new(CORES),
-                MachineParams::linux(CORES),
-                gen(load),
+            (
+                load,
+                run_sfs(SfsConfig::new(CORES), CORES, &gen(load)).outcomes,
             )
-            .run()
-            .outcomes;
-            (load, outs)
         });
         for b in BASELINES {
             sweep.scenario(b.name(), move |_| {
-                (load, run_baseline(b, CORES, &gen(load)))
+                (load, run_factory(&b, CORES, &gen(load)).outcomes)
             });
         }
     }

@@ -6,9 +6,10 @@
 //! Linux policies but with a large RTE < 0.2 mass at 100%; FIFO worst
 //! (convoy effect).
 
-use sfs_bench::{banner, rtes, save, section, turnarounds_ms, Sweep};
-use sfs_core::{run_baseline, run_ideal, Baseline, RequestOutcome};
+use sfs_bench::{banner, rtes, run_factory, save, section, turnarounds_ms, Sweep};
+use sfs_core::{Baseline, Ideal, RequestOutcome, Sim};
 use sfs_metrics::{cdf_chart, CdfReport, MarkdownTable};
+use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 12;
@@ -35,12 +36,19 @@ fn main() {
     for &load in &[0.8, 1.0] {
         for b in BASELINES {
             sweep.scenario(format!("{} {:.0}%", b.name(), load * 100.0), move |_| {
-                (load, run_baseline(b, CORES, &gen(load)))
+                (load, run_factory(&b, CORES, &gen(load)).outcomes)
             });
         }
     }
     // IDEAL is load-independent.
-    sweep.scenario("IDEAL", move |_| (1.0, run_ideal(&gen(1.0))));
+    sweep.scenario("IDEAL", move |_| {
+        let w = gen(1.0);
+        let run = Sim::on(MachineParams::linux(CORES))
+            .workload(&w)
+            .controller(Ideal)
+            .run();
+        (1.0, run.outcomes)
+    });
     let results = sweep.run();
 
     let mut duration_report = CdfReport::new("duration_ms");

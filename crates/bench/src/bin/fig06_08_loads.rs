@@ -5,10 +5,11 @@
 //! requests (median ~constant); CFS median and tail grow with load; SFS
 //! tail slightly above CFS's at matched load.
 
-use sfs_bench::{banner, rtes, save, section, split_short_long, turnarounds_ms, Sweep};
-use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_bench::{
+    banner, rtes, run_factory, run_sfs, save, section, split_short_long, turnarounds_ms, Sweep,
+};
+use sfs_core::{Baseline, RequestOutcome, SfsConfig};
 use sfs_metrics::{cdf_chart, CdfReport, MarkdownTable, PercentileTable};
-use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 16;
@@ -34,12 +35,10 @@ fn main() {
                 .generate()
         };
         sweep.scenario(format!("SFS {:.0}%", load * 100.0), move |_| {
-            SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen())
-                .run()
-                .outcomes
+            run_sfs(SfsConfig::new(CORES), CORES, &gen()).outcomes
         });
         sweep.scenario(format!("CFS {:.0}%", load * 100.0), move |_| {
-            run_baseline(Baseline::Cfs, CORES, &gen())
+            run_factory(&Baseline::Cfs, CORES, &gen()).outcomes
         });
     }
     let results = sweep.run();

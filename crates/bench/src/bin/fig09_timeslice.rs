@@ -4,10 +4,9 @@
 //! Expected shape: adaptive SFS beats the 100/200 ms fixed slices overall;
 //! the 50 ms slice helps ~30% of short requests but hurts the rest.
 
-use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
-use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_sfs, save, section, turnarounds_ms, Sweep};
+use sfs_core::SfsConfig;
 use sfs_metrics::{cdf_chart, CdfReport};
-use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 16;
@@ -40,7 +39,7 @@ fn main() {
             let w = WorkloadSpec::azure_sampled(n, seed)
                 .with_load(CORES, 0.8)
                 .generate();
-            SfsSimulator::new(cfg, MachineParams::linux(CORES), w).run()
+            run_sfs(cfg, CORES, &w)
         });
     }
     let results = sweep.run();
@@ -53,8 +52,8 @@ fn main() {
             "{:>8}: mean {:.1} ms, demoted {}, recalcs {}",
             r.label,
             r.value.mean_turnaround_ms(),
-            r.value.demoted,
-            r.value.slice_recalcs
+            r.value.telemetry.demoted,
+            r.value.telemetry.slice_recalcs
         );
         report.push(r.label.clone(), durs.clone());
         chart.push((r.label.clone(), durs));

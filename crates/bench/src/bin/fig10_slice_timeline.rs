@@ -4,10 +4,9 @@
 //! Expected shape: S tracks the IAT signal scaled by the core count —
 //! when arrivals speed up the slice tightens, and vice versa.
 
-use sfs_bench::{banner, save, section, Sweep};
-use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_sfs, save, section, Sweep};
+use sfs_core::SfsConfig;
 use sfs_metrics::timeline_chart;
-use sfs_sched::MachineParams;
 use sfs_workload::{IatSpec, Spike, WorkloadSpec};
 
 const CORES: usize = 16;
@@ -28,22 +27,24 @@ fn main() {
             spikes: Spike::evenly_spaced(4, n / 12, 4.0, n),
         };
         let w = spec.with_load(CORES, 0.8).generate();
-        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w).run()
+        run_sfs(SfsConfig::new(CORES), CORES, &w)
     });
     let r = sweep.run().remove(0).value;
 
     section(&format!(
         "slice recalculations: {} (every 100 arrivals)",
-        r.slice_recalcs
+        r.telemetry.slice_recalcs
     ));
 
     let slice_pts: Vec<(f64, f64)> = r
+        .telemetry
         .slice_timeline
         .points()
         .iter()
         .map(|&(t, v)| (t.as_secs_f64(), v))
         .collect();
     let iat_pts: Vec<(f64, f64)> = r
+        .telemetry
         .iat_timeline
         .points()
         .iter()
@@ -66,6 +67,9 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("max |S - IAT*c| relative error: {max_rel_err:.4} (0 = exact Eq. 2 coupling)");
 
-    save("fig10_slice_timeline.csv", &r.slice_timeline.to_csv());
-    save("fig10_iat_timeline.csv", &r.iat_timeline.to_csv());
+    save(
+        "fig10_slice_timeline.csv",
+        &r.telemetry.slice_timeline.to_csv(),
+    );
+    save("fig10_iat_timeline.csv", &r.telemetry.iat_timeline.to_csv());
 }

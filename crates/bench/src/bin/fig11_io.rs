@@ -6,10 +6,9 @@
 //! I/O-oblivious SFS is clearly worse (blocked functions burn their FILTER
 //! slice and get demoted).
 
-use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
-use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_sfs, save, section, turnarounds_ms, Sweep};
+use sfs_core::SfsConfig;
 use sfs_metrics::{cdf_chart, CdfReport};
-use sfs_sched::MachineParams;
 use sfs_simcore::SimDuration;
 use sfs_workload::WorkloadSpec;
 
@@ -52,9 +51,7 @@ fn main() {
     ];
     let mut sweep = Sweep::new("fig11", seed);
     for (label, cfg) in variants {
-        sweep.scenario(label, move |_| {
-            SfsSimulator::new(cfg, MachineParams::linux(CORES), gen()).run()
-        });
+        sweep.scenario(label, move |_| run_sfs(cfg, CORES, &gen()));
     }
     let results = sweep.run();
 
@@ -68,7 +65,7 @@ fn main() {
             r.label,
             r.value.mean_turnaround_ms(),
             io_blocks,
-            r.value.demoted
+            r.value.telemetry.demoted
         );
         let durs = turnarounds_ms(&r.value.outcomes);
         report.push(r.label.clone(), durs.clone());

@@ -6,10 +6,9 @@
 //! drain slowly; with it the timeline stays smooth and ~50% of requests see
 //! materially lower turnaround.
 
-use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
-use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_sfs, save, section, turnarounds_ms, Sweep};
+use sfs_core::SfsConfig;
 use sfs_metrics::{cdf_chart, timeline_chart, CdfReport};
-use sfs_sched::MachineParams;
 use sfs_workload::{IatSpec, Spike, WorkloadSpec};
 
 const CORES: usize = 16;
@@ -34,15 +33,10 @@ fn main() {
     };
     let mut sweep = Sweep::new("fig12", seed);
     sweep.scenario("SFS", move |_| {
-        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen()).run()
+        run_sfs(SfsConfig::new(CORES), CORES, &gen())
     });
     sweep.scenario("SFS w/o hybrid", move |_| {
-        SfsSimulator::new(
-            SfsConfig::new(CORES).without_hybrid(),
-            MachineParams::linux(CORES),
-            gen(),
-        )
-        .run()
+        run_sfs(SfsConfig::new(CORES).without_hybrid(), CORES, &gen())
     });
     let results = sweep.run();
     let (hybrid, pure) = (&results[0].value, &results[1].value);
@@ -51,6 +45,7 @@ fn main() {
     for r in &results {
         let pts: Vec<(f64, f64)> = r
             .value
+            .telemetry
             .queue_delay_series
             .points()
             .iter()
@@ -59,14 +54,14 @@ fn main() {
         println!(
             "{}: peak {:.2}s mean {:.3}s",
             r.label,
-            r.value.queue_delay_series.max_value(),
-            r.value.queue_delay_series.mean_value()
+            r.value.telemetry.queue_delay_series.max_value(),
+            r.value.telemetry.queue_delay_series.mean_value()
         );
         println!("{}", timeline_chart(&pts, 72, 10));
     }
     println!(
         "offloaded to CFS by the bypass: {} requests (w/o hybrid: {})",
-        hybrid.offloaded, pure.offloaded
+        hybrid.telemetry.offloaded, pure.telemetry.offloaded
     );
 
     section("Fig. 12(b) duration CDF quantiles (ms)");
@@ -79,11 +74,11 @@ fn main() {
     save("fig12b_duration_cdf.csv", &report.to_csv());
     save(
         "fig12a_queue_delay_sfs.csv",
-        &hybrid.queue_delay_series.to_csv(),
+        &hybrid.telemetry.queue_delay_series.to_csv(),
     );
     save(
         "fig12a_queue_delay_pure.csv",
-        &pure.queue_delay_series.to_csv(),
+        &pure.telemetry.queue_delay_series.to_csv(),
     );
 
     section("duration CDF (log-x)");

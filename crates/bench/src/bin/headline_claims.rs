@@ -7,10 +7,9 @@
 //! Runs the standalone Fig. 6 setup at 100% load and aggregates per-request
 //! speedups with `sfs_metrics::headline_claims`.
 
-use sfs_bench::{banner, save, section, Sweep};
-use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_factory, run_sfs, save, section, Sweep};
+use sfs_core::{Baseline, RequestOutcome, SfsConfig};
 use sfs_metrics::{headline_claims, MarkdownTable, Paired};
-use sfs_sched::MachineParams;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 16;
@@ -32,11 +31,11 @@ fn main() {
     };
     let mut sweep: Sweep<'_, Vec<RequestOutcome>> = Sweep::new("headline", seed);
     sweep.scenario("SFS", move |_| {
-        SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), gen())
-            .run()
-            .outcomes
+        run_sfs(SfsConfig::new(CORES), CORES, &gen()).outcomes
     });
-    sweep.scenario("CFS", move |_| run_baseline(Baseline::Cfs, CORES, &gen()));
+    sweep.scenario("CFS", move |_| {
+        run_factory(&Baseline::Cfs, CORES, &gen()).outcomes
+    });
     let results = sweep.run();
     let (sfs, cfs) = (&results[0].value, &results[1].value);
 

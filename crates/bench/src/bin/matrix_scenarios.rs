@@ -1,17 +1,26 @@
 //! Scenario matrix: SFS vs CFS on the workload families beyond the
 //! paper's evaluation — diurnal load ramps, correlated (Markov-modulated)
-//! bursts, and a heavy-tailed cold-start mix.
+//! bursts, and a heavy-tailed cold-start mix — plus the policy matrix the
+//! `Controller` API opened up: the history-informed static-priority
+//! strawman, the user-space MLFQ, and SLO-deadline SFS on the same
+//! families.
 //!
 //! Expected shape: SFS's short-function advantage survives every family;
 //! diurnal ramps are the easiest (the slice controller tracks them),
 //! correlated bursts lean hardest on the hybrid bypass, and the cold-start
 //! mix erodes part of the short-function win because spin-up CPU makes
-//! "short" requests long in disguise.
+//! "short" requests long in disguise. Among the new policies, the strawman
+//! collapses toward FIFO (history cannot split a multimodal app), MLFQ
+//! lands between CFS and SFS, and SLO-SFS tracks SFS while bounding queue
+//! age.
 
-use sfs_bench::{banner, rtes, save, section, turnarounds_ms, Sweep};
-use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_bench::{banner, rtes, run_factory, run_sfs, save, section, turnarounds_ms, Sweep};
+use sfs_core::{
+    Baseline, Controller, ControllerFactory, HistoryPriority, RequestOutcome, SfsConfig,
+    SfsController, UserMlfq,
+};
 use sfs_metrics::{cdf_chart, MarkdownTable, PercentileTable};
-use sfs_sched::MachineParams;
+use sfs_simcore::SimDuration;
 use sfs_workload::WorkloadSpec;
 
 const CORES: usize = 16;
@@ -33,6 +42,27 @@ struct Cell {
     demoted: u64,
 }
 
+/// The controllers the policy-driven API added, as factories.
+struct NewPolicy(&'static str);
+
+impl ControllerFactory for NewPolicy {
+    fn build(&self) -> Box<dyn Controller> {
+        match self.0 {
+            "HIST" => Box::new(HistoryPriority::new()),
+            "MLFQ" => Box::new(UserMlfq::default()),
+            "SLO-SFS" => Box::new(SfsController::with_slo(
+                SfsConfig::new(CORES),
+                SimDuration::from_millis(250),
+            )),
+            other => unreachable!("unknown policy {other}"),
+        }
+    }
+
+    fn label(&self) -> String {
+        self.0.to_string()
+    }
+}
+
 fn main() {
     let n = sfs_bench::n_requests(10_000);
     let seed = sfs_bench::seed();
@@ -47,17 +77,17 @@ fn main() {
     for fam in ["diurnal", "correlated", "cold-start"] {
         sweep.scenario(format!("SFS {fam}"), move |_| {
             let w = family(fam, n, seed).with_load(CORES, LOAD).generate();
-            let r = SfsSimulator::new(SfsConfig::new(CORES), MachineParams::linux(CORES), w).run();
+            let r = run_sfs(SfsConfig::new(CORES), CORES, &w);
             Cell {
-                offloaded: r.offloaded,
-                demoted: r.demoted,
+                offloaded: r.telemetry.offloaded,
+                demoted: r.telemetry.demoted,
                 outcomes: r.outcomes,
             }
         });
         sweep.scenario(format!("CFS {fam}"), move |_| {
             let w = family(fam, n, seed).with_load(CORES, LOAD).generate();
             Cell {
-                outcomes: run_baseline(Baseline::Cfs, CORES, &w),
+                outcomes: run_factory(&Baseline::Cfs, CORES, &w).outcomes,
                 offloaded: 0,
                 demoted: 0,
             }
@@ -125,4 +155,55 @@ fn main() {
         .map(|(l, v)| (l.as_str(), v.as_slice()))
         .collect();
     println!("{}", cdf_chart(&refs, 64, 16));
+
+    // ------------------------------------------------------------------
+    // Policy matrix: the controllers the Sim/Controller API made cheap to
+    // add, across the same three workload families.
+    // ------------------------------------------------------------------
+    let mut psweep: Sweep<'_, Vec<RequestOutcome>> = Sweep::new("policy_matrix", seed);
+    for fam in ["diurnal", "correlated", "cold-start"] {
+        for policy in ["HIST", "MLFQ", "SLO-SFS"] {
+            psweep.scenario(format!("{policy} {fam}"), move |_| {
+                let w = family(fam, n, seed).with_load(CORES, LOAD).generate();
+                run_factory(&NewPolicy(policy), CORES, &w).outcomes
+            });
+        }
+    }
+    let presults = psweep.run();
+
+    let mut ptable = MarkdownTable::new(&[
+        "policy / family",
+        "mean (ms)",
+        "short mean (ms)",
+        "long mean (ms)",
+        "fraction RTE >= 0.95",
+    ]);
+    for r in &presults {
+        let mean_of = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let durs = turnarounds_ms(&r.value);
+        let (short, long): (Vec<f64>, Vec<f64>) = {
+            let mut s = Vec::new();
+            let mut l = Vec::new();
+            for o in &r.value {
+                if o.ideal.as_millis_f64() < 1550.0 {
+                    s.push(o.turnaround.as_millis_f64());
+                } else {
+                    l.push(o.turnaround.as_millis_f64());
+                }
+            }
+            (s, l)
+        };
+        let rt = rtes(&r.value);
+        let at95 = rt.iter().filter(|&&x| x >= 0.95).count() as f64 / rt.len().max(1) as f64;
+        ptable.row(&[
+            r.label.clone(),
+            format!("{:.1}", mean_of(&durs)),
+            format!("{:.1}", mean_of(&short)),
+            format!("{:.1}", mean_of(&long)),
+            format!("{at95:.3}"),
+        ]);
+    }
+    section("policy matrix: new controllers on the same families");
+    println!("{}", ptable.to_markdown());
+    save("matrix_policies.csv", &ptable.to_csv());
 }

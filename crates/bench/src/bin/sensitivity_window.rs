@@ -3,10 +3,9 @@
 //! window length matters most: short windows chase noise, long windows lag
 //! rate changes.
 
-use sfs_bench::{banner, save, section, turnarounds_ms, Sweep};
-use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_sfs, save, section, turnarounds_ms, Sweep};
+use sfs_core::SfsConfig;
 use sfs_metrics::PercentileTable;
-use sfs_sched::MachineParams;
 use sfs_workload::{IatSpec, Spike, WorkloadSpec};
 
 const CORES: usize = 16;
@@ -30,7 +29,7 @@ fn main() {
         sweep.scenario(format!("N={window_n}"), move |_| {
             let mut cfg = SfsConfig::new(CORES);
             cfg.window_n = window_n;
-            SfsSimulator::new(cfg, MachineParams::linux(CORES), gen()).run()
+            run_sfs(cfg, CORES, &gen())
         });
     }
     let results = sweep.run();
@@ -41,9 +40,9 @@ fn main() {
         println!(
             "N={window_n:>4}: mean {:.1} ms, recalcs {}, offloaded {}, peak queue delay {:.2}s",
             r.value.mean_turnaround_ms(),
-            r.value.slice_recalcs,
-            r.value.offloaded,
-            r.value.queue_delay_series.max_value()
+            r.value.telemetry.slice_recalcs,
+            r.value.telemetry.offloaded,
+            r.value.telemetry.queue_delay_series.max_value()
         );
         t.push(r.label.clone(), turnarounds_ms(&r.value.outcomes));
     }

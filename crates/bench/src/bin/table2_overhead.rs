@@ -3,7 +3,7 @@
 //!
 //! Two measurements:
 //! 1. the *modelled* overhead from the simulator's poll/action counts with
-//!    per-operation costs calibrated in `SfsRunResult::overhead_fraction`;
+//!    per-operation costs calibrated in `RunOutcome::overhead_fraction`;
 //! 2. the *live* cost of one `/proc` status poll on this machine
 //!    (`sfs_host::measure_poll_cost`), the real-world analogue of the
 //!    paper's gopsutil reads.
@@ -11,10 +11,9 @@
 //! Expected shape: a few percent, dominated by polling, and only weakly
 //! dependent on the polling interval (the paper measures 3.4–3.8% average).
 
-use sfs_bench::{banner, save, section, Sweep};
-use sfs_core::{SfsConfig, SfsSimulator};
+use sfs_bench::{banner, run_sfs, save, section, Sweep};
+use sfs_core::SfsConfig;
 use sfs_metrics::MarkdownTable;
-use sfs_sched::MachineParams;
 use sfs_simcore::SimDuration;
 use sfs_workload::WorkloadSpec;
 
@@ -43,7 +42,7 @@ fn main() {
                 .generate();
             let mut cfg = SfsConfig::new(CORES);
             cfg.poll_interval = SimDuration::from_millis(ms);
-            SfsSimulator::new(cfg, MachineParams::linux(CORES), w).run()
+            run_sfs(cfg, CORES, &w)
         });
     }
     let results = sweep.run();
@@ -61,8 +60,8 @@ fn main() {
         let share = r.value.polling_overhead_share(poll_cost, action_cost);
         t.row(&[
             r.label.clone(),
-            format!("{}", r.value.polls),
-            format!("{}", r.value.polled_tasks),
+            format!("{}", r.value.telemetry.polls),
+            format!("{}", r.value.telemetry.polled_tasks),
             format!("{}", r.value.sched_actions),
             format!("{:.1}%", f * 100.0),
             format!("{:.1}%", share * 100.0),

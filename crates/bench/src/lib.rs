@@ -18,8 +18,25 @@ pub mod timebench;
 
 pub use sweep::{Scenario, Sweep, SweepResult, Trial};
 
-use sfs_core::RequestOutcome;
+use sfs_core::{ControllerFactory, RequestOutcome, RunOutcome, SfsConfig, SfsController, Sim};
+use sfs_sched::MachineParams;
 use sfs_simcore::SimDuration;
+use sfs_workload::Workload;
+
+/// Run `w` under SFS (`cfg`) on a default Linux machine with `cores`
+/// cores — the shared harness glue for every figure binary.
+pub fn run_sfs(cfg: SfsConfig, cores: usize, w: &Workload) -> RunOutcome {
+    Sim::on(MachineParams::linux(cores))
+        .workload(w)
+        .controller(SfsController::new(cfg))
+        .run()
+}
+
+/// Run `w` under any controller recipe (a [`sfs_core::Baseline`], an
+/// [`SfsConfig`], or a custom factory) on `cores` cores.
+pub fn run_factory(f: &dyn ControllerFactory, cores: usize, w: &Workload) -> RunOutcome {
+    f.run_on(cores, w)
+}
 
 /// Number of requests for a harness, overridable via `SFS_BENCH_REQUESTS`.
 pub fn n_requests(default: usize) -> usize {

@@ -2,10 +2,13 @@
 //! suites: a fixed matrix of small-but-representative experiment points,
 //! each a pure function of `(name, n, seed)`.
 
-use sfs_core::{run_baseline, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_core::{
+    Baseline, ControllerFactory, HistoryPriority, RequestOutcome, SfsConfig, SfsController, Sim,
+    UserMlfq,
+};
 use sfs_faas::{HostScheduler, OpenLambda, OpenLambdaParams};
 use sfs_sched::MachineParams;
-use sfs_simcore::Samples;
+use sfs_simcore::{Samples, SimDuration};
 use sfs_workload::WorkloadSpec;
 
 /// Scenario names locked by `tests/golden/*.txt` (one file each).
@@ -18,6 +21,10 @@ pub const SCENARIOS: &[&str] = &[
     "correlated_sfs",
     "coldstart_sfs",
     "openlambda_sfs",
+    // Controllers the policy-driven API added (PR 3).
+    "azure100_history",
+    "azure100_mlfq",
+    "replay_slosfs",
 ];
 
 /// Request count: small enough for CI, large enough for stable shapes.
@@ -26,9 +33,19 @@ pub const N: usize = 1_200;
 pub const SEED: u64 = 0x5EED_601D;
 
 fn sfs(cores: usize, w: sfs_workload::Workload) -> Vec<RequestOutcome> {
-    SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w)
+    Sim::on(MachineParams::linux(cores))
+        .workload(&w)
+        .controller(SfsController::new(SfsConfig::new(cores)))
         .run()
         .outcomes
+}
+
+fn run_factory(
+    f: &dyn ControllerFactory,
+    cores: usize,
+    w: sfs_workload::Workload,
+) -> Vec<RequestOutcome> {
+    f.run_on(cores, &w).outcomes
 }
 
 /// Run one named scenario to completion.
@@ -40,10 +57,10 @@ pub fn run_scenario(name: &str) -> Vec<RequestOutcome> {
                 .with_load(8, 0.8)
                 .generate(),
         ),
-        "azure80_cfs" => run_baseline(
-            Baseline::Cfs,
+        "azure80_cfs" => run_factory(
+            &Baseline::Cfs,
             8,
-            &WorkloadSpec::azure_sampled(N, SEED)
+            WorkloadSpec::azure_sampled(N, SEED)
                 .with_load(8, 0.8)
                 .generate(),
         ),
@@ -84,6 +101,39 @@ pub fn run_scenario(name: &str) -> Vec<RequestOutcome> {
                 24,
                 &w,
             )
+        }
+        "azure100_history" => {
+            let w = WorkloadSpec::azure_sampled(N, SEED)
+                .with_load(8, 1.0)
+                .generate();
+            Sim::on(MachineParams::linux(8))
+                .workload(&w)
+                .controller(HistoryPriority::new())
+                .run()
+                .outcomes
+        }
+        "azure100_mlfq" => {
+            let w = WorkloadSpec::azure_sampled(N, SEED)
+                .with_load(8, 1.0)
+                .generate();
+            Sim::on(MachineParams::linux(8))
+                .workload(&w)
+                .controller(UserMlfq::default())
+                .run()
+                .outcomes
+        }
+        "replay_slosfs" => {
+            let w = WorkloadSpec::azure_replay(N, SEED)
+                .with_load(8, 0.85)
+                .generate();
+            Sim::on(MachineParams::linux(8))
+                .workload(&w)
+                .controller(SfsController::with_slo(
+                    SfsConfig::new(8),
+                    SimDuration::from_millis(250),
+                ))
+                .run()
+                .outcomes
         }
         other => panic!("unknown scenario {other:?}"),
     }

@@ -17,8 +17,7 @@
 //! already keeps): a function app's previous ideal durations classify the
 //! next invocation as short or long.
 
-use sfs_core::{RequestOutcome, SfsConfig, SfsSimulator};
-use sfs_sched::MachineParams;
+use sfs_core::{ControllerFactory, RequestOutcome, SfsConfig};
 use sfs_simcore::SimDuration;
 use sfs_workload::{Workload, LONG_THRESHOLD_MS};
 
@@ -79,8 +78,20 @@ impl Cluster {
     }
 
     /// Dispatch `workload` across the cluster under `placement` and run
-    /// every host to completion.
+    /// every host to completion with this cluster's SFS configuration.
     pub fn run(&self, placement: Placement, workload: &Workload) -> ClusterRun {
+        self.run_with(placement, &self.sfs, workload)
+    }
+
+    /// As [`Cluster::run`], with any per-host scheduling policy: one fresh
+    /// controller is built per host from `factory` (hosts share nothing but
+    /// the dispatcher, as in a real FaaS fleet).
+    pub fn run_with(
+        &self,
+        placement: Placement,
+        factory: &dyn ControllerFactory,
+        workload: &Workload,
+    ) -> ClusterRun {
         // Outstanding work estimate per host: sum of dispatched (not yet
         // "expired") CPU demand, decayed by arrival time — the global
         // scheduler's view from its own dispatch log (it does not see host
@@ -138,8 +149,7 @@ impl Cluster {
             per_host_requests[host].push(idx);
         }
 
-        // Run each host independently (hosts share nothing but the
-        // dispatcher, as in a real FaaS fleet).
+        // Run each host independently, one controller per host.
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(workload.len());
         let mut per_host = Vec::with_capacity(self.hosts);
         for idxs in &per_host_requests {
@@ -150,9 +160,7 @@ impl Cluster {
             let sub = Workload {
                 requests: idxs.iter().map(|&i| workload.requests[i].clone()).collect(),
             };
-            let r =
-                SfsSimulator::new(self.sfs, MachineParams::linux(self.cores_per_host), sub).run();
-            outcomes.extend(r.outcomes);
+            outcomes.extend(factory.run_on(self.cores_per_host, &sub).outcomes);
         }
         outcomes.sort_by_key(|o| o.id);
         ClusterRun {
@@ -262,6 +270,26 @@ mod tests {
             steer.short_mean_ms(),
             rr.short_mean_ms()
         );
+    }
+
+    #[test]
+    fn any_controller_recipe_runs_per_host() {
+        // The dispatcher composes with arbitrary policies: a kernel-only
+        // CFS cluster completes the same request set as the SFS cluster,
+        // one fresh controller per host.
+        let cluster = Cluster::new(3, 4);
+        let w = workload(600, 3, 4, 0.8);
+        let sfs = cluster.run(Placement::RoundRobin, &w);
+        let cfs = cluster.run_with(Placement::RoundRobin, &sfs_core::Baseline::Cfs, &w);
+        assert_eq!(cfs.outcomes.len(), 600);
+        assert_eq!(
+            cfs.per_host, sfs.per_host,
+            "placement is policy-independent"
+        );
+        // Same ids, different schedules.
+        for (a, b) in sfs.outcomes.iter().zip(cfs.outcomes.iter()) {
+            assert_eq!(a.id, b.id);
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! from the HTTP invocation, so platform overhead is part of every
 //! distribution exactly as in Fig. 13–15.
 
-use sfs_core::{Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use std::sync::Arc;
+
+use sfs_core::{Baseline, Controller, ControllerFactory, RequestOutcome, SfsConfig, Sim};
 use sfs_sched::MachineParams;
 use sfs_simcore::{SimDuration, SimRng, SimTime};
 use sfs_workload::Workload;
@@ -77,13 +79,53 @@ pub struct Dispatched {
     pub pool_blocked: bool,
 }
 
-/// Which scheduler runs on the host.
-#[derive(Debug, Clone)]
+/// Which scheduler runs on the host. Any [`ControllerFactory`] works via
+/// [`HostScheduler::Custom`]; the two named variants cover the paper's
+/// comparison (SFS-ported OpenLambda vs stock CFS).
+#[derive(Clone)]
 pub enum HostScheduler {
     /// SFS-ported OpenLambda.
     Sfs(SfsConfig),
     /// A pure kernel baseline (the paper compares against CFS).
     Kernel(Baseline),
+    /// Any other user-space policy, built fresh per run.
+    Custom(Arc<dyn ControllerFactory + Send + Sync>),
+}
+
+impl std::fmt::Debug for HostScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostScheduler::Sfs(cfg) => f.debug_tuple("Sfs").field(cfg).finish(),
+            HostScheduler::Kernel(b) => f.debug_tuple("Kernel").field(b).finish(),
+            HostScheduler::Custom(c) => f.debug_tuple("Custom").field(&c.label()).finish(),
+        }
+    }
+}
+
+impl ControllerFactory for HostScheduler {
+    fn build(&self) -> Box<dyn Controller> {
+        match self {
+            HostScheduler::Sfs(cfg) => cfg.build(),
+            HostScheduler::Kernel(b) => b.build(),
+            HostScheduler::Custom(c) => c.build(),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            HostScheduler::Sfs(cfg) => cfg.label(),
+            HostScheduler::Kernel(b) => b.label(),
+            HostScheduler::Custom(c) => c.label(),
+        }
+    }
+
+    fn configure_machine(&self, params: &mut MachineParams) {
+        match self {
+            HostScheduler::Sfs(cfg) => cfg.configure_machine(params),
+            HostScheduler::Kernel(b) => b.configure_machine(params),
+            HostScheduler::Custom(c) => c.configure_machine(params),
+        }
+    }
 }
 
 /// The platform model.
@@ -173,17 +215,26 @@ impl OpenLambda {
         cores: usize,
         workload: &Workload,
     ) -> Vec<RequestOutcome> {
+        self.run_with(&sched, cores, workload)
+    }
+
+    /// As [`OpenLambda::run`], for any controller recipe: one fresh
+    /// controller is built for the host.
+    pub fn run_with(
+        &self,
+        sched: &dyn ControllerFactory,
+        cores: usize,
+        workload: &Workload,
+    ) -> Vec<RequestOutcome> {
         let dispatched = self.dispatch(workload);
         let mut mp = MachineParams::linux(cores);
         mp.contention_beta = self.params.contention_beta;
-        let mut outcomes = match sched {
-            HostScheduler::Sfs(cfg) => {
-                SfsSimulator::new(cfg, mp, dispatched.os_workload.clone())
-                    .run()
-                    .outcomes
-            }
-            HostScheduler::Kernel(b) => sfs_core::run_baseline_with(b, mp, &dispatched.os_workload),
-        };
+        sched.configure_machine(&mut mp);
+        let mut outcomes = Sim::on(mp)
+            .workload(&dispatched.os_workload)
+            .boxed_controller(sched.build())
+            .run()
+            .outcomes;
         for o in outcomes.iter_mut() {
             let http = dispatched.http_arrivals[o.id as usize];
             o.arrival = http;
@@ -286,6 +337,30 @@ mod tests {
             perfect < short.len(),
             "platform overhead must shave RTE below 1 for some short requests"
         );
+    }
+
+    #[test]
+    fn custom_controllers_run_behind_the_platform() {
+        // HostScheduler::Custom plugs any ControllerFactory into the
+        // OpenLambda pipeline — here the user-space MLFQ policy.
+        struct Mlfq;
+        impl sfs_core::ControllerFactory for Mlfq {
+            fn build(&self) -> Box<dyn sfs_core::Controller> {
+                Box::new(sfs_core::UserMlfq::default())
+            }
+            fn label(&self) -> String {
+                "user-mlfq".into()
+            }
+        }
+        let ol = OpenLambda::new(OpenLambdaParams::default());
+        let w = small_workload();
+        let sched = HostScheduler::Custom(Arc::new(Mlfq));
+        assert_eq!(format!("{sched:?}"), "Custom(\"user-mlfq\")");
+        let out = ol.run(sched, 8, &w);
+        assert_eq!(out.len(), w.len());
+        for o in &out {
+            assert!(o.rte > 0.0 && o.rte <= 1.0);
+        }
     }
 
     #[test]

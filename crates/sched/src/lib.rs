@@ -29,6 +29,8 @@
 //! assert_eq!(m.finished().len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cfs;
 pub mod machine;
 pub mod rt;

@@ -48,12 +48,21 @@ impl Phase {
 pub enum Policy {
     /// `SCHED_FIFO`: real-time, static priority 1..=99, runs until it blocks,
     /// finishes, or a higher-priority RT task preempts it.
-    Fifo { prio: u8 },
+    Fifo {
+        /// Static real-time priority (1..=99, higher wins).
+        prio: u8,
+    },
     /// `SCHED_RR`: like FIFO but round-robins within a priority level on a
     /// fixed timeslice (`RR_TIMESLICE`, 100 ms in mainline).
-    Rr { prio: u8 },
+    Rr {
+        /// Static real-time priority (1..=99, higher wins).
+        prio: u8,
+    },
     /// `SCHED_NORMAL`: CFS, weighted by `nice` (-20..=19).
-    Normal { nice: i8 },
+    Normal {
+        /// Niceness (-20..=19; lower means more CPU weight).
+        nice: i8,
+    },
 }
 
 impl Policy {

@@ -1,18 +1,21 @@
-//! Pure-kernel baselines (CFS / FIFO / RR / SRTF / IDEAL) over a workload,
-//! producing the same [`RequestOutcome`] records as an SFS run so every
-//! figure harness can compare apples to apples.
+//! Pure-kernel baseline descriptors (CFS / FIFO / RR / SRTF) and the
+//! deprecated free-function run paths they used to ship with.
 //!
 //! These are the comparators of Fig. 2 (motivation) and the "CFS" series in
 //! every evaluation figure: the FaaS server dispatches each request straight
-//! to the OS and the kernel scheduler does everything.
+//! to the OS and the kernel scheduler does everything. Under the
+//! policy-driven API a baseline is just [`KernelOnly`] with the right
+//! dispatch policy (plus the SRTF machine mode for the oracle);
+//! [`Baseline`] packages that mapping as a [`ControllerFactory`].
 
-use sfs_sched::{run_open_loop, MachineParams, Policy, SchedMode, TaskSpec};
-use sfs_simcore::SimDuration;
+use sfs_sched::{MachineParams, Policy, SchedMode};
 use sfs_workload::Workload;
 
+use crate::policies::{Ideal, KernelOnly};
+use crate::sim::{Controller, ControllerFactory, Sim};
 use crate::stats::RequestOutcome;
 
-/// Which baseline scheduler to run.
+/// Which pure-kernel baseline scheduler to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Baseline {
     /// Linux default: every request under `SCHED_NORMAL` nice 0.
@@ -35,92 +38,87 @@ impl Baseline {
             Baseline::Srtf => "SRTF",
         }
     }
+
+    /// The dispatch policy this baseline runs every request under.
+    pub fn policy(self) -> Policy {
+        match self {
+            Baseline::Cfs | Baseline::Srtf => Policy::NORMAL,
+            Baseline::Fifo => Policy::Fifo { prio: 50 },
+            Baseline::Rr => Policy::Rr { prio: 50 },
+        }
+    }
+
+    /// The machine scheduling regime this baseline needs.
+    pub fn mode(self) -> SchedMode {
+        match self {
+            Baseline::Srtf => SchedMode::Srtf,
+            _ => SchedMode::Linux,
+        }
+    }
+}
+
+impl ControllerFactory for Baseline {
+    fn build(&self) -> Box<dyn Controller> {
+        Box::new(KernelOnly(self.policy()))
+    }
+
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
+    fn configure_machine(&self, params: &mut MachineParams) {
+        params.mode = self.mode();
+    }
 }
 
 /// Run `workload` under a pure kernel scheduling policy on `cores` cores.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sim::on(MachineParams::linux(cores)).workload(&w).controller(KernelOnly(b.policy())) \
+            (with MachineParams::srtf for the oracle) instead"
+)]
 pub fn run_baseline(baseline: Baseline, cores: usize, workload: &Workload) -> Vec<RequestOutcome> {
+    #[allow(deprecated)]
     run_baseline_with(baseline, MachineParams::linux(cores), workload)
 }
 
 /// As [`run_baseline`] but with explicit machine parameters (tunable CFS
 /// knobs, context-switch cost).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sim::on(params).workload(&w).controller(KernelOnly(b.policy())) instead"
+)]
 pub fn run_baseline_with(
     baseline: Baseline,
     mut params: MachineParams,
     workload: &Workload,
 ) -> Vec<RequestOutcome> {
-    params.mode = match baseline {
-        Baseline::Srtf => SchedMode::Srtf,
-        _ => SchedMode::Linux,
-    };
-    let mut arrivals: Vec<_> = workload
-        .requests
-        .iter()
-        .map(|r| {
-            let mut spec: TaskSpec = r.spec.clone();
-            spec.policy = match baseline {
-                Baseline::Cfs | Baseline::Srtf => Policy::NORMAL,
-                Baseline::Fifo => Policy::Fifo { prio: 50 },
-                Baseline::Rr => Policy::Rr { prio: 50 },
-            };
-            (r.arrival, spec)
-        })
-        .collect();
-    // Platform pipelines can reorder dispatches (jittered multi-server
-    // hops); the machine requires monotone spawn times.
-    arrivals.sort_by_key(|(at, _)| *at);
-    let mut finished = run_open_loop(params, arrivals);
-    finished.sort_by_key(|t| t.label);
-    finished
-        .into_iter()
-        .map(|t| RequestOutcome {
-            id: t.label,
-            arrival: t.arrival,
-            finished: t.finished,
-            turnaround: t.turnaround(),
-            ideal: t.ideal,
-            cpu_demand: t.cpu_demand,
-            rte: t.rte(),
-            ctx_switches: t.ctx_switches,
-            queue_delay: SimDuration::ZERO,
-            demoted: false,
-            offloaded: false,
-            filter_rounds: 0,
-            io_blocks: 0,
-        })
-        .collect()
+    baseline.configure_machine(&mut params);
+    Sim::on(params)
+        .workload(workload)
+        .boxed_controller(baseline.build())
+        .run()
+        .outcomes
 }
 
 /// The IDEAL scenario: infinite resources, zero contention. Turnaround is
 /// the spec's isolated duration by construction.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sim::on(params).workload(&w).controller(Ideal) instead"
+)]
 pub fn run_ideal(workload: &Workload) -> Vec<RequestOutcome> {
-    workload
-        .requests
-        .iter()
-        .map(|r| {
-            let ideal = r.spec.ideal_duration();
-            RequestOutcome {
-                id: r.id,
-                arrival: r.arrival,
-                finished: r.arrival + ideal,
-                turnaround: ideal,
-                ideal,
-                cpu_demand: r.spec.cpu_demand(),
-                rte: 1.0,
-                ctx_switches: 0,
-                queue_delay: SimDuration::ZERO,
-                demoted: false,
-                offloaded: false,
-                filter_rounds: 0,
-                io_blocks: 0,
-            }
-        })
-        .collect()
+    Sim::on(MachineParams::linux(1))
+        .workload(workload)
+        .controller(Ideal)
+        .run()
+        .outcomes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sfs_simcore::SimDuration;
     use sfs_workload::WorkloadSpec;
 
     fn workload() -> Workload {
@@ -129,11 +127,16 @@ mod tests {
             .generate()
     }
 
+    /// New-API equivalent of the old `run_baseline` helper.
+    fn baseline_outcomes(b: Baseline, cores: usize, w: &Workload) -> Vec<RequestOutcome> {
+        b.run_on(cores, w).outcomes
+    }
+
     #[test]
     fn all_baselines_complete_every_request() {
         let w = workload();
         for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
-            let out = run_baseline(b, 4, &w);
+            let out = baseline_outcomes(b, 4, &w);
             assert_eq!(out.len(), w.len(), "{} lost requests", b.name());
             // Outcomes sorted by id and complete.
             for (i, o) in out.iter().enumerate() {
@@ -145,11 +148,43 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_match_the_new_api() {
+        let w = workload();
+        for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
+            #[allow(deprecated)]
+            let old = run_baseline(b, 4, &w);
+            let new = baseline_outcomes(b, 4, &w);
+            assert_eq!(old.len(), new.len());
+            for (x, y) in old.iter().zip(new.iter()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.finished, y.finished);
+                assert_eq!(x.rte.to_bits(), y.rte.to_bits());
+                assert_eq!(x.ctx_switches, y.ctx_switches);
+            }
+        }
+        #[allow(deprecated)]
+        let old_ideal = run_ideal(&w);
+        let new_ideal = Sim::on(MachineParams::linux(4))
+            .workload(&w)
+            .controller(Ideal)
+            .run()
+            .outcomes;
+        for (x, y) in old_ideal.iter().zip(new_ideal.iter()) {
+            assert_eq!(x.finished, y.finished);
+            assert_eq!(x.turnaround, y.turnaround);
+        }
+    }
+
+    #[test]
     fn ideal_is_a_lower_bound() {
         let w = workload();
-        let ideal = run_ideal(&w);
+        let ideal = Sim::on(MachineParams::linux(4))
+            .workload(&w)
+            .controller(Ideal)
+            .run()
+            .outcomes;
         for b in [Baseline::Cfs, Baseline::Srtf] {
-            let out = run_baseline(b, 4, &w);
+            let out = baseline_outcomes(b, 4, &w);
             for (o, i) in out.iter().zip(ideal.iter()) {
                 assert!(
                     o.turnaround >= i.turnaround,
@@ -166,8 +201,8 @@ mod tests {
         let w = WorkloadSpec::azure_sampled(1_500, 3)
             .with_load(4, 1.0)
             .generate();
-        let cfs = run_baseline(Baseline::Cfs, 4, &w);
-        let srtf = run_baseline(Baseline::Srtf, 4, &w);
+        let cfs = baseline_outcomes(Baseline::Cfs, 4, &w);
+        let srtf = baseline_outcomes(Baseline::Srtf, 4, &w);
         let mean = |v: &[RequestOutcome]| {
             v.iter().map(|o| o.turnaround.as_millis_f64()).sum::<f64>() / v.len() as f64
         };
@@ -182,8 +217,8 @@ mod tests {
         let w = WorkloadSpec::azure_sampled(1_500, 5)
             .with_load(4, 1.0)
             .generate();
-        let fifo = run_baseline(Baseline::Fifo, 4, &w);
-        let srtf = run_baseline(Baseline::Srtf, 4, &w);
+        let fifo = baseline_outcomes(Baseline::Fifo, 4, &w);
+        let srtf = baseline_outcomes(Baseline::Srtf, 4, &w);
         // Compare median turnaround of short requests (most of the mass).
         let median_short = |v: &[RequestOutcome]| {
             let mut xs: Vec<f64> = v

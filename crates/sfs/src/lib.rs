@@ -1,41 +1,54 @@
-//! # sfs-core — the Smart Function Scheduler
+//! # sfs-core — the Smart Function Scheduler and the policy-driven sim API
 //!
 //! Reproduction of the paper's contribution: a user-space, two-level
 //! function scheduler that approximates SRTF by steering Linux's existing
-//! FIFO and CFS schedulers (paper §V–VI).
+//! FIFO and CFS schedulers (paper §V–VI) — generalised so *any* user-space
+//! policy is a pluggable [`Controller`] value driven by one [`Sim`] runner.
 //!
-//! * [`config`] — tunables (window N, poll interval, overload factor O, ...);
+//! * [`sim`] — the [`Controller`] trait, the [`Sim`] builder, and the
+//!   uniform [`RunOutcome`] every policy produces;
+//! * [`scheduler`] — [`SfsController`], the paper's policy (global queue +
+//!   workers + FILTER/CFS flow), plus its SLO-deadline variant;
+//! * [`policies`] — [`KernelOnly`] baselines, the [`Ideal`] bound, and
+//!   further controllers ([`HistoryPriority`], [`UserMlfq`]);
+//! * [`config`] — SFS tunables (window N, poll interval, overload factor O);
 //! * [`timeslice`] — the adaptive FILTER slice `S = mean(IAT_N) × c`;
-//! * [`scheduler`] — the global queue + worker + FILTER/CFS flow over a
-//!   simulated machine;
-//! * [`baseline`] — pure CFS/FIFO/RR/SRTF/IDEAL comparators;
-//! * [`stats`] — per-request outcomes and run-level aggregates.
+//! * [`baseline`] — [`Baseline`] descriptors and deprecated run shims;
+//! * [`stats`] — per-request outcomes and legacy run aggregates.
 //!
 //! ## Quickstart
 //! ```
-//! use sfs_core::{SfsConfig, SfsSimulator};
+//! use sfs_core::{Sim, SfsConfig, SfsController};
 //! use sfs_sched::MachineParams;
 //! use sfs_workload::WorkloadSpec;
 //!
 //! let workload = WorkloadSpec::azure_sampled(200, 1).with_load(4, 0.8).generate();
-//! let result = SfsSimulator::new(
-//!     SfsConfig::new(4),
-//!     MachineParams::linux(4),
-//!     workload,
-//! )
-//! .run();
-//! assert_eq!(result.outcomes.len(), 200);
+//! let run = Sim::on(MachineParams::linux(4))
+//!     .workload(&workload)
+//!     .controller(SfsController::new(SfsConfig::new(4)))
+//!     .run();
+//! assert_eq!(run.outcomes.len(), 200);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod baseline;
 pub mod config;
+pub mod policies;
 pub mod scheduler;
+pub mod sim;
 pub mod stats;
 pub mod timeslice;
 
-pub use baseline::{run_baseline, run_baseline_with, run_ideal, Baseline};
+pub use baseline::Baseline;
+#[allow(deprecated)]
+pub use baseline::{run_baseline, run_baseline_with, run_ideal};
 pub use config::{QueueMode, SfsConfig, SliceMode};
+pub use policies::{HistoryPriority, Ideal, KernelOnly, UserMlfq};
+pub use scheduler::SfsController;
+#[allow(deprecated)]
 pub use scheduler::SfsSimulator;
+pub use sim::{Controller, ControllerFactory, MachineView, RunOutcome, Sim, Telemetry};
 pub use stats::{RequestOutcome, SfsRunResult};
 pub use timeslice::SliceController;
 
@@ -46,8 +59,19 @@ mod tests {
     use sfs_simcore::SimDuration;
     use sfs_workload::{IatSpec, Spike, WorkloadSpec};
 
-    fn run_sfs(cfg: SfsConfig, cores: usize, w: &sfs_workload::Workload) -> SfsRunResult {
-        SfsSimulator::new(cfg, MachineParams::linux(cores), w.clone()).run()
+    fn run_sfs(cfg: SfsConfig, cores: usize, w: &sfs_workload::Workload) -> RunOutcome {
+        Sim::on(MachineParams::linux(cores))
+            .workload(w)
+            .controller(SfsController::new(cfg))
+            .run()
+    }
+
+    fn run_cfs(cores: usize, w: &sfs_workload::Workload) -> Vec<RequestOutcome> {
+        Sim::on(MachineParams::linux(cores))
+            .workload(w)
+            .controller(KernelOnly(sfs_sched::Policy::NORMAL))
+            .run()
+            .outcomes
     }
 
     #[test]
@@ -85,7 +109,7 @@ mod tests {
             .with_load(8, 1.0)
             .generate();
         let sfs = run_sfs(SfsConfig::new(8), 8, &w);
-        let cfs = run_baseline(Baseline::Cfs, 8, &w);
+        let cfs = run_cfs(8, &w);
         let mean_short = |v: &[RequestOutcome]| {
             let xs: Vec<f64> = v
                 .iter()
@@ -108,7 +132,7 @@ mod tests {
             .with_load(8, 1.0)
             .generate();
         let sfs = run_sfs(SfsConfig::new(8), 8, &w);
-        let cfs = run_baseline(Baseline::Cfs, 8, &w);
+        let cfs = run_cfs(8, &w);
         let mean_long = |v: &[RequestOutcome]| {
             let xs: Vec<f64> = v
                 .iter()
@@ -131,11 +155,14 @@ mod tests {
             .generate();
         let r = run_sfs(SfsConfig::new(4), 4, &w);
         assert!(
-            r.slice_recalcs >= 9,
+            r.telemetry.slice_recalcs >= 9,
             "expected ~10 recalcs, got {}",
-            r.slice_recalcs
+            r.telemetry.slice_recalcs
         );
-        assert_eq!(r.slice_timeline.len() as u64, r.slice_recalcs);
+        assert_eq!(
+            r.telemetry.slice_timeline.len() as u64,
+            r.telemetry.slice_recalcs
+        );
     }
 
     #[test]
@@ -144,7 +171,10 @@ mod tests {
             .with_load(4, 0.9)
             .generate();
         let r = run_sfs(SfsConfig::new(4), 4, &w);
-        assert!(r.demoted > 0, "long functions must exceed the slice");
+        assert!(
+            r.telemetry.demoted > 0,
+            "long functions must exceed the slice"
+        );
         let long_demoted = r
             .outcomes
             .iter()
@@ -193,14 +223,49 @@ mod tests {
         let w = spec.with_load(4, 0.85).generate();
         let hybrid = run_sfs(SfsConfig::new(4), 4, &w);
         let pure = run_sfs(SfsConfig::new(4).without_hybrid(), 4, &w);
-        assert!(hybrid.offloaded > 0, "spikes must trigger the bypass");
-        let peak = |r: &SfsRunResult| r.queue_delay_series.max_value();
+        assert!(
+            hybrid.telemetry.offloaded > 0,
+            "spikes must trigger the bypass"
+        );
+        let peak = |r: &RunOutcome| r.telemetry.queue_delay_series.max_value();
         assert!(
             peak(&hybrid) < peak(&pure),
             "hybrid peak {} should undercut pure-FILTER peak {}",
             peak(&hybrid),
             peak(&pure)
         );
+    }
+
+    #[test]
+    fn slo_variant_bounds_queue_age_harder() {
+        // Same burst shape as the hybrid test: the SLO deadline sheds aged
+        // requests proactively at poll ticks, so its peak queue delay must
+        // not exceed the paper rule's, and it must shed at least as many.
+        let mut spec = WorkloadSpec::azure_sampled(3_000, 37);
+        spec.iat = IatSpec::Bursty {
+            base_mean_ms: 1.0,
+            spikes: Spike::evenly_spaced(2, 400, 25.0, 3_000),
+        };
+        let w = spec.with_load(4, 0.85).generate();
+        let deadline = SimDuration::from_millis(150);
+        let slo = Sim::on(MachineParams::linux(4))
+            .workload(&w)
+            .controller(SfsController::with_slo(SfsConfig::new(4), deadline))
+            .run();
+        assert!(
+            slo.telemetry.offloaded > 0,
+            "the burst must trigger shedding"
+        );
+        // Every non-offloaded request met the deadline at its first pop.
+        for o in slo.outcomes.iter().filter(|o| !o.offloaded) {
+            assert!(
+                o.queue_delay <= deadline,
+                "req {} popped after its deadline: {}",
+                o.id,
+                o.queue_delay
+            );
+        }
+        assert_eq!(slo.outcomes.len(), 3_000);
     }
 
     #[test]
@@ -217,8 +282,37 @@ mod tests {
             assert_eq!(x.ctx_switches, y.ctx_switches);
             assert_eq!(x.demoted, y.demoted);
         }
-        assert_eq!(a.polls, b.polls);
-        assert_eq!(a.offloaded, b.offloaded);
+        assert_eq!(a.telemetry.polls, b.telemetry.polls);
+        assert_eq!(a.telemetry.offloaded, b.telemetry.offloaded);
+    }
+
+    #[test]
+    fn legacy_simulator_shim_matches_new_api() {
+        // The deprecated SfsSimulator facade must stay bit-identical to the
+        // Sim + SfsController path it delegates to.
+        let w = WorkloadSpec::azure_sampled(700, 43)
+            .with_load(4, 0.9)
+            .generate();
+        #[allow(deprecated)]
+        let old = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), w.clone()).run();
+        let new = run_sfs(SfsConfig::new(4), 4, &w);
+        assert_eq!(old.outcomes.len(), new.outcomes.len());
+        for (x, y) in old.outcomes.iter().zip(new.outcomes.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finished, y.finished);
+            assert_eq!(x.rte.to_bits(), y.rte.to_bits());
+            assert_eq!(x.queue_delay, y.queue_delay);
+            assert_eq!(x.demoted, y.demoted);
+            assert_eq!(x.offloaded, y.offloaded);
+            assert_eq!(x.filter_rounds, y.filter_rounds);
+            assert_eq!(x.io_blocks, y.io_blocks);
+        }
+        assert_eq!(old.polls, new.telemetry.polls);
+        assert_eq!(old.sched_actions, new.sched_actions);
+        assert_eq!(old.offloaded, new.telemetry.offloaded);
+        assert_eq!(old.demoted, new.telemetry.demoted);
+        assert_eq!(old.machine_ctx_switches, new.machine_ctx_switches);
+        assert_eq!(old.sim_span, new.sim_span);
     }
 
     #[test]
@@ -231,7 +325,7 @@ mod tests {
             .with_load(8, 1.0)
             .generate();
         let sfs = run_sfs(SfsConfig::new(8), 8, &w);
-        let cfs = run_baseline(Baseline::Cfs, 8, &w);
+        let cfs = run_cfs(8, &w);
         let shorts: Vec<(&RequestOutcome, &RequestOutcome)> = sfs
             .outcomes
             .iter()
@@ -265,7 +359,7 @@ mod tests {
         for ms in [50, 100, 200] {
             let r = run_sfs(SfsConfig::new(4).with_fixed_slice(ms), 4, &w);
             assert_eq!(r.outcomes.len(), 400);
-            assert_eq!(r.slice_recalcs, 0, "fixed slice must not adapt");
+            assert_eq!(r.telemetry.slice_recalcs, 0, "fixed slice must not adapt");
         }
     }
 
@@ -279,7 +373,7 @@ mod tests {
             .generate();
         let global = run_sfs(SfsConfig::new(8), 8, &w);
         let per = run_sfs(SfsConfig::new(8).per_worker_queues(), 8, &w);
-        let p99 = |r: &SfsRunResult| {
+        let p99 = |r: &RunOutcome| {
             let mut s = sfs_simcore::Samples::from_vec(
                 r.outcomes
                     .iter()

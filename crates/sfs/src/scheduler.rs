@@ -1,6 +1,6 @@
-//! The SFS scheduler driving a simulated machine (paper §V, Fig. 4).
+//! The SFS scheduling policy as a [`Controller`] (paper §V, Fig. 4).
 //!
-//! [`SfsSimulator`] reproduces the full scheduling flow:
+//! [`SfsController`] reproduces the full scheduling flow:
 //!
 //! 1. the backend FaaS server dispatches each function to the OS (spawned
 //!    under CFS) and pushes `(pid, T_inv)` into SFS's **global queue**;
@@ -17,17 +17,24 @@
 //!    overload bypass**: the request (and the drain that follows) stays in
 //!    CFS (§V-E).
 //!
-//! SFS only ever talks to the machine through `spawn`/`set_policy`/
-//! `proc_state`/`cpu_time` — the same interface the real implementation has
-//! via `schedtool` and `gopsutil`.
+//! SFS only ever talks to the machine through the [`MachineView`] ops —
+//! the same interface the real implementation has via `schedtool` and
+//! `gopsutil`.
+//!
+//! [`SfsController::with_slo`] adds the SLO-deadline hybrid variant: the
+//! relative `O × S` overload test is augmented with an absolute per-request
+//! deadline on age since invocation, checked both at pop time and
+//! proactively at every poll tick, so aged requests are shed to CFS even
+//! while all workers are busy.
 
 use std::collections::{HashMap, VecDeque};
 
-use sfs_sched::{Machine, MachineParams, Notification, Pid, Policy, ProcState};
+use sfs_sched::{MachineParams, Notification, Pid, Policy, ProcState};
 use sfs_simcore::{EventQueue, SimDuration, SimTime, TimeSeries};
-use sfs_workload::Workload;
+use sfs_workload::{Request, Workload};
 
 use crate::config::{QueueMode, SfsConfig};
+use crate::sim::{Controller, MachineView, Sim, Telemetry};
 use crate::stats::{RequestOutcome, SfsRunResult};
 use crate::timeslice::SliceController;
 
@@ -68,19 +75,20 @@ struct Worker {
 
 #[derive(Debug, Clone, Copy)]
 enum SfsEv {
-    /// Workload request `idx` arrives at the FaaS server.
-    Arrival(usize),
     /// FILTER slice timer for worker `w` (valid only at generation `gen`).
     SliceExpiry { w: usize, gen: u64 },
     /// The periodic status-polling tick.
     Poll,
 }
 
-/// SFS running a [`Workload`] over a simulated [`Machine`].
-pub struct SfsSimulator {
+/// The paper's Smart Function Scheduler as a pluggable [`Controller`].
+///
+/// Build one per run with [`SfsController::new`] and hand it to
+/// [`Sim::controller`](crate::Sim::controller).
+pub struct SfsController {
     cfg: SfsConfig,
-    machine: Machine,
-    workload: Workload,
+    /// Absolute queue-delay deadline (SLO variant); `None` = paper SFS.
+    slo_deadline: Option<SimDuration>,
     slice: SliceController,
     queue: VecDeque<u64>,
     /// Per-worker queues (used only in [`QueueMode::PerWorker`]).
@@ -94,132 +102,348 @@ pub struct SfsSimulator {
     /// Requests blocked on I/O, awaiting wake detection by polling.
     blocked: Vec<u64>,
     events: EventQueue<SfsEv>,
+    /// Reusable batch buffer for [`Controller::on_wakeup`]: every SFS
+    /// handler schedules strictly future events (slice timers at
+    /// now + budget with budget > 0, polls at now + interval), so all
+    /// events due now can be drained in one peek-based batch.
+    due: Vec<(SimTime, SfsEv)>,
     poll_armed: bool,
-    outcomes: Vec<RequestOutcome>,
     queue_delay_series: TimeSeries,
     polls: u64,
     polled_tasks: u64,
-    sched_actions: u64,
     offloaded_total: u64,
     demoted_total: u64,
 }
 
-impl SfsSimulator {
-    /// Build a simulator for `workload` on a machine described by `mparams`.
-    /// `cfg.workers` should normally equal `mparams.cores`.
-    pub fn new(cfg: SfsConfig, mparams: MachineParams, workload: Workload) -> SfsSimulator {
+impl SfsController {
+    /// An SFS instance with the given configuration. `cfg.workers` should
+    /// normally equal the machine's core count.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid ([`SfsConfig::validate`]).
+    pub fn new(cfg: SfsConfig) -> SfsController {
         cfg.validate().expect("invalid SFS config");
-        let slice = SliceController::new(&cfg);
-        let workers = (0..cfg.workers).map(|_| Worker::default()).collect();
-        let mut events = EventQueue::with_capacity(workload.len() * 2);
-        for (i, r) in workload.requests.iter().enumerate() {
-            events.push(r.arrival, SfsEv::Arrival(i));
-        }
-        SfsSimulator {
+        SfsController {
             cfg,
-            machine: Machine::new(mparams),
-            workload,
-            slice,
+            slo_deadline: None,
+            slice: SliceController::new(&cfg),
             queue: VecDeque::new(),
             worker_queues: (0..cfg.workers).map(|_| VecDeque::new()).collect(),
             next_rr: 0,
             reqs: HashMap::new(),
             by_pid: HashMap::new(),
-            workers,
+            workers: (0..cfg.workers).map(|_| Worker::default()).collect(),
             blocked: Vec::new(),
-            events,
+            events: EventQueue::new(),
+            due: Vec::with_capacity(64),
             poll_armed: false,
-            outcomes: Vec::new(),
             queue_delay_series: TimeSeries::new("queue_delay_s"),
             polls: 0,
             polled_tasks: 0,
-            sched_actions: 0,
             offloaded_total: 0,
             demoted_total: 0,
         }
     }
 
-    /// Enable execution-trace recording on the underlying machine; the
-    /// trace is returned in [`SfsRunResult::schedule_trace`].
-    pub fn with_tracing(mut self) -> SfsSimulator {
-        self.machine.enable_tracing();
-        self
-    }
-
-    /// Run the workload to completion and return all per-request outcomes
-    /// plus the controller timelines.
-    pub fn run(mut self) -> SfsRunResult {
-        let total = self.workload.len();
-        // Reusable batch buffer: every SFS event handler schedules strictly
-        // into the future (slice timers at now + budget with budget > 0,
-        // polls at now + interval), so all events due at `next` can be
-        // drained in one peek-based batch without missing same-instant
-        // insertions — the EventQueue fast path, allocation-free in steady
-        // state.
-        let mut due: Vec<(SimTime, SfsEv)> = Vec::with_capacity(64);
-        while self.outcomes.len() < total {
-            let tm = self.machine.next_event_time();
-            let ts = self.events.peek_time();
-            let next = match (tm, ts) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => {
-                    unreachable!("simulation stalled with {} outcomes", self.outcomes.len())
-                }
-            };
-            let notes = self.machine.advance_to(next);
-            for n in notes {
-                self.on_machine_note(n);
-            }
-            due.clear();
-            self.events.pop_batch_until(next, &mut due);
-            for &(_, ev) in due.iter() {
-                self.on_sfs_event(ev);
-            }
-        }
-        self.finish()
-    }
-
-    fn finish(mut self) -> SfsRunResult {
-        self.outcomes.sort_by_key(|o| o.id);
-        SfsRunResult {
-            outcomes: self.outcomes,
-            slice_timeline: self.slice.slice_timeline().clone(),
-            iat_timeline: self.slice.iat_timeline().clone(),
-            queue_delay_series: self.queue_delay_series,
-            polls: self.polls,
-            polled_tasks: self.polled_tasks,
-            sched_actions: self.sched_actions,
-            offloaded: self.offloaded_total,
-            demoted: self.demoted_total,
-            slice_recalcs: self.slice.recalcs(),
-            machine_ctx_switches: self.machine.total_ctx_switches(),
-            sim_span: self.machine.now() - SimTime::ZERO,
-            cores: self.machine.cores(),
-            schedule_trace: self.machine.trace().cloned(),
-        }
+    /// The SLO-deadline hybrid variant: in addition to the paper's relative
+    /// `O × S` overload test, any *queued* request whose age since
+    /// invocation (`now − T_inv`, the same basis as
+    /// [`RequestOutcome::queue_delay`]) reaches `deadline` is shed to CFS —
+    /// at pop time *and* proactively at every poll tick. With the paper's
+    /// rule a request can age unboundedly while all workers chew long
+    /// functions; the deadline bounds how stale a request can get before
+    /// the kernel takes over. The clock starts at invocation, so FILTER and
+    /// I/O time from earlier rounds counts against a re-enqueued request's
+    /// deadline.
+    pub fn with_slo(cfg: SfsConfig, deadline: SimDuration) -> SfsController {
+        assert!(!deadline.is_zero(), "SLO deadline must be positive");
+        let mut c = SfsController::new(cfg);
+        c.slo_deadline = Some(deadline);
+        c
     }
 
     // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
 
-    fn on_sfs_event(&mut self, ev: SfsEv) {
-        match ev {
-            SfsEv::Arrival(idx) => self.on_arrival(idx),
-            SfsEv::SliceExpiry { w, gen } => self.on_slice_expiry(w, gen),
-            SfsEv::Poll => self.on_poll(),
+    /// Route a request into the configured queue topology.
+    fn enqueue_req(&mut self, id: u64) {
+        match self.cfg.queue_mode {
+            QueueMode::Global => self.queue.push_back(id),
+            QueueMode::PerWorker => {
+                let w = self.next_rr % self.worker_queues.len();
+                self.next_rr += 1;
+                self.worker_queues[w].push_back(id);
+            }
         }
     }
 
-    /// Step 1 of the flow: dispatch to the OS, enqueue `(pid, T_inv)`.
-    fn on_arrival(&mut self, idx: usize) {
-        let now = self.machine.now();
-        let r = &self.workload.requests[idx];
-        let id = r.id;
-        let spec = r.spec.clone();
-        let pid = self.machine.spawn(spec);
+    /// Steps 2 / 4.4: idle workers fetch requests; overloaded requests are
+    /// left to CFS.
+    fn try_assign(&mut self, m: &mut MachineView<'_>) {
+        match self.cfg.queue_mode {
+            QueueMode::Global => loop {
+                let Some(w) = self.workers.iter().position(|w| w.current.is_none()) else {
+                    return;
+                };
+                let Some(id) = self.queue.pop_front() else {
+                    return;
+                };
+                self.assign_step(m, w, id);
+            },
+            QueueMode::PerWorker => {
+                for w in 0..self.workers.len() {
+                    while self.workers[w].current.is_none() {
+                        let Some(id) = self.worker_queues[w].pop_front() else {
+                            break;
+                        };
+                        self.assign_step(m, w, id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle one popped request for an idle worker `w`: overload bypass,
+    /// dead-skip, exhausted-slice demotion, or FILTER promotion. The worker
+    /// remains idle unless a promotion happened.
+    fn assign_step(&mut self, m: &mut MachineView<'_>, w: usize, id: u64) {
+        let now = m.now();
+        let s_now = self.slice.current();
+        let (pid, delay, age, budget) = {
+            let st = self.reqs.get_mut(&id).expect("queued request tracked");
+            let delay = now.since(st.enqueued_at);
+            if st.first_pop_delay.is_none() {
+                st.first_pop_delay = Some(now.since(st.t_inv));
+                self.queue_delay_series
+                    .record(st.t_inv, now.since(st.t_inv).as_secs_f64());
+            }
+            let budget = st.slice_remaining.unwrap_or(s_now);
+            (st.pid, delay, now.since(st.t_inv), budget)
+        };
+
+        // Dead already (finished under CFS while queued after an I/O round,
+        // or a zero-length race): nothing to schedule.
+        if m.proc_state(pid) == ProcState::Dead {
+            return;
+        }
+
+        // 4.4 Overload detection: queueing delay of the request we are
+        // about to schedule exceeds O × S → temporary CFS bypass. The SLO
+        // variant additionally sheds requests past their absolute deadline.
+        let over_slo = self.slo_deadline.is_some_and(|d| age >= d);
+        if over_slo || self.cfg.hybrid_overload {
+            let threshold = SimDuration::from_millis_f64(
+                self.slice.current().as_millis_f64() * self.cfg.overload_factor,
+            );
+            if over_slo || (self.cfg.hybrid_overload && delay >= threshold) {
+                let st = self.reqs.get_mut(&id).expect("tracked");
+                st.offloaded = true;
+                self.offloaded_total += 1;
+                // The process is already SCHED_NORMAL; leaving it to CFS
+                // *is* the bypass. The worker stays free for the next
+                // request, which drains the backlog fast.
+                return;
+            }
+        }
+
+        // Exhausted slice from previous rounds: demote instead of a
+        // zero-length FILTER round.
+        if budget.is_zero() {
+            self.demote(m, id, pid);
+            return;
+        }
+
+        // Step 2: promote to FIFO — the FILTER pool.
+        m.set_policy(
+            pid,
+            Policy::Fifo {
+                prio: self.cfg.filter_prio,
+            },
+        );
+        let cpu_at_start = m.cpu_time(pid);
+        let st = self.reqs.get_mut(&id).expect("tracked");
+        st.filter_rounds += 1;
+        self.workers[w].gen += 1;
+        let gen = self.workers[w].gen;
+        self.workers[w].current = Some(Assignment {
+            pid,
+            req: id,
+            budget,
+            cpu_at_start,
+        });
+        self.events
+            .push(now + budget, SfsEv::SliceExpiry { w, gen });
+    }
+
+    /// 4.2: the FILTER slice timer fired.
+    fn on_slice_expiry(&mut self, m: &mut MachineView<'_>, w: usize, gen: u64) {
+        if self.workers[w].gen != gen {
+            return; // stale timer: the worker moved on
+        }
+        let Some(a) = self.workers[w].current else {
+            return;
+        };
+        match m.proc_state(a.pid) {
+            ProcState::Dead => {
+                // Completion notification is in flight at this same instant;
+                // it will free the worker.
+            }
+            ProcState::Sleeping if self.cfg.io_aware => {
+                // Blocked between polls and the timer beat the next poll:
+                // treat as an I/O block (4.3).
+                self.release_worker_for_io(m, w);
+            }
+            _ => {
+                // Forcible preemption: demote to CFS.
+                self.workers[w].current = None;
+                self.workers[w].gen += 1;
+                self.demote(m, a.req, a.pid);
+                self.try_assign(m);
+            }
+        }
+    }
+
+    fn demote(&mut self, m: &mut MachineView<'_>, id: u64, pid: Pid) {
+        m.set_policy(pid, Policy::NORMAL);
+        let st = self.reqs.get_mut(&id).expect("tracked");
+        st.demoted = true;
+        st.slice_remaining = Some(SimDuration::ZERO);
+        self.demoted_total += 1;
+    }
+
+    /// 4.3: periodic kernel-status polling (§V-D).
+    fn on_poll(&mut self, m: &mut MachineView<'_>) {
+        self.poll_armed = false;
+        self.polls += 1;
+        let mut freed = false;
+
+        // Detect FILTER functions that went to sleep on I/O.
+        if self.cfg.io_aware {
+            for w in 0..self.workers.len() {
+                let Some(a) = self.workers[w].current else {
+                    continue;
+                };
+                self.polled_tasks += 1;
+                if m.proc_state(a.pid) == ProcState::Sleeping {
+                    self.release_worker_for_io(m, w);
+                    freed = true;
+                }
+            }
+            // Detect blocked functions that became runnable again: re-add to
+            // the global queue with their unused slice.
+            let now = m.now();
+            let mut rewoken = Vec::new();
+            let reqs = &self.reqs;
+            let polled = &mut self.polled_tasks;
+            self.blocked.retain(|&id| {
+                let st = reqs.get(&id).expect("blocked request tracked");
+                *polled += 1;
+                match m.proc_state(st.pid) {
+                    ProcState::Sleeping => true,
+                    ProcState::Dead => false, // finished while blocked-tracked
+                    _ => {
+                        rewoken.push(id);
+                        false
+                    }
+                }
+            });
+            for id in rewoken {
+                let st = self.reqs.get_mut(&id).expect("tracked");
+                st.enqueued_at = now;
+                self.enqueue_req(id);
+                freed = true;
+            }
+        }
+
+        // SLO variant: proactively shed queued requests past their age
+        // deadline instead of waiting for a worker to pop them. The shed
+        // mirrors the pop-time bypass accounting: the request's (would-be
+        // first-pop) queue delay is recorded so shed requests do not read
+        // as zero-delay in the Fig. 12a-style series.
+        if let Some(deadline) = self.slo_deadline {
+            let now = m.now();
+            let reqs = &mut self.reqs;
+            let offloaded = &mut self.offloaded_total;
+            let series = &mut self.queue_delay_series;
+            let mut shed = |q: &mut VecDeque<u64>| {
+                q.retain(|&id| {
+                    let st = reqs.get_mut(&id).expect("queued request tracked");
+                    let age = now.since(st.t_inv);
+                    if age >= deadline {
+                        if st.first_pop_delay.is_none() {
+                            st.first_pop_delay = Some(age);
+                            series.record(st.t_inv, age.as_secs_f64());
+                        }
+                        st.offloaded = true;
+                        *offloaded += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            };
+            shed(&mut self.queue);
+            for q in self.worker_queues.iter_mut() {
+                shed(q);
+            }
+        }
+
+        if freed {
+            self.try_assign(m);
+        }
+        self.arm_poll(m);
+    }
+
+    /// Free worker `w` because its FILTER function blocked on I/O: record
+    /// the unused slice, lower the function's priority, track it for wake
+    /// detection, and let the worker fetch the next request.
+    fn release_worker_for_io(&mut self, m: &mut MachineView<'_>, w: usize) {
+        let Some(a) = self.workers[w].current.take() else {
+            return;
+        };
+        self.workers[w].gen += 1;
+        let used = m.cpu_time(a.pid).saturating_sub(a.cpu_at_start);
+        let remaining = a.budget.saturating_sub(used);
+        // "reduces its priority": back to CFS while it sleeps, so that when
+        // the I/O completes it is runnable (work conservation) without
+        // occupying the FILTER pool.
+        m.set_policy(a.pid, Policy::NORMAL);
+        let st = self.reqs.get_mut(&a.req).expect("tracked");
+        st.slice_remaining = Some(remaining);
+        st.io_blocks += 1;
+        self.blocked.push(a.req);
+        self.try_assign(m);
+    }
+
+    fn arm_poll(&mut self, m: &MachineView<'_>) {
+        let work_pending = self.workers.iter().any(|w| w.current.is_some())
+            || !self.blocked.is_empty()
+            || !self.queue.is_empty()
+            || self.worker_queues.iter().any(|q| !q.is_empty());
+        let poll_needed = self.cfg.io_aware || self.slo_deadline.is_some();
+        if poll_needed && work_pending && !self.poll_armed {
+            self.poll_armed = true;
+            self.events
+                .push(m.now() + self.cfg.poll_interval, SfsEv::Poll);
+        }
+    }
+}
+
+impl Controller for SfsController {
+    fn name(&self) -> &'static str {
+        if self.slo_deadline.is_some() {
+            "sfs-slo"
+        } else {
+            "sfs"
+        }
+    }
+
+    /// Step 1 of the flow: the process was dispatched to the OS; enqueue
+    /// `(pid, T_inv)`.
+    fn on_arrival(&mut self, m: &mut MachineView<'_>, req: &Request, pid: Pid) {
+        let now = m.now();
+        let id = req.id;
         self.by_pid.insert(pid, id);
         self.reqs.insert(
             id,
@@ -237,240 +461,12 @@ impl SfsSimulator {
         );
         self.slice.on_arrival(now);
         self.enqueue_req(id);
-        self.try_assign();
-        self.arm_poll();
+        self.try_assign(m);
+        self.arm_poll(m);
     }
 
-    /// Route a request into the configured queue topology.
-    fn enqueue_req(&mut self, id: u64) {
-        match self.cfg.queue_mode {
-            QueueMode::Global => self.queue.push_back(id),
-            QueueMode::PerWorker => {
-                let w = self.next_rr % self.worker_queues.len();
-                self.next_rr += 1;
-                self.worker_queues[w].push_back(id);
-            }
-        }
-    }
-
-    /// Steps 2 / 4.4: idle workers fetch requests; overloaded requests are
-    /// left to CFS.
-    fn try_assign(&mut self) {
-        match self.cfg.queue_mode {
-            QueueMode::Global => loop {
-                let Some(w) = self.workers.iter().position(|w| w.current.is_none()) else {
-                    return;
-                };
-                let Some(id) = self.queue.pop_front() else {
-                    return;
-                };
-                self.assign_step(w, id);
-            },
-            QueueMode::PerWorker => {
-                for w in 0..self.workers.len() {
-                    while self.workers[w].current.is_none() {
-                        let Some(id) = self.worker_queues[w].pop_front() else {
-                            break;
-                        };
-                        self.assign_step(w, id);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Handle one popped request for an idle worker `w`: overload bypass,
-    /// dead-skip, exhausted-slice demotion, or FILTER promotion. The worker
-    /// remains idle unless a promotion happened.
-    fn assign_step(&mut self, w: usize, id: u64) {
-        let now = self.machine.now();
-        let s_now = self.slice.current();
-        let (pid, delay, budget) = {
-            let st = self.reqs.get_mut(&id).expect("queued request tracked");
-            let delay = now.since(st.enqueued_at);
-            if st.first_pop_delay.is_none() {
-                st.first_pop_delay = Some(now.since(st.t_inv));
-                self.queue_delay_series
-                    .record(st.t_inv, now.since(st.t_inv).as_secs_f64());
-            }
-            let budget = st.slice_remaining.unwrap_or(s_now);
-            (st.pid, delay, budget)
-        };
-
-        // Dead already (finished under CFS while queued after an I/O round,
-        // or a zero-length race): nothing to schedule.
-        if self.machine.proc_state(pid) == ProcState::Dead {
-            return;
-        }
-
-        // 4.4 Overload detection: queueing delay of the request we are
-        // about to schedule exceeds O × S → temporary CFS bypass.
-        if self.cfg.hybrid_overload {
-            let threshold = SimDuration::from_millis_f64(
-                self.slice.current().as_millis_f64() * self.cfg.overload_factor,
-            );
-            if delay >= threshold {
-                let st = self.reqs.get_mut(&id).expect("tracked");
-                st.offloaded = true;
-                self.offloaded_total += 1;
-                // The process is already SCHED_NORMAL; leaving it to CFS
-                // *is* the bypass. The worker stays free for the next
-                // request, which drains the backlog fast.
-                return;
-            }
-        }
-
-        // Exhausted slice from previous rounds: demote instead of a
-        // zero-length FILTER round.
-        if budget.is_zero() {
-            self.demote(id, pid);
-            return;
-        }
-
-        // Step 2: promote to FIFO — the FILTER pool.
-        self.machine.set_policy(
-            pid,
-            Policy::Fifo {
-                prio: self.cfg.filter_prio,
-            },
-        );
-        self.sched_actions += 1;
-        let cpu_at_start = self.machine.cpu_time(pid);
-        let st = self.reqs.get_mut(&id).expect("tracked");
-        st.filter_rounds += 1;
-        self.workers[w].gen += 1;
-        let gen = self.workers[w].gen;
-        self.workers[w].current = Some(Assignment {
-            pid,
-            req: id,
-            budget,
-            cpu_at_start,
-        });
-        self.events
-            .push(now + budget, SfsEv::SliceExpiry { w, gen });
-    }
-
-    /// 4.2: the FILTER slice timer fired.
-    fn on_slice_expiry(&mut self, w: usize, gen: u64) {
-        if self.workers[w].gen != gen {
-            return; // stale timer: the worker moved on
-        }
-        let Some(a) = self.workers[w].current else {
-            return;
-        };
-        match self.machine.proc_state(a.pid) {
-            ProcState::Dead => {
-                // Completion notification is in flight at this same instant;
-                // it will free the worker.
-            }
-            ProcState::Sleeping if self.cfg.io_aware => {
-                // Blocked between polls and the timer beat the next poll:
-                // treat as an I/O block (4.3).
-                self.release_worker_for_io(w);
-            }
-            _ => {
-                // Forcible preemption: demote to CFS.
-                self.workers[w].current = None;
-                self.workers[w].gen += 1;
-                self.demote(a.req, a.pid);
-                self.try_assign();
-            }
-        }
-    }
-
-    fn demote(&mut self, id: u64, pid: Pid) {
-        self.machine.set_policy(pid, Policy::NORMAL);
-        self.sched_actions += 1;
-        let st = self.reqs.get_mut(&id).expect("tracked");
-        st.demoted = true;
-        st.slice_remaining = Some(SimDuration::ZERO);
-        self.demoted_total += 1;
-    }
-
-    /// 4.3: periodic kernel-status polling (§V-D).
-    fn on_poll(&mut self) {
-        self.poll_armed = false;
-        self.polls += 1;
-        let mut freed = false;
-
-        // Detect FILTER functions that went to sleep on I/O.
-        if self.cfg.io_aware {
-            for w in 0..self.workers.len() {
-                let Some(a) = self.workers[w].current else {
-                    continue;
-                };
-                self.polled_tasks += 1;
-                if self.machine.proc_state(a.pid) == ProcState::Sleeping {
-                    self.release_worker_for_io(w);
-                    freed = true;
-                }
-            }
-            // Detect blocked functions that became runnable again: re-add to
-            // the global queue with their unused slice.
-            let now = self.machine.now();
-            let mut rewoken = Vec::new();
-            self.blocked.retain(|&id| {
-                let st = self.reqs.get(&id).expect("blocked request tracked");
-                self.polled_tasks += 1;
-                match self.machine.proc_state(st.pid) {
-                    ProcState::Sleeping => true,
-                    ProcState::Dead => false, // finished while blocked-tracked
-                    _ => {
-                        rewoken.push(id);
-                        false
-                    }
-                }
-            });
-            for id in rewoken {
-                let st = self.reqs.get_mut(&id).expect("tracked");
-                st.enqueued_at = now;
-                self.enqueue_req(id);
-                freed = true;
-            }
-        }
-
-        if freed {
-            self.try_assign();
-        }
-        self.arm_poll();
-    }
-
-    /// Free worker `w` because its FILTER function blocked on I/O: record
-    /// the unused slice, lower the function's priority, track it for wake
-    /// detection, and let the worker fetch the next request.
-    fn release_worker_for_io(&mut self, w: usize) {
-        let Some(a) = self.workers[w].current.take() else {
-            return;
-        };
-        self.workers[w].gen += 1;
-        let used = self.machine.cpu_time(a.pid).saturating_sub(a.cpu_at_start);
-        let remaining = a.budget.saturating_sub(used);
-        // "reduces its priority": back to CFS while it sleeps, so that when
-        // the I/O completes it is runnable (work conservation) without
-        // occupying the FILTER pool.
-        self.machine.set_policy(a.pid, Policy::NORMAL);
-        self.sched_actions += 1;
-        let st = self.reqs.get_mut(&a.req).expect("tracked");
-        st.slice_remaining = Some(remaining);
-        st.io_blocks += 1;
-        self.blocked.push(a.req);
-        self.try_assign();
-    }
-
-    fn arm_poll(&mut self) {
-        let work_pending = self.workers.iter().any(|w| w.current.is_some())
-            || !self.blocked.is_empty()
-            || !self.queue.is_empty()
-            || self.worker_queues.iter().any(|q| !q.is_empty());
-        if self.cfg.io_aware && work_pending && !self.poll_armed {
-            self.poll_armed = true;
-            self.events
-                .push(self.machine.now() + self.cfg.poll_interval, SfsEv::Poll);
-        }
-    }
-
-    fn on_machine_note(&mut self, n: Notification) {
-        if let Notification::Finished(rec) = n {
+    fn on_notification(&mut self, m: &mut MachineView<'_>, note: &Notification) {
+        if let Notification::Finished(rec) = note {
             let id = self.by_pid[&rec.pid];
             // Free the worker if this function was in a FILTER round.
             for w in 0..self.workers.len() {
@@ -479,29 +475,115 @@ impl SfsSimulator {
                     self.workers[w].gen += 1;
                 }
             }
-            let st = self.reqs.remove(&id).expect("finished request tracked");
             // Drop from queue/blocked tracking if it completed under CFS.
             self.queue.retain(|&q| q != id);
             for q in self.worker_queues.iter_mut() {
                 q.retain(|&x| x != id);
             }
             self.blocked.retain(|&b| b != id);
-            self.outcomes.push(RequestOutcome {
-                id,
-                arrival: rec.arrival,
-                finished: rec.finished,
-                turnaround: rec.turnaround(),
-                ideal: rec.ideal,
-                cpu_demand: rec.cpu_demand,
-                rte: rec.rte(),
-                ctx_switches: rec.ctx_switches,
-                queue_delay: st.first_pop_delay.unwrap_or(SimDuration::ZERO),
-                demoted: st.demoted,
-                offloaded: st.offloaded,
-                filter_rounds: st.filter_rounds,
-                io_blocks: st.io_blocks,
-            });
-            self.try_assign();
+            self.try_assign(m);
         }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    fn on_wakeup(&mut self, m: &mut MachineView<'_>) {
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        self.events.pop_batch_until(m.now(), &mut due);
+        for &(_, ev) in due.iter() {
+            match ev {
+                SfsEv::SliceExpiry { w, gen } => self.on_slice_expiry(m, w, gen),
+                SfsEv::Poll => self.on_poll(m),
+            }
+        }
+        self.due = due;
+    }
+
+    fn annotate(&mut self, outcome: &mut RequestOutcome) {
+        let st = self
+            .reqs
+            .remove(&outcome.id)
+            .expect("finished request tracked");
+        outcome.queue_delay = st.first_pop_delay.unwrap_or(SimDuration::ZERO);
+        outcome.demoted = st.demoted;
+        outcome.offloaded = st.offloaded;
+        outcome.filter_rounds = st.filter_rounds;
+        outcome.io_blocks = st.io_blocks;
+    }
+
+    fn finish(&mut self, telemetry: &mut Telemetry) {
+        telemetry.polls = self.polls;
+        telemetry.polled_tasks = self.polled_tasks;
+        telemetry.offloaded = self.offloaded_total;
+        telemetry.demoted = self.demoted_total;
+        telemetry.slice_recalcs = self.slice.recalcs();
+        telemetry.slice_timeline = self.slice.slice_timeline().clone();
+        telemetry.iat_timeline = self.slice.iat_timeline().clone();
+        telemetry.queue_delay_series = std::mem::replace(
+            &mut self.queue_delay_series,
+            TimeSeries::new("queue_delay_s"),
+        );
+    }
+}
+
+impl crate::sim::ControllerFactory for SfsConfig {
+    fn build(&self) -> Box<dyn Controller> {
+        Box::new(SfsController::new(*self))
+    }
+
+    fn label(&self) -> String {
+        "SFS".to_string()
+    }
+}
+
+/// Legacy entry point: SFS bound to one workload and one machine.
+///
+/// Thin shim over `Sim::on(params).workload(&w).controller(SfsController::new(cfg))`;
+/// kept for one release so downstream code migrates at its own pace.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sim::on(params).workload(&w).controller(SfsController::new(cfg)).run() instead"
+)]
+pub struct SfsSimulator {
+    cfg: SfsConfig,
+    params: MachineParams,
+    workload: Workload,
+    tracing: bool,
+}
+
+#[allow(deprecated)]
+impl SfsSimulator {
+    /// Build a simulator for `workload` on a machine described by `mparams`.
+    /// `cfg.workers` should normally equal `mparams.cores`.
+    pub fn new(cfg: SfsConfig, mparams: MachineParams, workload: Workload) -> SfsSimulator {
+        cfg.validate().expect("invalid SFS config");
+        SfsSimulator {
+            cfg,
+            params: mparams,
+            workload,
+            tracing: false,
+        }
+    }
+
+    /// Enable execution-trace recording on the underlying machine; the
+    /// trace is returned in [`SfsRunResult::schedule_trace`].
+    pub fn with_tracing(mut self) -> SfsSimulator {
+        self.tracing = true;
+        self
+    }
+
+    /// Run the workload to completion and return all per-request outcomes
+    /// plus the controller timelines.
+    pub fn run(self) -> SfsRunResult {
+        let mut sim = Sim::on(self.params)
+            .workload(&self.workload)
+            .controller(SfsController::new(self.cfg));
+        if self.tracing {
+            sim = sim.tracing();
+        }
+        sim.run().into()
     }
 }

@@ -45,7 +45,9 @@ impl RequestOutcome {
     }
 }
 
-/// Result of one SFS simulation run.
+/// Result of one SFS simulation run (legacy shape; new code reads the
+/// same data from [`crate::RunOutcome`] and its
+/// [`Telemetry`](crate::Telemetry) instead).
 #[derive(Debug, Clone)]
 pub struct SfsRunResult {
     /// Per-request outcomes, sorted by request id.
@@ -76,6 +78,27 @@ pub struct SfsRunResult {
     pub cores: usize,
     /// Execution trace, if requested via `SfsSimulator::with_tracing`.
     pub schedule_trace: Option<sfs_sched::ScheduleTrace>,
+}
+
+impl From<crate::RunOutcome> for SfsRunResult {
+    fn from(run: crate::RunOutcome) -> SfsRunResult {
+        SfsRunResult {
+            outcomes: run.outcomes,
+            slice_timeline: run.telemetry.slice_timeline,
+            iat_timeline: run.telemetry.iat_timeline,
+            queue_delay_series: run.telemetry.queue_delay_series,
+            polls: run.telemetry.polls,
+            polled_tasks: run.telemetry.polled_tasks,
+            sched_actions: run.sched_actions,
+            offloaded: run.telemetry.offloaded,
+            demoted: run.telemetry.demoted,
+            slice_recalcs: run.telemetry.slice_recalcs,
+            machine_ctx_switches: run.machine_ctx_switches,
+            sim_span: run.sim_span,
+            cores: run.cores,
+            schedule_trace: run.schedule_trace,
+        }
+    }
 }
 
 impl SfsRunResult {

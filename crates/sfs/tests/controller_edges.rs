@@ -1,0 +1,204 @@
+//! Edge-case contracts of the [`Controller`] + [`Sim`] API: default-hook
+//! controllers degrade to kernel-only scheduling, notifications coinciding
+//! with controller timers are delivered in the documented order, and empty
+//! workloads terminate cleanly for every stock policy.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sfs_core::{
+    Controller, HistoryPriority, Ideal, KernelOnly, MachineView, RunOutcome, SfsConfig,
+    SfsController, Sim, UserMlfq,
+};
+use sfs_sched::{MachineParams, Notification, Pid, Policy};
+use sfs_simcore::{SimDuration, SimTime};
+use sfs_workload::{Request, Workload, WorkloadSpec};
+
+fn workload(n: usize, seed: u64) -> Workload {
+    WorkloadSpec::azure_sampled(n, seed)
+        .with_load(4, 0.9)
+        .generate()
+}
+
+/// A controller with every hook left at its default.
+struct Null;
+impl Controller for Null {}
+
+#[test]
+fn do_nothing_controller_equals_kernel_only() {
+    // A controller that never changes policy is indistinguishable from
+    // KernelOnly(spec policy): FaaSBench specs dispatch under
+    // `SCHED_NORMAL`, so both runs are plain CFS — bit-identical.
+    let w = workload(600, 3);
+    assert!(w.requests.iter().all(|r| r.spec.policy == Policy::NORMAL));
+    let null = Sim::on(MachineParams::linux(4))
+        .workload(&w)
+        .controller(Null)
+        .run();
+    let kernel = Sim::on(MachineParams::linux(4))
+        .workload(&w)
+        .controller(KernelOnly(Policy::NORMAL))
+        .run();
+    assert_eq!(null.outcomes.len(), kernel.outcomes.len());
+    for (a, b) in null.outcomes.iter().zip(kernel.outcomes.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.finished, b.finished);
+        assert_eq!(a.rte.to_bits(), b.rte.to_bits());
+        assert_eq!(a.ctx_switches, b.ctx_switches);
+    }
+    assert_eq!(null.sched_actions, 0);
+    assert_eq!(kernel.sched_actions, 0);
+    assert_eq!(null.machine_ctx_switches, kernel.machine_ctx_switches);
+}
+
+/// Records the hook-call sequence around one coinciding instant.
+struct Probe {
+    wake_at: Option<SimTime>,
+    log: Rc<RefCell<Vec<String>>>,
+}
+
+impl Controller for Probe {
+    fn on_arrival(&mut self, m: &mut MachineView<'_>, req: &Request, _pid: Pid) {
+        self.log
+            .borrow_mut()
+            .push(format!("arrival {} @{}", req.id, m.now()));
+    }
+
+    fn on_notification(&mut self, m: &mut MachineView<'_>, note: &Notification) {
+        if let Notification::Finished(rec) = note {
+            self.log
+                .borrow_mut()
+                .push(format!("finished {} @{}", rec.label, m.now()));
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.wake_at
+    }
+
+    fn on_wakeup(&mut self, m: &mut MachineView<'_>) {
+        if self.wake_at.is_some_and(|at| m.now() >= at) {
+            self.wake_at = None;
+            self.log.borrow_mut().push(format!("wakeup @{}", m.now()));
+        }
+    }
+}
+
+#[test]
+fn notification_at_exactly_next_wakeup_is_delivered_first() {
+    // One 40 ms CPU task on an otherwise idle machine finishes at exactly
+    // t = 40 ms; the controller also asks to wake at t = 40 ms. The sim
+    // must advance to the instant once, deliver the Finished notification,
+    // then fire the wakeup — and lose neither.
+    let w = Workload {
+        requests: vec![Request {
+            id: 0,
+            arrival: SimTime::ZERO,
+            app: sfs_workload::AppKind::Fib,
+            duration_ms: 40.0,
+            injected_io_ms: None,
+            cold_start_ms: None,
+            spec: sfs_sched::TaskSpec::cpu(0, SimDuration::from_millis(40)),
+        }],
+    };
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let probe = Probe {
+        wake_at: Some(SimTime::ZERO + SimDuration::from_millis(40)),
+        log: Rc::clone(&log),
+    };
+    let mut params = MachineParams::linux(1);
+    params.ctx_switch_cost = SimDuration::ZERO;
+    let run = Sim::on(params).workload(&w).controller(probe).run();
+    assert_eq!(run.outcomes.len(), 1);
+    assert_eq!(
+        run.outcomes[0].finished,
+        SimTime::ZERO + SimDuration::from_millis(40)
+    );
+    let log = log.borrow();
+    assert_eq!(
+        *log,
+        vec![
+            "arrival 0 @0.000ms".to_string(),
+            "finished 0 @40.000ms".to_string(),
+            "wakeup @40.000ms".to_string(),
+        ],
+        "expected arrival, then notification-before-wakeup at the tie"
+    );
+}
+
+/// Violates the wakeup timing contract: a permanently stale wakeup time.
+struct StaleWakeup;
+impl Controller for StaleWakeup {
+    fn next_wakeup(&self) -> Option<SimTime> {
+        Some(SimTime::ZERO)
+    }
+}
+
+#[test]
+#[should_panic(expected = "simulation stalled")]
+fn stale_next_wakeup_panics_instead_of_spinning_forever() {
+    let w = workload(5, 1);
+    let _ = Sim::on(MachineParams::linux(2))
+        .workload(&w)
+        .controller(StaleWakeup)
+        .run();
+}
+
+#[test]
+fn zero_request_workloads_terminate_for_every_stock_policy() {
+    let empty = Workload { requests: vec![] };
+    let runs: Vec<(&str, RunOutcome)> = vec![
+        (
+            "sfs",
+            Sim::on(MachineParams::linux(2))
+                .workload(&empty)
+                .controller(SfsController::new(SfsConfig::new(2)))
+                .run(),
+        ),
+        (
+            "slo-sfs",
+            Sim::on(MachineParams::linux(2))
+                .workload(&empty)
+                .controller(SfsController::with_slo(
+                    SfsConfig::new(2),
+                    SimDuration::from_millis(100),
+                ))
+                .run(),
+        ),
+        (
+            "kernel",
+            Sim::on(MachineParams::linux(2))
+                .workload(&empty)
+                .controller(KernelOnly(Policy::NORMAL))
+                .run(),
+        ),
+        (
+            "ideal",
+            Sim::on(MachineParams::linux(2))
+                .workload(&empty)
+                .controller(Ideal)
+                .run(),
+        ),
+        (
+            "history",
+            Sim::on(MachineParams::linux(2))
+                .workload(&empty)
+                .controller(HistoryPriority::new())
+                .run(),
+        ),
+        (
+            "mlfq",
+            Sim::on(MachineParams::linux(2))
+                .workload(&empty)
+                .controller(UserMlfq::default())
+                .run(),
+        ),
+    ];
+    for (name, r) in &runs {
+        assert!(r.outcomes.is_empty(), "{name}: outcomes not empty");
+        assert_eq!(r.sched_actions, 0, "{name}");
+        assert_eq!(r.machine_ctx_switches, 0, "{name}");
+        assert_eq!(r.sim_span, SimDuration::ZERO, "{name}");
+        assert_eq!(r.telemetry.polls, 0, "{name}");
+    }
+}

@@ -2,7 +2,7 @@
 //! promotion visibility, slice carry-over across I/O blocks, overload
 //! threshold arithmetic, and queue-topology behaviour.
 
-use sfs_core::{QueueMode, SfsConfig, SfsSimulator, SliceMode};
+use sfs_core::{QueueMode, RunOutcome, SfsConfig, SfsController, Sim, SliceMode};
 use sfs_sched::{MachineParams, Phase, Policy, TaskSpec};
 use sfs_simcore::{SimDuration, SimTime};
 use sfs_workload::{build_task, AppKind, IatSpec, Request, Spike, Workload, WorkloadSpec};
@@ -32,6 +32,13 @@ fn craft(rows: &[(u64, f64, Option<f64>)]) -> Workload {
     Workload { requests }
 }
 
+fn run_sfs(cfg: SfsConfig, params: MachineParams, w: Workload) -> RunOutcome {
+    Sim::on(params)
+        .workload(&w)
+        .controller(SfsController::new(cfg))
+        .run()
+}
+
 fn exact(cores: usize) -> MachineParams {
     MachineParams {
         cores,
@@ -44,13 +51,13 @@ fn exact(cores: usize) -> MachineParams {
 fn short_function_finishes_in_one_filter_round() {
     let w = craft(&[(0, 20.0, None)]);
     let cfg = SfsConfig::new(1).with_fixed_slice(100);
-    let r = SfsSimulator::new(cfg, exact(1), w).run();
+    let r = run_sfs(cfg, exact(1), w);
     let o = &r.outcomes[0];
     assert_eq!(o.filter_rounds, 1);
     assert!(!o.demoted && !o.offloaded);
     assert_eq!(o.ctx_switches, 0);
     assert_eq!(o.turnaround, ms(20));
-    assert_eq!(r.demoted, 0);
+    assert_eq!(r.telemetry.demoted, 0);
 }
 
 #[test]
@@ -59,7 +66,7 @@ fn long_function_demoted_exactly_at_slice() {
     // actually costs it the core.
     let w = craft(&[(0, 300.0, None), (1, 20.0, None), (2, 20.0, None)]);
     let cfg = SfsConfig::new(1).with_fixed_slice(100);
-    let r = SfsSimulator::new(cfg, exact(1), w).run();
+    let r = run_sfs(cfg, exact(1), w);
     let long = &r.outcomes[0];
     assert!(long.demoted, "300ms > 100ms slice must demote");
     assert_eq!(long.filter_rounds, 1);
@@ -81,7 +88,7 @@ fn filter_runs_under_fifo_policy() {
     cfg.filter_prio = 42;
     // Drive the simulator manually via its components: use the public API
     // only — run to completion and assert on aggregate evidence instead.
-    let r = SfsSimulator::new(cfg, exact(1), w).run();
+    let r = run_sfs(cfg, exact(1), w);
     assert!(r.sched_actions >= 3, "promote, demote, promote");
     assert!(r.outcomes[0].demoted);
     assert_eq!(r.outcomes[1].filter_rounds, 1);
@@ -110,7 +117,7 @@ fn io_block_carries_slice_remainder() {
         }],
     };
     let cfg = SfsConfig::new(1).with_fixed_slice(100);
-    let r = SfsSimulator::new(cfg, exact(1), w).run();
+    let r = run_sfs(cfg, exact(1), w);
     let o = &r.outcomes[0];
     assert_eq!(o.io_blocks, 1, "one block must be detected");
     assert_eq!(o.filter_rounds, 2, "re-enqueued after the wake");
@@ -144,7 +151,7 @@ fn zero_remaining_slice_after_io_demotes_instead_of_zero_round() {
         }],
     };
     let cfg = SfsConfig::new(1).with_fixed_slice(10);
-    let r = SfsSimulator::new(cfg, exact(1), w).run();
+    let r = run_sfs(cfg, exact(1), w);
     let o = &r.outcomes[0];
     assert_eq!(o.io_blocks, 1, "the block must be detected");
     assert!(
@@ -167,20 +174,19 @@ fn overload_threshold_is_o_times_s() {
     let mut cfg = SfsConfig::new(1).with_fixed_slice(50);
     cfg.hybrid_overload = true;
     cfg.overload_factor = 3.0;
-    let r = SfsSimulator::new(cfg, exact(1), w).run();
+    let r = run_sfs(cfg, exact(1), w);
     assert!(
-        r.offloaded > 0,
+        r.telemetry.offloaded > 0,
         "queue of 20x30ms behind a demoted 400ms must trip the 150ms threshold"
     );
     // With the bypass disabled, nothing offloads.
     let w2 = craft(&rows);
-    let r2 = SfsSimulator::new(
+    let r2 = run_sfs(
         SfsConfig::new(1).with_fixed_slice(50).without_hybrid(),
         exact(1),
         w2,
-    )
-    .run();
-    assert_eq!(r2.offloaded, 0);
+    );
+    assert_eq!(r2.telemetry.offloaded, 0);
 }
 
 #[test]
@@ -198,14 +204,13 @@ fn queued_functions_still_run_under_cfs_work_conservation() {
         rows.push((i, 10.0, None));
     }
     let w = craft(&rows);
-    let per = SfsSimulator::new(
+    let per = run_sfs(
         SfsConfig::new(2)
             .with_fixed_slice(1_000)
             .per_worker_queues(),
         exact(2),
         w,
-    )
-    .run();
+    );
     assert_eq!(per.outcomes.len(), 11);
     let worst_short = per
         .outcomes
@@ -236,9 +241,15 @@ fn adaptive_mode_follows_arrival_rate_changes() {
         spikes: Spike::evenly_spaced(1, n / 4, 6.0, n),
     };
     let w = spec.with_load(4, 0.8).generate();
-    let r = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), w).run();
-    assert_eq!(r.slice_recalcs as usize, n / 100);
-    let slices: Vec<f64> = r.slice_timeline.points().iter().map(|&(_, v)| v).collect();
+    let r = run_sfs(SfsConfig::new(4), MachineParams::linux(4), w);
+    assert_eq!(r.telemetry.slice_recalcs as usize, n / 100);
+    let slices: Vec<f64> = r
+        .telemetry
+        .slice_timeline
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .collect();
     let min = slices.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = slices.iter().cloned().fold(0.0, f64::max);
     assert!(
@@ -255,12 +266,12 @@ fn adaptive_mode_follows_arrival_rate_changes() {
 #[test]
 fn zero_and_single_request_workloads() {
     let empty = Workload { requests: vec![] };
-    let r = SfsSimulator::new(SfsConfig::new(2), exact(2), empty).run();
+    let r = run_sfs(SfsConfig::new(2), exact(2), empty);
     assert!(r.outcomes.is_empty());
-    assert_eq!(r.polls, 0);
+    assert_eq!(r.telemetry.polls, 0);
 
     let one = craft(&[(0, 5.0, None)]);
-    let r = SfsSimulator::new(SfsConfig::new(2), exact(2), one).run();
+    let r = run_sfs(SfsConfig::new(2), exact(2), one);
     assert_eq!(r.outcomes.len(), 1);
     assert_eq!(r.outcomes[0].turnaround, ms(5));
 }
@@ -272,16 +283,20 @@ fn io_oblivious_wastes_slice_on_blocked_functions() {
     // is demoted at t=60ms and still sleeps past its own 60ms slice);
     // aware SFS detects the sleeps and recycles the worker.
     let w = craft(&[(0, 30.0, Some(200.0)), (0, 30.0, Some(200.0))]);
-    let aware =
-        SfsSimulator::new(SfsConfig::new(1).with_fixed_slice(60), exact(1), w.clone()).run();
-    let oblivious = SfsSimulator::new(
+    let aware = run_sfs(SfsConfig::new(1).with_fixed_slice(60), exact(1), w.clone());
+    let oblivious = run_sfs(
         SfsConfig::new(1).with_fixed_slice(60).io_oblivious(),
         exact(1),
         w,
-    )
-    .run();
-    assert_eq!(oblivious.demoted, 2, "both blocked functions time out");
-    assert_eq!(aware.demoted, 0, "aware SFS recycles the worker instead");
+    );
+    assert_eq!(
+        oblivious.telemetry.demoted, 2,
+        "both blocked functions time out"
+    );
+    assert_eq!(
+        aware.telemetry.demoted, 0,
+        "aware SFS recycles the worker instead"
+    );
     let blocks: u32 = aware.outcomes.iter().map(|o| o.io_blocks).sum();
     assert_eq!(blocks, 2);
 }

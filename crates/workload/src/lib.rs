@@ -325,9 +325,40 @@ impl Workload {
         self.requests.is_empty()
     }
 
-    /// `(arrival, spec)` pairs for [`sfs_sched::run_open_loop`].
+    /// Indices of `requests` in stable `(arrival, index)` order — the
+    /// order a FaaS server dispatches them to the OS.
+    ///
+    /// This is the one arrival-glue every runner shares: platform
+    /// pipelines can produce slightly out-of-order request lists (jittered
+    /// multi-server hops), while the machine requires monotone spawn
+    /// times. The sort is stable, so simultaneous arrivals dispatch in
+    /// request-id order — the same tie-break a deterministic event queue
+    /// seeded in index order would apply.
+    pub fn arrival_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.requests.len()).collect();
+        order.sort_by_key(|&i| self.requests[i].arrival);
+        order
+    }
+
+    /// `(arrival, spec)` pairs in dispatch order (see
+    /// [`Workload::arrival_order`]) for [`sfs_sched::run_open_loop`].
     pub fn arrivals(&self) -> impl Iterator<Item = (SimTime, TaskSpec)> + '_ {
-        self.requests.iter().map(|r| (r.arrival, r.spec.clone()))
+        self.arrival_order()
+            .into_iter()
+            .map(|i| (self.requests[i].arrival, self.requests[i].spec.clone()))
+    }
+
+    /// As [`Workload::arrivals`], with every spec's dispatch policy
+    /// overridden to `policy` — the shared glue for kernel-only runs that
+    /// used to be copy-pasted across baseline and platform runners.
+    pub fn arrivals_with_policy(
+        &self,
+        policy: sfs_sched::Policy,
+    ) -> impl Iterator<Item = (SimTime, TaskSpec)> + '_ {
+        self.arrivals().map(move |(at, mut spec)| {
+            spec.policy = policy;
+            (at, spec)
+        })
     }
 
     /// Total CPU demand (ms) across all requests.
@@ -499,6 +530,50 @@ mod tests {
             .with_load(12, 0.8)
             .generate();
         assert!(w.requests.iter().all(|r| r.cold_start_ms.is_none()));
+    }
+
+    #[test]
+    fn arrival_order_is_stable_on_ties_and_sorts_disorder() {
+        let mut w = WorkloadSpec::azure_sampled(6, 3).generate();
+        let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        // Jittered platform dispatch: out of order, with a tie at 10 ms.
+        let times = [t(30), t(10), t(10), t(5), t(20), t(10)];
+        for (r, &at) in w.requests.iter_mut().zip(times.iter()) {
+            r.arrival = at;
+        }
+        assert_eq!(w.arrival_order(), vec![3, 1, 2, 5, 4, 0]);
+        let dispatched: Vec<(SimTime, u64)> =
+            w.arrivals().map(|(at, spec)| (at, spec.label)).collect();
+        assert_eq!(
+            dispatched,
+            vec![
+                (t(5), 3),
+                (t(10), 1),
+                (t(10), 2),
+                (t(10), 5),
+                (t(20), 4),
+                (t(30), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn arrivals_with_policy_overrides_every_spec() {
+        let w = WorkloadSpec::azure_sampled(20, 9).generate();
+        let fifo = sfs_sched::Policy::Fifo { prio: 42 };
+        for (i, (at, spec)) in w.arrivals_with_policy(fifo).enumerate() {
+            assert_eq!(spec.policy, fifo);
+            assert_eq!(at, w.requests[i].arrival);
+            // Phases untouched by the override.
+            assert_eq!(spec.phases, w.requests[i].spec.phases);
+        }
+    }
+
+    #[test]
+    fn arrival_order_of_empty_workload_is_empty() {
+        let w = Workload { requests: vec![] };
+        assert!(w.arrival_order().is_empty());
+        assert_eq!(w.arrivals().count(), 0);
     }
 
     #[test]

@@ -9,14 +9,24 @@
 
 use sfs_repro::metrics::MarkdownTable;
 use sfs_repro::sched::MachineParams;
-use sfs_repro::sfs::{run_baseline, run_ideal, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_repro::sfs::{
+    Baseline, ControllerFactory, Ideal, RequestOutcome, SfsConfig, SfsController, Sim,
+};
 use sfs_repro::simcore::Samples;
 use sfs_repro::workload::WorkloadSpec;
 
 const CORES: usize = 12;
 
+/// Downsizing knob so CI can smoke-run every example quickly.
+fn n_requests(default: usize) -> usize {
+    std::env::var("SFS_EXAMPLE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    let workload = WorkloadSpec::azure_replay(8_000, 7)
+    let workload = WorkloadSpec::azure_replay(n_requests(8_000), 7)
         .with_load(CORES, 0.9)
         .generate();
     println!(
@@ -54,19 +64,24 @@ fn main() {
         ]);
     };
 
-    add("IDEAL", run_ideal(&workload));
+    add(
+        "IDEAL",
+        Sim::on(MachineParams::linux(CORES))
+            .workload(&workload)
+            .controller(Ideal)
+            .run()
+            .outcomes,
+    );
     add(
         "SFS",
-        SfsSimulator::new(
-            SfsConfig::new(CORES),
-            MachineParams::linux(CORES),
-            workload.clone(),
-        )
-        .run()
-        .outcomes,
+        Sim::on(MachineParams::linux(CORES))
+            .workload(&workload)
+            .controller(SfsController::new(SfsConfig::new(CORES)))
+            .run()
+            .outcomes,
     );
     for b in [Baseline::Srtf, Baseline::Cfs, Baseline::Rr, Baseline::Fifo] {
-        add(b.name(), run_baseline(b, CORES, &workload));
+        add(b.name(), b.run_on(CORES, &workload).outcomes);
     }
 
     println!("{}", table.to_markdown());

@@ -8,14 +8,22 @@
 
 use sfs_repro::metrics::MarkdownTable;
 use sfs_repro::sched::MachineParams;
-use sfs_repro::sfs::{SfsConfig, SfsSimulator};
+use sfs_repro::sfs::{RunOutcome, SfsConfig, SfsController, Sim};
 use sfs_repro::simcore::Samples;
 use sfs_repro::workload::WorkloadSpec;
 
 const CORES: usize = 8;
 
+/// Downsizing knob so CI can smoke-run every example quickly.
+fn n_requests(default: usize) -> usize {
+    std::env::var("SFS_EXAMPLE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    let mut spec = WorkloadSpec::azure_sampled(2_000, 23);
+    let mut spec = WorkloadSpec::azure_sampled(n_requests(2_000), 23);
     spec.io_fraction = 0.75;
     spec.io_range_ms = (10.0, 100.0);
     let workload = spec.with_load(CORES, 0.8).generate();
@@ -30,18 +38,14 @@ fn main() {
         with_io
     );
 
-    let aware = SfsSimulator::new(
-        SfsConfig::new(CORES),
-        MachineParams::linux(CORES),
-        workload.clone(),
-    )
-    .run();
-    let oblivious = SfsSimulator::new(
-        SfsConfig::new(CORES).io_oblivious(),
-        MachineParams::linux(CORES),
-        workload,
-    )
-    .run();
+    let aware = Sim::on(MachineParams::linux(CORES))
+        .workload(&workload)
+        .controller(SfsController::new(SfsConfig::new(CORES)))
+        .run();
+    let oblivious = Sim::on(MachineParams::linux(CORES))
+        .workload(&workload)
+        .controller(SfsController::new(SfsConfig::new(CORES).io_oblivious()))
+        .run();
 
     let mut t = MarkdownTable::new(&["metric", "I/O-aware SFS", "I/O-oblivious SFS"]);
     t.row(&[
@@ -49,7 +53,7 @@ fn main() {
         format!("{:.1}", aware.mean_turnaround_ms()),
         format!("{:.1}", oblivious.mean_turnaround_ms()),
     ]);
-    let p99 = |r: &sfs_repro::sfs::SfsRunResult| {
+    let p99 = |r: &RunOutcome| {
         let mut s = Samples::from_vec(
             r.outcomes
                 .iter()
@@ -63,8 +67,7 @@ fn main() {
         format!("{:.1}", p99(&aware)),
         format!("{:.1}", p99(&oblivious)),
     ]);
-    let blocks =
-        |r: &sfs_repro::sfs::SfsRunResult| -> u32 { r.outcomes.iter().map(|o| o.io_blocks).sum() };
+    let blocks = |r: &RunOutcome| -> u32 { r.outcomes.iter().map(|o| o.io_blocks).sum() };
     t.row(&[
         "I/O blocks detected".into(),
         format!("{}", blocks(&aware)),
@@ -72,13 +75,13 @@ fn main() {
     ]);
     t.row(&[
         "demoted on slice expiry".into(),
-        format!("{}", aware.demoted),
-        format!("{}", oblivious.demoted),
+        format!("{}", aware.telemetry.demoted),
+        format!("{}", oblivious.telemetry.demoted),
     ]);
     t.row(&[
         "status polls performed".into(),
-        format!("{}", aware.polls),
-        format!("{}", oblivious.polls),
+        format!("{}", aware.telemetry.polls),
+        format!("{}", oblivious.telemetry.polls),
     ]);
     println!("{}", t.to_markdown());
 
@@ -87,6 +90,6 @@ fn main() {
          demotes them to CFS ({} demotions vs {}); the aware variant detects\n\
          the block within one 4 ms poll and re-enqueues the function with its\n\
          unused slice.",
-        oblivious.demoted, aware.demoted
+        oblivious.telemetry.demoted, aware.telemetry.demoted
     );
 }

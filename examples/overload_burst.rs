@@ -8,13 +8,21 @@
 
 use sfs_repro::metrics::timeline_chart;
 use sfs_repro::sched::MachineParams;
-use sfs_repro::sfs::{SfsConfig, SfsSimulator};
+use sfs_repro::sfs::{SfsConfig, SfsController, Sim};
 use sfs_repro::workload::{IatSpec, Spike, WorkloadSpec};
 
 const CORES: usize = 8;
 
+/// Downsizing knob so CI can smoke-run every example quickly.
+fn n_requests(default: usize) -> usize {
+    std::env::var("SFS_EXAMPLE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    let n = 5_000;
+    let n = n_requests(5_000);
     let mut spec = WorkloadSpec::azure_sampled(n, 31);
     spec.iat = IatSpec::Bursty {
         base_mean_ms: 1.0,
@@ -27,15 +35,19 @@ fn main() {
         ("SFS (hybrid overload handling)", SfsConfig::new(CORES)),
         ("SFS w/o hybrid", SfsConfig::new(CORES).without_hybrid()),
     ] {
-        let r = SfsSimulator::new(cfg, MachineParams::linux(CORES), workload.clone()).run();
+        let r = Sim::on(MachineParams::linux(CORES))
+            .workload(&workload)
+            .controller(SfsController::new(cfg))
+            .run();
         println!("== {name}");
         println!(
             "   peak queue delay {:.2}s | mean turnaround {:.0}ms | offloaded to CFS: {}",
-            r.queue_delay_series.max_value(),
+            r.telemetry.queue_delay_series.max_value(),
             r.mean_turnaround_ms(),
-            r.offloaded
+            r.telemetry.offloaded
         );
         let pts: Vec<(f64, f64)> = r
+            .telemetry
             .queue_delay_series
             .points()
             .iter()

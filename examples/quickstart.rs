@@ -6,15 +6,23 @@
 //! ```
 
 use sfs_repro::metrics::MarkdownTable;
-use sfs_repro::sched::MachineParams;
-use sfs_repro::sfs::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_repro::sched::{MachineParams, Policy};
+use sfs_repro::sfs::{KernelOnly, SfsConfig, SfsController, Sim};
 use sfs_repro::workload::WorkloadSpec;
+
+/// Downsizing knob so CI can smoke-run every example quickly.
+fn n_requests(default: usize) -> usize {
+    std::env::var("SFS_EXAMPLE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
     // 1. Generate a FaaSBench workload: 1,000 Azure-sampled function
     //    invocations targeting 90% CPU load on a 8-core host.
     let cores = 8;
-    let workload = WorkloadSpec::azure_sampled(1_000, 42)
+    let workload = WorkloadSpec::azure_sampled(n_requests(1_000), 42)
         .with_load(cores, 0.9)
         .generate();
     println!(
@@ -25,15 +33,17 @@ fn main() {
     );
 
     // 2. Run it under SFS (the paper's scheduler)...
-    let sfs = SfsSimulator::new(
-        SfsConfig::new(cores),
-        MachineParams::linux(cores),
-        workload.clone(),
-    )
-    .run();
+    let sfs = Sim::on(MachineParams::linux(cores))
+        .workload(&workload)
+        .controller(SfsController::new(SfsConfig::new(cores)))
+        .run();
 
-    // 3. ...and under plain Linux CFS.
-    let cfs = run_baseline(Baseline::Cfs, cores, &workload);
+    // 3. ...and under plain Linux CFS — same runner, different controller.
+    let cfs = Sim::on(MachineParams::linux(cores))
+        .workload(&workload)
+        .controller(KernelOnly(Policy::NORMAL))
+        .run()
+        .outcomes;
 
     // 4. Compare.
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
@@ -59,23 +69,24 @@ fn main() {
     ]);
     t.row(&[
         "requests demoted to CFS".into(),
-        format!("{}", sfs.demoted),
+        format!("{}", sfs.telemetry.demoted),
         "-".into(),
     ]);
     t.row(&[
         "adaptive slice recalcs".into(),
-        format!("{}", sfs.slice_recalcs),
+        format!("{}", sfs.telemetry.slice_recalcs),
         "-".into(),
     ]);
     println!("{}", t.to_markdown());
 
     println!(
         "current FILTER slice ended at {} after {} adaptations",
-        sfs.slice_timeline
+        sfs.telemetry
+            .slice_timeline
             .points()
             .last()
             .map(|&(_, v)| format!("{v:.1} ms"))
             .unwrap_or_else(|| "initial".into()),
-        sfs.slice_recalcs
+        sfs.telemetry.slice_recalcs
     );
 }

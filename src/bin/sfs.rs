@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! sfs gen      --requests 5000 --cores 16 --load 0.9 [--mix openlambda] [--seed N] [--out trace.csv]
-//! sfs run      --sched sfs|cfs|fifo|rr|srtf [--trace trace.csv | --requests N --load X] [--gantt]
+//! sfs run      --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace trace.csv | --requests N --load X] [--gantt]
 //! sfs compare  [--requests N --cores C --load X]         # SFS vs CFS headline
 //! sfs slo      [--requests N --cores C --load X]         # paper-SLO attainment
 //! ```
+//!
+//! Every `--sched` value is a `Controller` driven by the same `Sim`
+//! runner — adding a scheduler to this CLI is one match arm.
 //!
 //! Argument parsing is deliberately dependency-free (flag pairs only).
 
@@ -14,7 +17,11 @@ use std::process::exit;
 
 use sfs_repro::metrics::{evaluate_slo, headline_claims, MarkdownTable, Paired, SloRule};
 use sfs_repro::sched::MachineParams;
-use sfs_repro::sfs::{run_baseline, run_ideal, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_repro::sfs::{
+    Baseline, Controller, ControllerFactory, HistoryPriority, Ideal, RequestOutcome, RunOutcome,
+    SfsConfig, SfsController, Sim, UserMlfq,
+};
+use sfs_repro::simcore::SimDuration;
 use sfs_repro::simcore::{Samples, SimTime};
 use sfs_repro::workload::{self, Workload, WorkloadSpec};
 
@@ -43,7 +50,7 @@ fn usage_and_exit() -> ! {
          \n\
          USAGE:\n\
            sfs gen     --requests N --cores C --load X [--mix fib|openlambda] [--seed S] [--out FILE]\n\
-           sfs run     --sched sfs|cfs|fifo|rr|srtf [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
+           sfs run     --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
            sfs compare [--requests N] [--cores C] [--load X] [--seed S]\n\
            sfs slo     [--requests N] [--cores C] [--load X] [--seed S]"
     );
@@ -119,6 +126,11 @@ fn cmd_gen(flags: &HashMap<String, String>) {
     }
 }
 
+/// Run `w` under any controller recipe on `cores` default-Linux cores.
+fn run_with(f: &dyn ControllerFactory, cores: usize, w: &Workload) -> RunOutcome {
+    f.run_on(cores, w)
+}
+
 fn summarise(name: &str, outs: &[RequestOutcome]) {
     let durs: Vec<f64> = outs.iter().map(|o| o.turnaround.as_millis_f64()).collect();
     let mut s = Samples::from_vec(durs.clone());
@@ -133,64 +145,81 @@ fn summarise(name: &str, outs: &[RequestOutcome]) {
     );
 }
 
+/// Build the controller (and machine tweaks) for a `--sched` name.
+fn controller_for(
+    sched: &str,
+    cores: usize,
+) -> Option<(String, Box<dyn Controller>, MachineParams)> {
+    let mut params = MachineParams::linux(cores);
+    let (name, ctl): (&str, Box<dyn Controller>) = match sched {
+        "sfs" => ("SFS", Box::new(SfsController::new(SfsConfig::new(cores)))),
+        "slo-sfs" => (
+            "SLO",
+            Box::new(SfsController::with_slo(
+                SfsConfig::new(cores),
+                SimDuration::from_millis(250),
+            )),
+        ),
+        "history" => ("HIST", Box::new(HistoryPriority::new())),
+        "mlfq" => ("MLFQ", Box::new(UserMlfq::default())),
+        "ideal" => ("IDEAL", Box::new(Ideal)),
+        "cfs" | "fifo" | "rr" | "srtf" => {
+            let b = match sched {
+                "cfs" => Baseline::Cfs,
+                "fifo" => Baseline::Fifo,
+                "rr" => Baseline::Rr,
+                _ => Baseline::Srtf,
+            };
+            b.configure_machine(&mut params);
+            return Some((b.name().to_string(), b.build(), params));
+        }
+        _ => return None,
+    };
+    Some((name.to_string(), ctl, params))
+}
+
 fn cmd_run(flags: &HashMap<String, String>) {
     let cores = get(flags, "cores", 16usize);
     let w = build_workload(flags, cores);
     let sched = flags.get("sched").map(String::as_str).unwrap_or("sfs");
     let gantt = flags.contains_key("gantt");
-    match sched {
-        "sfs" => {
-            let mut sim = SfsSimulator::new(SfsConfig::new(cores), MachineParams::linux(cores), w);
-            if gantt {
-                sim = sim.with_tracing();
-            }
-            let r = sim.run();
-            summarise("SFS", &r.outcomes);
-            println!(
-                "        demoted={} offloaded={} slice_recalcs={} polls={}",
-                r.demoted, r.offloaded, r.slice_recalcs, r.polls
-            );
-            if let Some(trace) = r.schedule_trace {
-                let end = r
-                    .outcomes
-                    .iter()
-                    .map(|o| o.finished)
-                    .max()
-                    .unwrap_or(SimTime::ZERO);
-                println!("{}", trace.render_gantt(SimTime::ZERO, end, 100));
-            }
-        }
-        "ideal" => summarise("IDEAL", &run_ideal(&w)),
-        other => {
-            let b = match other {
-                "cfs" => Baseline::Cfs,
-                "fifo" => Baseline::Fifo,
-                "rr" => Baseline::Rr,
-                "srtf" => Baseline::Srtf,
-                _ => {
-                    eprintln!("unknown scheduler: {other}");
-                    usage_and_exit();
-                }
-            };
-            summarise(b.name(), &run_baseline(b, cores, &w));
-            if gantt {
-                eprintln!("(--gantt is only supported with --sched sfs)");
-            }
-        }
+    let Some((name, ctl, params)) = controller_for(sched, cores) else {
+        eprintln!("unknown scheduler: {sched}");
+        usage_and_exit();
+    };
+    let mut sim = Sim::on(params).workload(&w).boxed_controller(ctl);
+    if gantt {
+        sim = sim.tracing();
+    }
+    let r = sim.run();
+    summarise(&name, &r.outcomes);
+    if sched == "sfs" || sched == "slo-sfs" {
+        println!(
+            "        demoted={} offloaded={} slice_recalcs={} polls={}",
+            r.telemetry.demoted,
+            r.telemetry.offloaded,
+            r.telemetry.slice_recalcs,
+            r.telemetry.polls
+        );
+    }
+    if let Some(trace) = r.schedule_trace {
+        let end = r
+            .outcomes
+            .iter()
+            .map(|o| o.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        println!("{}", trace.render_gantt(SimTime::ZERO, end, 100));
+    } else if gantt {
+        eprintln!("(--gantt had nothing to render: the IDEAL bound simulates no machine)");
     }
 }
 
 fn cmd_compare(flags: &HashMap<String, String>) {
     let cores = get(flags, "cores", 16usize);
     let w = build_workload(flags, cores);
-    let sfs = SfsSimulator::new(
-        SfsConfig::new(cores),
-        MachineParams::linux(cores),
-        w.clone(),
-    )
-    .run()
-    .outcomes;
-    let cfs = run_baseline(Baseline::Cfs, cores, &w);
+    let sfs = run_with(&SfsConfig::new(cores), cores, &w).outcomes;
+    let cfs = run_with(&Baseline::Cfs, cores, &w).outcomes;
     summarise("SFS", &sfs);
     summarise("CFS", &cfs);
     let pairs: Vec<Paired> = sfs
@@ -241,18 +270,9 @@ fn cmd_slo(flags: &HashMap<String, String>) {
             ),
         ]);
     };
-    row(
-        "SFS",
-        &SfsSimulator::new(
-            SfsConfig::new(cores),
-            MachineParams::linux(cores),
-            w.clone(),
-        )
-        .run()
-        .outcomes,
-    );
+    row("SFS", &run_with(&SfsConfig::new(cores), cores, &w).outcomes);
     for b in [Baseline::Cfs, Baseline::Rr, Baseline::Fifo] {
-        row(b.name(), &run_baseline(b, cores, &w));
+        row(b.name(), &run_with(&b, cores, &w).outcomes);
     }
     println!("{}", table.to_markdown());
 }

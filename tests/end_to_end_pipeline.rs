@@ -3,7 +3,9 @@
 
 use sfs_repro::metrics::{headline_claims, Paired};
 use sfs_repro::sched::MachineParams;
-use sfs_repro::sfs::{run_baseline, run_ideal, Baseline, RequestOutcome, SfsConfig, SfsSimulator};
+use sfs_repro::sfs::{
+    Baseline, ControllerFactory, Ideal, RequestOutcome, SfsConfig, SfsController, Sim,
+};
 use sfs_repro::simcore::{Samples, SimDuration};
 use sfs_repro::workload::{Workload, WorkloadSpec};
 
@@ -16,13 +18,23 @@ fn workload(n: usize, seed: u64, load: f64) -> Workload {
 }
 
 fn run_sfs(w: &Workload) -> Vec<RequestOutcome> {
-    SfsSimulator::new(
-        SfsConfig::new(CORES),
-        MachineParams::linux(CORES),
-        w.clone(),
-    )
-    .run()
-    .outcomes
+    Sim::on(MachineParams::linux(CORES))
+        .workload(w)
+        .controller(SfsController::new(SfsConfig::new(CORES)))
+        .run()
+        .outcomes
+}
+
+fn run_with(f: &dyn ControllerFactory, cores: usize, w: &Workload) -> Vec<RequestOutcome> {
+    f.run_on(cores, w).outcomes
+}
+
+fn run_ideal(w: &Workload) -> Vec<RequestOutcome> {
+    Sim::on(MachineParams::linux(CORES))
+        .workload(w)
+        .controller(Ideal)
+        .run()
+        .outcomes
 }
 
 #[test]
@@ -31,10 +43,10 @@ fn every_scheduler_completes_the_same_request_set() {
     let ids: Vec<u64> = w.requests.iter().map(|r| r.id).collect();
     for outs in [
         run_sfs(&w),
-        run_baseline(Baseline::Cfs, CORES, &w),
-        run_baseline(Baseline::Fifo, CORES, &w),
-        run_baseline(Baseline::Rr, CORES, &w),
-        run_baseline(Baseline::Srtf, CORES, &w),
+        run_with(&Baseline::Cfs, CORES, &w),
+        run_with(&Baseline::Fifo, CORES, &w),
+        run_with(&Baseline::Rr, CORES, &w),
+        run_with(&Baseline::Srtf, CORES, &w),
         run_ideal(&w),
     ] {
         let got: Vec<u64> = outs.iter().map(|o| o.id).collect();
@@ -48,8 +60,8 @@ fn ideal_lower_bounds_all_schedulers() {
     let ideal = run_ideal(&w);
     for outs in [
         run_sfs(&w),
-        run_baseline(Baseline::Cfs, CORES, &w),
-        run_baseline(Baseline::Srtf, CORES, &w),
+        run_with(&Baseline::Cfs, CORES, &w),
+        run_with(&Baseline::Srtf, CORES, &w),
     ] {
         for (o, i) in outs.iter().zip(ideal.iter()) {
             assert!(
@@ -73,9 +85,9 @@ fn scheduler_ordering_on_median_turnaround() {
         s.percentile(50.0)
     };
     let sfs = median(&run_sfs(&w));
-    let srtf = median(&run_baseline(Baseline::Srtf, CORES, &w));
-    let cfs = median(&run_baseline(Baseline::Cfs, CORES, &w));
-    let fifo = median(&run_baseline(Baseline::Fifo, CORES, &w));
+    let srtf = median(&run_with(&Baseline::Srtf, CORES, &w));
+    let cfs = median(&run_with(&Baseline::Cfs, CORES, &w));
+    let fifo = median(&run_with(&Baseline::Fifo, CORES, &w));
     assert!(
         srtf <= sfs * 1.2,
         "SRTF {srtf} should not lose to SFS {sfs}"
@@ -88,7 +100,7 @@ fn scheduler_ordering_on_median_turnaround() {
 fn headline_pipeline_produces_consistent_aggregates() {
     let w = workload(2_000, 11, 1.0);
     let sfs = run_sfs(&w);
-    let cfs = run_baseline(Baseline::Cfs, CORES, &w);
+    let cfs = run_with(&Baseline::Cfs, CORES, &w);
     let pairs: Vec<Paired> = sfs
         .iter()
         .zip(cfs.iter())
@@ -132,7 +144,7 @@ fn sfs_median_stays_flat_across_loads() {
             s.percentile(50.0)
         };
         sfs_medians.push(med(&run_sfs(&w)));
-        cfs_medians.push(med(&run_baseline(Baseline::Cfs, CORES, &w)));
+        cfs_medians.push(med(&run_with(&Baseline::Cfs, CORES, &w)));
     }
     let sfs_growth = sfs_medians[2] / sfs_medians[0];
     let cfs_growth = cfs_medians[2] / cfs_medians[0];

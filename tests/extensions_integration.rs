@@ -4,9 +4,16 @@
 
 use sfs_repro::faas::{Cluster, Placement};
 use sfs_repro::metrics::{evaluate_slo, tightest_bound, SloRule};
-use sfs_repro::sched::MachineParams;
-use sfs_repro::sfs::{run_baseline, Baseline, SfsConfig, SfsSimulator};
-use sfs_repro::workload::{self, WorkloadSpec};
+use sfs_repro::sched::{MachineParams, Policy};
+use sfs_repro::sfs::{KernelOnly, RunOutcome, SfsConfig, SfsController, Sim};
+use sfs_repro::workload::{self, Workload, WorkloadSpec};
+
+fn run_sfs(cores: usize, w: &Workload) -> RunOutcome {
+    Sim::on(MachineParams::linux(cores))
+        .workload(w)
+        .controller(SfsController::new(SfsConfig::new(cores)))
+        .run()
+}
 
 #[test]
 fn trace_roundtrip_preserves_the_schedule_exactly() {
@@ -18,8 +25,8 @@ fn trace_roundtrip_preserves_the_schedule_exactly() {
     let original = spec.with_load(4, 0.9).generate();
     let parsed = workload::from_csv(&workload::to_csv(&original)).expect("roundtrip");
 
-    let a = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), original).run();
-    let b = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), parsed).run();
+    let a = run_sfs(4, &original);
+    let b = run_sfs(4, &parsed);
     assert_eq!(a.outcomes.len(), b.outcomes.len());
     for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
         assert_eq!(x.id, y.id);
@@ -39,12 +46,12 @@ fn slo_rule_separates_sfs_from_fifo_at_load() {
             .map(|o| (o.ideal.as_millis_f64(), o.turnaround.as_millis_f64()))
             .collect()
     };
-    let sfs = inv(
-        &SfsSimulator::new(SfsConfig::new(8), MachineParams::linux(8), w.clone())
-            .run()
-            .outcomes,
-    );
-    let fifo = inv(&run_baseline(Baseline::Fifo, 8, &w));
+    let sfs = inv(&run_sfs(8, &w).outcomes);
+    let fifo = inv(&Sim::on(MachineParams::linux(8))
+        .workload(&w)
+        .controller(KernelOnly(Policy::Fifo { prio: 50 }))
+        .run()
+        .outcomes);
 
     let rule = SloRule::soft();
     let sfs_report = evaluate_slo(rule, &sfs);
@@ -72,7 +79,7 @@ fn cluster_matches_single_host_when_hosts_is_one() {
         .generate();
     let cluster = Cluster::new(1, 8);
     let run = cluster.run(Placement::RoundRobin, &w);
-    let direct = SfsSimulator::new(SfsConfig::new(8), MachineParams::linux(8), w).run();
+    let direct = run_sfs(8, &w);
     assert_eq!(run.outcomes.len(), direct.outcomes.len());
     for (c, d) in run.outcomes.iter().zip(direct.outcomes.iter()) {
         assert_eq!(c.finished, d.finished, "request {} diverged", c.id);

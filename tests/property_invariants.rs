@@ -7,9 +7,13 @@
 //! so failures are exactly reproducible.
 
 use sfs_repro::sched::{run_open_loop, MachineParams, Phase, Policy, SchedMode, TaskSpec};
-use sfs_repro::sfs::{run_baseline, Baseline, SfsConfig, SfsSimulator};
+use sfs_repro::sfs::{Baseline, ControllerFactory, RequestOutcome, SfsConfig, SfsController, Sim};
 use sfs_repro::simcore::{SimDuration, SimRng, SimTime};
-use sfs_repro::workload::{DurationDist, IatSpec, WorkloadSpec};
+use sfs_repro::workload::{DurationDist, IatSpec, Workload, WorkloadSpec};
+
+fn run_baseline(b: Baseline, cores: usize, w: &Workload) -> Vec<RequestOutcome> {
+    b.run_on(cores, w).outcomes
+}
 
 fn case_rng(test: &str, case: u64) -> SimRng {
     SimRng::seed_from_u64(0x1AB5)
@@ -112,7 +116,10 @@ fn sfs_completes_arbitrary_workloads() {
         if let Some(ms) = fixed_slice {
             cfg = cfg.with_fixed_slice(ms);
         }
-        let r = SfsSimulator::new(cfg, MachineParams::linux(cores), w).run();
+        let r = Sim::on(MachineParams::linux(cores))
+            .workload(&w)
+            .controller(SfsController::new(cfg))
+            .run();
         assert_eq!(r.outcomes.len(), n, "case {case}");
         for o in &r.outcomes {
             assert!(o.rte > 0.0 && o.rte <= 1.0, "case {case}");
@@ -122,10 +129,10 @@ fn sfs_completes_arbitrary_workloads() {
             );
         }
         // Offload + demotion counts can never exceed the request count…
-        assert!(r.offloaded <= n as u64, "case {case}");
+        assert!(r.telemetry.offloaded <= n as u64, "case {case}");
         // …though a request may be demoted after several I/O rounds.
         assert!(
-            r.polls == 0 || r.polled_tasks > 0 || io_fraction == 0.0,
+            r.telemetry.polls == 0 || r.telemetry.polled_tasks > 0 || io_fraction == 0.0,
             "case {case}"
         );
     }

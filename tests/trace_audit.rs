@@ -3,7 +3,7 @@
 //! the strongest end-to-end correctness check the simulator offers.
 
 use sfs_repro::sched::{Machine, MachineParams, Pid, Policy, TaskSpec};
-use sfs_repro::sfs::{SfsConfig, SfsSimulator};
+use sfs_repro::sfs::{SfsConfig, SfsController, Sim};
 use sfs_repro::simcore::{SimDuration, SimTime};
 use sfs_repro::workload::WorkloadSpec;
 
@@ -39,8 +39,10 @@ fn sfs_trace_shows_filter_phases_as_rt_segments() {
     let w = WorkloadSpec::azure_sampled(300, 5)
         .with_load(4, 0.9)
         .generate();
-    let r = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), w)
-        .with_tracing()
+    let r = Sim::on(MachineParams::linux(4))
+        .workload(&w)
+        .controller(SfsController::new(SfsConfig::new(4)))
+        .tracing()
         .run();
     let trace = r.schedule_trace.expect("tracing requested");
     assert!(trace.find_overlap().is_none());
