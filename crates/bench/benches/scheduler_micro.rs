@@ -51,7 +51,7 @@ fn bench_rt_runqueue(h: &mut Harness) {
 fn bench_event_queue(h: &mut Harness) {
     // One simulated drain step over a 4k-event backlog with ~8 events per
     // timestamp: the incremental peek+pop loop vs the batch fast path with
-    // a reused buffer (the shape of SfsSimulator::run's inner loop).
+    // a reused buffer (the shape of the SFS controller's inner loop).
     let build = || {
         let mut q = EventQueue::with_capacity(4_096);
         for i in 0..4_096u64 {

@@ -31,13 +31,14 @@ const HARNESSES: [&str; 11] = [
     "headline_claims",
 ];
 
-const EXTRAS: [&str; 6] = [
+const EXTRAS: [&str; 7] = [
     "ablation_queues",
     "sensitivity_window",
     "breakdown_buckets",
     "matrix_scenarios",
     "extension_slo",
     "extension_cluster",
+    "cluster_scale",
 ];
 
 fn main() {

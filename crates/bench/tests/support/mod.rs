@@ -6,7 +6,7 @@ use sfs_core::{
     Baseline, ControllerFactory, HistoryPriority, RequestOutcome, SfsConfig, SfsController, Sim,
     UserMlfq,
 };
-use sfs_faas::{HostScheduler, OpenLambda, OpenLambdaParams};
+use sfs_faas::{Cluster, HostScheduler, OpenLambda, OpenLambdaParams, Placement};
 use sfs_sched::MachineParams;
 use sfs_simcore::{Samples, SimDuration};
 use sfs_workload::WorkloadSpec;
@@ -25,6 +25,13 @@ pub const SCENARIOS: &[&str] = &[
     "azure100_history",
     "azure100_mlfq",
     "replay_slosfs",
+    // Multi-host dispatch on the live-feedback cluster (PR 4). The
+    // cluster runs its hosts on one worker here — the enclosing sweep
+    // already spans the suite's thread matrix, and nested fan-out would
+    // not change the (thread-count-invariant) numbers anyway.
+    "cluster4_jsq_sfs",
+    "cluster4_hash_sfs",
+    "cluster4_l2l_cfs",
 ];
 
 /// Request count: small enough for CI, large enough for stable shapes.
@@ -135,8 +142,28 @@ pub fn run_scenario(name: &str) -> Vec<RequestOutcome> {
                 .run()
                 .outcomes
         }
+        "cluster4_jsq_sfs" => cluster_scenario(Placement::JoinShortestQueue, None),
+        "cluster4_hash_sfs" => cluster_scenario(Placement::ConsistentHash, None),
+        "cluster4_l2l_cfs" => cluster_scenario(Placement::LongToLightest, Some(Baseline::Cfs)),
         other => panic!("unknown scenario {other:?}"),
     }
+}
+
+/// A 4-host × 4-core cluster under the warm-container affinity model;
+/// `baseline` swaps the per-host policy from SFS to a kernel baseline.
+fn cluster_scenario(placement: Placement, baseline: Option<Baseline>) -> Vec<RequestOutcome> {
+    let w = WorkloadSpec::azure_sampled(N, SEED)
+        .with_load(16, 0.9)
+        .generate();
+    let cluster = Cluster::new(4, 4).with_affinity(
+        SimDuration::from_millis(5_000),
+        SimDuration::from_millis(40),
+    );
+    let run = match baseline {
+        Some(b) => cluster.run_with_threads(placement, &b, &w, 1),
+        None => cluster.run_with_threads(placement, &cluster.sfs, &w, 1),
+    };
+    run.outcomes
 }
 
 /// FNV-1a over every outcome's exact fields: any bit-level drift in any

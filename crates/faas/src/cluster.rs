@@ -1,58 +1,219 @@
-//! Multi-server offloading (the paper's stated future work, §VIII-A):
-//! *"Longer functions could be potentially offloaded to relatively
-//! lighter-loaded FaaS servers by the global FaaS scheduler to mitigate the
-//! performance impact."*
+//! Multi-server offloading at cluster scale (the paper's stated future
+//! work, §VIII-A): *"Longer functions could be potentially offloaded to
+//! relatively lighter-loaded FaaS servers by the global FaaS scheduler to
+//! mitigate the performance impact."*
 //!
-//! A [`Cluster`] of SFS hosts with a global dispatcher. Placement policies:
+//! A [`Cluster`] of identical hosts behind one global dispatcher. The
+//! dispatcher runs an **event-driven loop**: request arrivals interleave
+//! with predicted host-completion events, so every placement decision sees
+//! *live* per-host state ([`HostLoad`]: outstanding queue depth, remaining
+//! backlog, and an EWMA of recent turnarounds) rather than a static
+//! pre-assignment. The dispatcher's view is its own dispatch log plus the
+//! per-function duration statistics SFS already keeps — it never peeks at
+//! host internals, matching the paper's architecture.
 //!
-//! * [`Placement::RoundRobin`] — baseline spreading;
-//! * [`Placement::LeastLoaded`] — join the host with the least outstanding
-//!   CPU work;
-//! * [`Placement::LongToLightest`] — the paper's proposal: short functions
-//!   round-robin (they are latency-critical and any FILTER pool serves
-//!   them); functions predicted long are steered to the lightest host so
-//!   their demoted-CFS phase faces the least competition.
+//! Placement policies ([`Placement`]):
 //!
-//! Prediction uses per-function history (the same kind of statistics SFS
-//! already keeps): a function app's previous ideal durations classify the
-//! next invocation as short or long.
+//! * [`RoundRobin`](Placement::RoundRobin) — baseline spreading;
+//! * [`LeastLoaded`](Placement::LeastLoaded) — join the host with the
+//!   least remaining modelled backlog at the arrival instant;
+//! * [`LongToLightest`](Placement::LongToLightest) — the paper's proposal:
+//!   short functions rotate (they are latency-critical and any FILTER pool
+//!   serves them); functions predicted long are steered to the host with
+//!   the least outstanding *long* work, so their demoted-CFS phase faces
+//!   the least competition;
+//! * [`JoinShortestQueue`](Placement::JoinShortestQueue) — join the host
+//!   with the fewest outstanding requests, ties broken by the lower EWMA
+//!   of recent turnarounds;
+//! * [`ConsistentHash`](Placement::ConsistentHash) — locality-aware: each
+//!   function (a FaaSBench `(app, fib-N)` deployment) hashes onto a ring
+//!   of host virtual nodes, with Google-style *bounded loads* (a host more
+//!   than 25% above the mean outstanding depth is skipped clockwise), so
+//!   warm-container affinity composes with live load feedback.
+//!
+//! Warm-container affinity is modelled cluster-wide via [`Affinity`]: a
+//! host that has not served a function within the keep-alive window pays a
+//! cold-start CPU penalty (a leading CPU phase, the same idiom
+//! `WorkloadSpec::cold_start_mix` uses). Locality-blind placements scatter
+//! functions and pay it often; `ConsistentHash` concentrates them.
+//!
+//! # Determinism under parallel execution
+//!
+//! A run has two phases. *Placement* is a single sequential event loop —
+//! a pure function of `(cluster config, placement, workload)`. *Execution*
+//! fans the per-host simulations out over
+//! [`sfs_simcore::parallel::run_indexed`], one independent `Sim` per host
+//! with results written into host-indexed slots; per-host inputs (the
+//! sub-workload and the hash-ring positions) derive from the cluster seed
+//! by pure [`SeedSequencer`] functions. A 64-host run therefore uses every
+//! core, yet its output is bit-identical at any thread count — the same
+//! invariant the sweep engine guarantees for trials.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use sfs_core::{ControllerFactory, RequestOutcome, SfsConfig};
-use sfs_simcore::SimDuration;
-use sfs_workload::{Workload, LONG_THRESHOLD_MS};
+use sfs_sched::Phase;
+use sfs_simcore::{parallel, SeedSequencer, SimDuration, SimTime};
+use sfs_workload::{AppKind, Request, Table1Sampler, Workload, LONG_THRESHOLD_MS};
 
 /// Global dispatcher placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// Requests go to hosts in rotation.
     RoundRobin,
-    /// Requests join the host with the least outstanding CPU demand.
+    /// Requests join the host with the least remaining modelled backlog.
     LeastLoaded,
-    /// Short functions rotate; predicted-long functions go to the host with
-    /// the least outstanding *long* work.
+    /// Short functions rotate; predicted-long functions go to the host
+    /// with the least outstanding *long* work.
     LongToLightest,
+    /// Requests join the host with the fewest outstanding requests (ties:
+    /// lower EWMA of recent turnarounds).
+    JoinShortestQueue,
+    /// Functions hash onto a ring of host virtual nodes with bounded
+    /// loads, maximising warm-container hits under [`Affinity`].
+    ConsistentHash,
 }
 
 impl Placement {
+    /// Every placement, in presentation order.
+    pub const ALL: [Placement; 5] = [
+        Placement::RoundRobin,
+        Placement::LeastLoaded,
+        Placement::LongToLightest,
+        Placement::JoinShortestQueue,
+        Placement::ConsistentHash,
+    ];
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
             Placement::RoundRobin => "round-robin",
             Placement::LeastLoaded => "least-loaded",
             Placement::LongToLightest => "long-to-lightest",
+            Placement::JoinShortestQueue => "join-shortest-queue",
+            Placement::ConsistentHash => "consistent-hash",
+        }
+    }
+
+    /// Parse a CLI spelling (the [`Placement::name`] strings plus the
+    /// short aliases `rr`, `ll`, `l2l`, `jsq`, `hash`).
+    pub fn parse(s: &str) -> Option<Placement> {
+        match s {
+            "round-robin" | "rr" => Some(Placement::RoundRobin),
+            "least-loaded" | "ll" => Some(Placement::LeastLoaded),
+            "long-to-lightest" | "l2l" => Some(Placement::LongToLightest),
+            "join-shortest-queue" | "jsq" => Some(Placement::JoinShortestQueue),
+            "consistent-hash" | "hash" => Some(Placement::ConsistentHash),
+            _ => None,
         }
     }
 }
 
-/// A cluster of identical SFS hosts.
+/// Warm-container affinity model: a host that has not served a function
+/// within `keep_alive` of a request's arrival pays `cold_start` of extra
+/// CPU before the function body (container spin-up).
+#[derive(Debug, Clone, Copy)]
+pub struct Affinity {
+    /// How long a per-function container stays warm after its last use.
+    pub keep_alive: SimDuration,
+    /// CPU penalty of a cold start.
+    pub cold_start: SimDuration,
+}
+
+/// Live per-host state as the dispatcher models it — what a placement
+/// policy sees at each arrival instant. Updated by the event loop: depth
+/// and long-work fall at predicted completions, the EWMA folds in each
+/// completed request's turnaround.
+#[derive(Debug, Clone)]
+pub struct HostLoad {
+    /// Outstanding requests: dispatched, not yet predicted complete.
+    pub depth: usize,
+    /// Outstanding predicted service (ms) of the *long* population.
+    pub outstanding_long_ms: f64,
+    /// EWMA of predicted turnarounds (ms) at this host's completions;
+    /// `None` until the first completion.
+    pub ewma_turnaround_ms: Option<f64>,
+    /// Predicted next-free instant of each core (the dispatcher's c-server
+    /// FIFO model of the host).
+    core_free: Vec<SimTime>,
+}
+
+impl HostLoad {
+    fn new(cores: usize) -> HostLoad {
+        HostLoad {
+            depth: 0,
+            outstanding_long_ms: 0.0,
+            ewma_turnaround_ms: None,
+            core_free: vec![SimTime::ZERO; cores],
+        }
+    }
+
+    /// Remaining modelled backlog (ms) at `now`: how much already-placed
+    /// work the host's cores still have ahead of them.
+    pub fn backlog_ms(&self, now: SimTime) -> f64 {
+        self.core_free
+            .iter()
+            .map(|&f| {
+                if f > now {
+                    f.since(now).as_millis_f64()
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Dispatch `service_ms` of work at `now`; returns the predicted
+    /// completion instant under the c-server FIFO model.
+    fn admit(&mut self, now: SimTime, service_ms: f64) -> SimTime {
+        let core = (0..self.core_free.len())
+            .min_by_key(|&c| self.core_free[c])
+            .expect("hosts have at least one core");
+        let start = self.core_free[core].max(now);
+        let finish = start + SimDuration::from_millis_f64(service_ms);
+        self.core_free[core] = finish;
+        finish
+    }
+}
+
+/// A predicted host completion in the dispatcher's event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Completion {
+    at: SimTime,
+    /// Dispatch sequence number: deterministic FIFO tie-break.
+    seq: u64,
+    host: usize,
+}
+
+/// The dispatcher's output: per-host request indices plus the cold-start
+/// penalties the affinity model charged.
+struct Plan {
+    per_host: Vec<Vec<usize>>,
+    /// Cold-start penalty per request index (zero = warm or no affinity).
+    penalty: Vec<SimDuration>,
+    cold_starts: u64,
+}
+
+/// A cluster of identical SFS hosts behind one global dispatcher.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     /// Number of hosts.
     pub hosts: usize,
     /// Cores per host.
     pub cores_per_host: usize,
-    /// SFS configuration applied on every host.
+    /// SFS configuration applied on every host by [`Cluster::run`].
     pub sfs: SfsConfig,
+    /// Warm-container affinity model; `None` disables cold starts (every
+    /// host serves every function at full speed).
+    pub affinity: Option<Affinity>,
+    /// EWMA smoothing factor for the turnaround feedback (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+    /// Seed for the consistent-hash ring (virtual-node positions derive
+    /// from it by pure `SeedSequencer` functions).
+    pub seed: u64,
+    /// Virtual nodes per host on the hash ring.
+    pub vnodes: usize,
 }
 
 /// Result of a cluster run.
@@ -64,17 +225,33 @@ pub struct ClusterRun {
     pub per_host: Vec<usize>,
     /// The placement used.
     pub placement: Placement,
+    /// Cold starts the affinity model charged (0 without [`Affinity`]).
+    pub cold_starts: u64,
 }
 
 impl Cluster {
-    /// A cluster of `hosts` × `cores_per_host` with default SFS settings.
+    /// A cluster of `hosts` × `cores_per_host` with default SFS settings
+    /// and no warm-container affinity model.
     pub fn new(hosts: usize, cores_per_host: usize) -> Cluster {
         assert!(hosts >= 1 && cores_per_host >= 1);
         Cluster {
             hosts,
             cores_per_host,
             sfs: SfsConfig::new(cores_per_host),
+            affinity: None,
+            ewma_alpha: 0.2,
+            seed: 0xC105_7E4D,
+            vnodes: 64,
         }
+    }
+
+    /// Enable the warm-container affinity model.
+    pub fn with_affinity(mut self, keep_alive: SimDuration, cold_start: SimDuration) -> Cluster {
+        self.affinity = Some(Affinity {
+            keep_alive,
+            cold_start,
+        });
+        self
     }
 
     /// Dispatch `workload` across the cluster under `placement` and run
@@ -84,126 +261,283 @@ impl Cluster {
     }
 
     /// As [`Cluster::run`], with any per-host scheduling policy: one fresh
-    /// controller is built per host from `factory` (hosts share nothing but
-    /// the dispatcher, as in a real FaaS fleet).
+    /// controller is built per host from `factory` (hosts share nothing
+    /// but the dispatcher, as in a real FaaS fleet). Hosts execute in
+    /// parallel on the default worker count.
     pub fn run_with(
         &self,
         placement: Placement,
-        factory: &dyn ControllerFactory,
+        factory: &(dyn ControllerFactory + Sync),
         workload: &Workload,
     ) -> ClusterRun {
-        // Outstanding work estimate per host: sum of dispatched (not yet
-        // "expired") CPU demand, decayed by arrival time — the global
-        // scheduler's view from its own dispatch log (it does not see host
-        // internals, matching the paper's architecture).
-        let mut per_host_requests: Vec<Vec<usize>> = vec![Vec::new(); self.hosts];
-        let mut outstanding = vec![0.0f64; self.hosts]; // CPU ms in flight
-        let mut outstanding_long = vec![0.0f64; self.hosts];
-        let mut last_decay = vec![0.0f64; self.hosts]; // ms timestamp
-        let mut rr = 0usize;
+        self.run_with_threads(placement, factory, workload, parallel::default_threads())
+    }
 
-        for (idx, r) in workload.requests.iter().enumerate() {
-            let now_ms = r.arrival.as_millis_f64();
-            // Decay each host's outstanding estimate by its service capacity
-            // since the last dispatch there.
-            for h in 0..self.hosts {
-                let dt = now_ms - last_decay[h];
-                if dt > 0.0 {
-                    let drained = dt * self.cores_per_host as f64;
-                    outstanding[h] = (outstanding[h] - drained).max(0.0);
-                    outstanding_long[h] = (outstanding_long[h] - drained).max(0.0);
-                    last_decay[h] = now_ms;
-                }
-            }
-            // Classify using per-app history: FaaSBench labels carry the
-            // sampled duration, standing in for SFS's historical statistics.
-            let predicted_long = r.duration_ms >= LONG_THRESHOLD_MS;
-            let host = match placement {
-                Placement::RoundRobin => {
-                    rr = (rr + 1) % self.hosts;
-                    rr
-                }
-                Placement::LeastLoaded => (0..self.hosts)
-                    .min_by(|&a, &b| outstanding[a].partial_cmp(&outstanding[b]).unwrap())
-                    .unwrap(),
-                Placement::LongToLightest => {
-                    if predicted_long {
-                        (0..self.hosts)
-                            .min_by(|&a, &b| {
-                                outstanding_long[a]
-                                    .partial_cmp(&outstanding_long[b])
-                                    .unwrap()
-                            })
-                            .unwrap()
-                    } else {
-                        rr = (rr + 1) % self.hosts;
-                        rr
-                    }
-                }
-            };
-            let cpu_ms = r.spec.cpu_demand().as_millis_f64();
-            outstanding[host] += cpu_ms;
-            if predicted_long {
-                outstanding_long[host] += cpu_ms;
-            }
-            per_host_requests[host].push(idx);
-        }
-
-        // Run each host independently, one controller per host.
-        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(workload.len());
-        let mut per_host = Vec::with_capacity(self.hosts);
-        for idxs in &per_host_requests {
-            per_host.push(idxs.len());
+    /// As [`Cluster::run_with`] with an explicit worker-thread count. The
+    /// result is bit-identical for every `threads` value ≥ 1.
+    pub fn run_with_threads(
+        &self,
+        placement: Placement,
+        factory: &(dyn ControllerFactory + Sync),
+        workload: &Workload,
+        threads: usize,
+    ) -> ClusterRun {
+        let plan = self.place(placement, workload);
+        let per_host: Vec<usize> = plan.per_host.iter().map(Vec::len).collect();
+        let host_outcomes = parallel::run_indexed(self.hosts, threads, |h| {
+            let idxs = &plan.per_host[h];
             if idxs.is_empty() {
-                continue;
+                return Vec::new();
             }
+            // Sub-workload: the host's requests (original ids preserved —
+            // outcome ids stay globally unique), cold penalties applied as
+            // a leading CPU phase.
             let sub = Workload {
-                requests: idxs.iter().map(|&i| workload.requests[i].clone()).collect(),
+                requests: idxs
+                    .iter()
+                    .map(|&i| {
+                        let mut r = workload.requests[i].clone();
+                        if !plan.penalty[i].is_zero() {
+                            r.spec.phases.insert(0, Phase::Cpu(plan.penalty[i]));
+                        }
+                        r
+                    })
+                    .collect(),
             };
-            outcomes.extend(factory.run_on(self.cores_per_host, &sub).outcomes);
-        }
+            factory.run_on(self.cores_per_host, &sub).outcomes
+        });
+        let mut outcomes: Vec<RequestOutcome> = host_outcomes.into_iter().flatten().collect();
         outcomes.sort_by_key(|o| o.id);
         ClusterRun {
             outcomes,
             per_host,
             placement,
+            cold_starts: plan.cold_starts,
         }
     }
+
+    /// The event-driven dispatch loop: a pure, sequential function of
+    /// `(self, placement, workload)` — see the module docs for the
+    /// determinism argument.
+    fn place(&self, placement: Placement, workload: &Workload) -> Plan {
+        let t1 = Table1Sampler::new();
+        let ring = self.build_ring();
+        let mut hosts: Vec<HostLoad> = (0..self.hosts)
+            .map(|_| HostLoad::new(self.cores_per_host))
+            .collect();
+        let mut completions: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+        let mut in_flight: HashMap<u64, (f64, bool, f64)> = HashMap::new(); // seq -> (service, long, turnaround)
+        let mut last_seen: HashMap<(usize, u64), SimTime> = HashMap::new();
+        let mut per_host: Vec<Vec<usize>> = vec![Vec::new(); self.hosts];
+        let mut penalty = vec![SimDuration::ZERO; workload.len()];
+        let mut cold_starts = 0u64;
+        let mut total_depth = 0usize;
+        let mut rr = 0usize;
+
+        for (seq, &idx) in workload.arrival_order().iter().enumerate() {
+            let seq = seq as u64; // dispatch sequence number: FIFO tie-break
+            let r = &workload.requests[idx];
+            let now = r.arrival;
+
+            // Deliver every completion event due by now, oldest first
+            // (FIFO tie-break by dispatch sequence).
+            while let Some(&Reverse(c)) = completions.peek() {
+                if c.at > now {
+                    break;
+                }
+                completions.pop();
+                let (service_ms, long, turnaround_ms) =
+                    in_flight.remove(&c.seq).expect("completion bookkeeping");
+                let h = &mut hosts[c.host];
+                h.depth -= 1;
+                total_depth -= 1;
+                if long {
+                    h.outstanding_long_ms = (h.outstanding_long_ms - service_ms).max(0.0);
+                }
+                h.ewma_turnaround_ms = Some(match h.ewma_turnaround_ms {
+                    Some(e) => self.ewma_alpha * turnaround_ms + (1.0 - self.ewma_alpha) * e,
+                    None => turnaround_ms,
+                });
+            }
+
+            let predicted_long = r.duration_ms >= LONG_THRESHOLD_MS;
+            let key = func_key(&t1, r);
+            let host = match placement {
+                Placement::RoundRobin => {
+                    let h = rr % self.hosts;
+                    rr += 1;
+                    h
+                }
+                Placement::LeastLoaded => argmin_f64(&hosts, |h| h.backlog_ms(now)),
+                Placement::LongToLightest => {
+                    if predicted_long {
+                        argmin_f64(&hosts, |h| h.outstanding_long_ms)
+                    } else {
+                        let h = rr % self.hosts;
+                        rr += 1;
+                        h
+                    }
+                }
+                Placement::JoinShortestQueue => argmin_jsq(&hosts),
+                Placement::ConsistentHash => self.ring_lookup(&ring, &hosts, key, total_depth),
+            };
+
+            // Affinity: cold unless this host served the function within
+            // the keep-alive window.
+            let mut service_ms = r.spec.cpu_demand().as_millis_f64();
+            if let Some(aff) = self.affinity {
+                let warm = last_seen
+                    .get(&(host, key))
+                    .is_some_and(|&t| now <= t + aff.keep_alive);
+                if !warm {
+                    penalty[idx] = aff.cold_start;
+                    service_ms += aff.cold_start.as_millis_f64();
+                    cold_starts += 1;
+                }
+            }
+
+            let finish = hosts[host].admit(now, service_ms);
+            hosts[host].depth += 1;
+            total_depth += 1;
+            if predicted_long {
+                hosts[host].outstanding_long_ms += service_ms;
+            }
+            // The container stays warm from dispatch through (predicted)
+            // finish plus the keep-alive window.
+            last_seen.insert((host, key), finish);
+            in_flight.insert(
+                seq,
+                (
+                    service_ms,
+                    predicted_long,
+                    finish.since(now).as_millis_f64(),
+                ),
+            );
+            completions.push(Reverse(Completion {
+                at: finish,
+                seq,
+                host,
+            }));
+            per_host[host].push(idx);
+        }
+
+        Plan {
+            per_host,
+            penalty,
+            cold_starts,
+        }
+    }
+
+    /// The consistent-hash ring: `vnodes` positions per host, derived from
+    /// the cluster seed by a pure function (bit-identical across runs and
+    /// thread counts).
+    fn build_ring(&self) -> Vec<(u64, usize)> {
+        let seq = SeedSequencer::new(self.seed);
+        let mut ring: Vec<(u64, usize)> = (0..self.hosts)
+            .flat_map(|h| {
+                (0..self.vnodes).map(move |v| (seq.seed_for((h * self.vnodes + v) as u64), h))
+            })
+            .collect();
+        ring.sort_unstable();
+        ring
+    }
+
+    /// Bounded-load consistent hashing: walk clockwise from the key's ring
+    /// position, skipping hosts whose outstanding depth exceeds 1.25× the
+    /// cluster mean (counting the request being placed).
+    fn ring_lookup(
+        &self,
+        ring: &[(u64, usize)],
+        hosts: &[HostLoad],
+        key: u64,
+        total_depth: usize,
+    ) -> usize {
+        let cap = (((total_depth + 1) as f64 / self.hosts as f64) * 1.25).ceil() as usize;
+        let cap = cap.max(1);
+        let h = SeedSequencer::new(key).seed_for(0);
+        let start = ring.partition_point(|&(pos, _)| pos < h);
+        for i in 0..ring.len() {
+            let (_, host) = ring[(start + i) % ring.len()];
+            if hosts[host].depth < cap {
+                return host;
+            }
+        }
+        // Every host at the bound (can only happen for degenerate rings):
+        // fall back to the shallowest queue.
+        argmin_f64(hosts, |h| h.depth as f64)
+    }
+}
+
+/// Index of the host minimising `f`, ties to the lowest index.
+fn argmin_f64(hosts: &[HostLoad], f: impl Fn(&HostLoad) -> f64) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f64::INFINITY;
+    for (i, h) in hosts.iter().enumerate() {
+        let v = f(h);
+        if v < best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Join-shortest-queue host choice: lexicographic min over (outstanding
+/// depth, EWMA of recent turnarounds), ties to the lowest index.
+fn argmin_jsq(hosts: &[HostLoad]) -> usize {
+    let mut best = 0usize;
+    for (i, h) in hosts.iter().enumerate().skip(1) {
+        let b = &hosts[best];
+        let (hd, bd) = (h.depth, b.depth);
+        let (he, be) = (
+            h.ewma_turnaround_ms.unwrap_or(0.0),
+            b.ewma_turnaround_ms.unwrap_or(0.0),
+        );
+        if hd < bd || (hd == bd && he < be) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// FaaSBench's function identity: the deployed `(app, fib-N)` pair
+/// (`fib-35`, `md-28`, ...), recovered from the request's app kind and its
+/// Table-I fib mapping.
+fn func_key(t1: &Table1Sampler, r: &Request) -> u64 {
+    let app = match r.app {
+        AppKind::Fib => 0u64,
+        AppKind::Md => 1,
+        AppKind::Sa => 2,
+    };
+    (app << 8) | t1.fib_n_for(r.duration_ms) as u64
 }
 
 impl ClusterRun {
     /// Mean turnaround (ms) of the long-function population — the quantity
-    /// the offloading proposal targets.
-    pub fn long_mean_ms(&self) -> f64 {
-        let thr = SimDuration::from_millis_f64(LONG_THRESHOLD_MS);
-        let longs: Vec<f64> = self
-            .outcomes
-            .iter()
-            .filter(|o| o.ideal >= thr)
-            .map(|o| o.turnaround.as_millis_f64())
-            .collect();
-        if longs.is_empty() {
-            0.0
-        } else {
-            longs.iter().sum::<f64>() / longs.len() as f64
-        }
+    /// the offloading proposal targets. `None` when the run has no long
+    /// requests (an empty population has no mean; a bare `0.0` would be
+    /// indistinguishable from a genuinely instant one).
+    pub fn long_mean_ms(&self) -> Option<f64> {
+        population_mean_ms(&self.outcomes, true)
     }
 
-    /// Mean turnaround (ms) of the short population.
-    pub fn short_mean_ms(&self) -> f64 {
-        let thr = SimDuration::from_millis_f64(LONG_THRESHOLD_MS);
-        let shorts: Vec<f64> = self
-            .outcomes
-            .iter()
-            .filter(|o| o.ideal < thr)
-            .map(|o| o.turnaround.as_millis_f64())
-            .collect();
-        if shorts.is_empty() {
-            0.0
-        } else {
-            shorts.iter().sum::<f64>() / shorts.len() as f64
+    /// Mean turnaround (ms) of the short population, `None` when empty.
+    pub fn short_mean_ms(&self) -> Option<f64> {
+        population_mean_ms(&self.outcomes, false)
+    }
+}
+
+fn population_mean_ms(outcomes: &[RequestOutcome], long: bool) -> Option<f64> {
+    let thr = SimDuration::from_millis_f64(LONG_THRESHOLD_MS);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for o in outcomes {
+        if (o.ideal >= thr) == long {
+            sum += o.turnaround.as_millis_f64();
+            n += 1;
         }
     }
+    (n > 0).then(|| sum / n as f64)
 }
 
 #[cfg(test)]
@@ -221,17 +555,14 @@ mod tests {
     fn all_placements_complete_everything() {
         let cluster = Cluster::new(3, 4);
         let w = workload(900, 3, 4, 0.8);
-        for p in [
-            Placement::RoundRobin,
-            Placement::LeastLoaded,
-            Placement::LongToLightest,
-        ] {
+        for p in Placement::ALL {
             let run = cluster.run(p, &w);
             assert_eq!(run.outcomes.len(), 900, "{} lost requests", p.name());
             assert_eq!(run.per_host.iter().sum::<usize>(), 900);
             for (i, o) in run.outcomes.iter().enumerate() {
                 assert_eq!(o.id, i as u64);
             }
+            assert_eq!(run.cold_starts, 0, "no affinity model configured");
         }
     }
 
@@ -241,11 +572,7 @@ mod tests {
         let w = workload(1_000, 4, 2, 0.7);
         let run = cluster.run(Placement::RoundRobin, &w);
         for &c in &run.per_host {
-            assert!(
-                (200..=300).contains(&c),
-                "round-robin should balance counts, got {:?}",
-                run.per_host
-            );
+            assert_eq!(c, 250, "rotation places exactly n/hosts each");
         }
     }
 
@@ -257,18 +584,15 @@ mod tests {
         let w = workload(1_500, 3, 4, 1.0);
         let rr = cluster.run(Placement::RoundRobin, &w);
         let steer = cluster.run(Placement::LongToLightest, &w);
+        let (rr_long, steer_long) = (rr.long_mean_ms().unwrap(), steer.long_mean_ms().unwrap());
         assert!(
-            steer.long_mean_ms() <= rr.long_mean_ms() * 1.05,
-            "steering longs should not hurt them: {} vs {}",
-            steer.long_mean_ms(),
-            rr.long_mean_ms()
+            steer_long <= rr_long * 1.05,
+            "steering longs should not hurt them: {steer_long} vs {rr_long}"
         );
-        // And shorts must not regress materially either.
+        let (rr_short, steer_short) = (rr.short_mean_ms().unwrap(), steer.short_mean_ms().unwrap());
         assert!(
-            steer.short_mean_ms() <= rr.short_mean_ms() * 1.25,
-            "short functions regressed: {} vs {}",
-            steer.short_mean_ms(),
-            rr.short_mean_ms()
+            steer_short <= rr_short * 1.25,
+            "short functions regressed: {steer_short} vs {rr_short}"
         );
     }
 
@@ -276,28 +600,155 @@ mod tests {
     fn any_controller_recipe_runs_per_host() {
         // The dispatcher composes with arbitrary policies: a kernel-only
         // CFS cluster completes the same request set as the SFS cluster,
-        // one fresh controller per host.
+        // one fresh controller per host, and placement is policy-blind
+        // (the dispatcher model only uses the workload's duration labels).
         let cluster = Cluster::new(3, 4);
         let w = workload(600, 3, 4, 0.8);
-        let sfs = cluster.run(Placement::RoundRobin, &w);
-        let cfs = cluster.run_with(Placement::RoundRobin, &sfs_core::Baseline::Cfs, &w);
+        let sfs = cluster.run(Placement::JoinShortestQueue, &w);
+        let cfs = cluster.run_with(Placement::JoinShortestQueue, &sfs_core::Baseline::Cfs, &w);
         assert_eq!(cfs.outcomes.len(), 600);
         assert_eq!(
             cfs.per_host, sfs.per_host,
             "placement is policy-independent"
         );
-        // Same ids, different schedules.
         for (a, b) in sfs.outcomes.iter().zip(cfs.outcomes.iter()) {
             assert_eq!(a.id, b.id);
         }
     }
 
     #[test]
-    fn least_loaded_tracks_outstanding_work() {
+    fn live_feedback_placements_use_every_host() {
         let cluster = Cluster::new(2, 2);
         let w = workload(600, 2, 2, 0.9);
-        let run = cluster.run(Placement::LeastLoaded, &w);
-        // Both hosts must participate.
-        assert!(run.per_host.iter().all(|&c| c > 100), "{:?}", run.per_host);
+        for p in [Placement::LeastLoaded, Placement::JoinShortestQueue] {
+            let run = cluster.run(p, &w);
+            assert!(
+                run.per_host.iter().all(|&c| c > 100),
+                "{}: {:?}",
+                p.name(),
+                run.per_host
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_identical_for_every_thread_count() {
+        let cluster = Cluster::new(4, 2).with_affinity(
+            SimDuration::from_millis(2_000),
+            SimDuration::from_millis(25),
+        );
+        let w = workload(800, 4, 2, 0.9);
+        for p in Placement::ALL {
+            let one = cluster.run_with_threads(p, &cluster.sfs, &w, 1);
+            for threads in [2, 4, 8] {
+                let many = cluster.run_with_threads(p, &cluster.sfs, &w, threads);
+                assert_eq!(one.per_host, many.per_host, "{} t={threads}", p.name());
+                assert_eq!(one.cold_starts, many.cold_starts);
+                assert_eq!(one.outcomes.len(), many.outcomes.len());
+                for (a, b) in one.outcomes.iter().zip(many.outcomes.iter()) {
+                    assert_eq!(a.id, b.id, "{} t={threads}", p.name());
+                    assert_eq!(a.finished, b.finished, "{} t={threads}", p.name());
+                    assert_eq!(a.rte.to_bits(), b.rte.to_bits());
+                    assert_eq!(a.ctx_switches, b.ctx_switches);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_hash_maximises_warm_hits() {
+        // Locality: under the affinity model, the hash placement must pay
+        // far fewer cold starts than the locality-blind queue balancer.
+        let cluster = Cluster::new(6, 2).with_affinity(
+            SimDuration::from_millis(1_500),
+            SimDuration::from_millis(30),
+        );
+        let w = workload(2_000, 6, 2, 0.8);
+        let hash = cluster.run(Placement::ConsistentHash, &w);
+        let jsq = cluster.run(Placement::JoinShortestQueue, &w);
+        assert!(hash.cold_starts > 0, "some functions must start cold");
+        assert!(
+            hash.cold_starts * 2 < jsq.cold_starts,
+            "consistent-hash cold starts {} should be far below JSQ's {}",
+            hash.cold_starts,
+            jsq.cold_starts
+        );
+    }
+
+    #[test]
+    fn cold_starts_inflate_measured_work() {
+        // The penalty is real CPU: with affinity on, total ideal time
+        // grows by the charged cold starts.
+        let cluster = Cluster::new(4, 2);
+        let warm = cluster.run(Placement::RoundRobin, &workload(500, 4, 2, 0.7));
+        let cold_cluster = Cluster::new(4, 2)
+            .with_affinity(SimDuration::from_millis(500), SimDuration::from_millis(40));
+        let cold = cold_cluster.run(Placement::RoundRobin, &workload(500, 4, 2, 0.7));
+        assert_eq!(warm.cold_starts, 0);
+        assert!(cold.cold_starts > 0);
+        let total_ideal = |r: &ClusterRun| {
+            r.outcomes
+                .iter()
+                .map(|o| o.ideal.as_millis_f64())
+                .sum::<f64>()
+        };
+        assert!(
+            total_ideal(&cold) > total_ideal(&warm),
+            "cold-start CPU must show up in the executed work"
+        );
+    }
+
+    #[test]
+    fn empty_workload_runs_everywhere() {
+        let cluster = Cluster::new(4, 2);
+        let w = Workload {
+            requests: Vec::new(),
+        };
+        for p in Placement::ALL {
+            let run = cluster.run(p, &w);
+            assert!(run.outcomes.is_empty());
+            assert_eq!(run.per_host, vec![0; 4]);
+            assert_eq!(run.long_mean_ms(), None, "empty population has no mean");
+            assert_eq!(run.short_mean_ms(), None);
+        }
+    }
+
+    #[test]
+    fn more_hosts_than_requests() {
+        let cluster = Cluster::new(8, 2);
+        let w = workload(3, 8, 2, 0.5);
+        for p in Placement::ALL {
+            let run = cluster.run(p, &w);
+            assert_eq!(run.outcomes.len(), 3, "{}", p.name());
+            assert_eq!(run.per_host.iter().sum::<usize>(), 3);
+            assert_eq!(run.per_host.len(), 8);
+        }
+    }
+
+    #[test]
+    fn empty_population_means_are_none() {
+        // Regression: a run whose workload is all-short must report the
+        // long mean as absent, not as a (spuriously excellent) 0.0.
+        let mut spec = WorkloadSpec::azure_sampled(40, 7);
+        spec.durations = sfs_workload::DurationDist::Fixed { ms: 10.0 };
+        let w = spec.with_load(4, 0.5).generate();
+        let run = Cluster::new(2, 2).run(Placement::RoundRobin, &w);
+        assert_eq!(run.long_mean_ms(), None);
+        assert!(run.short_mean_ms().is_some());
+    }
+
+    #[test]
+    fn outcome_ids_unique_across_hosts() {
+        // Guards the sub-workload construction in run_with against id
+        // collisions: every original id appears exactly once in the merge.
+        let cluster = Cluster::new(5, 2);
+        let w = workload(1_000, 5, 2, 0.9);
+        for p in Placement::ALL {
+            let run = cluster.run(p, &w);
+            let mut ids: Vec<u64> = run.outcomes.iter().map(|o| o.id).collect();
+            ids.dedup();
+            assert_eq!(ids.len(), 1_000, "{}: duplicate outcome ids", p.name());
+            assert_eq!(ids, (0..1_000).collect::<Vec<u64>>());
+        }
     }
 }

@@ -16,7 +16,7 @@ pub mod containers;
 pub mod pipeline;
 pub mod platform;
 
-pub use cluster::{Cluster, ClusterRun, Placement};
+pub use cluster::{Affinity, Cluster, ClusterRun, HostLoad, Placement};
 pub use containers::{Acquire, ContainerPool};
 pub use pipeline::{Pipeline, Stage};
 pub use platform::{Dispatched, HostScheduler, OpenLambda, OpenLambdaParams};

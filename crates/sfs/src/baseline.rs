@@ -1,5 +1,4 @@
-//! Pure-kernel baseline descriptors (CFS / FIFO / RR / SRTF) and the
-//! deprecated free-function run paths they used to ship with.
+//! Pure-kernel baseline descriptors (CFS / FIFO / RR / SRTF).
 //!
 //! These are the comparators of Fig. 2 (motivation) and the "CFS" series in
 //! every evaluation figure: the FaaS server dispatches each request straight
@@ -9,11 +8,9 @@
 //! [`Baseline`] packages that mapping as a [`ControllerFactory`].
 
 use sfs_sched::{MachineParams, Policy, SchedMode};
-use sfs_workload::Workload;
 
-use crate::policies::{Ideal, KernelOnly};
-use crate::sim::{Controller, ControllerFactory, Sim};
-use crate::stats::RequestOutcome;
+use crate::policies::KernelOnly;
+use crate::sim::{Controller, ControllerFactory};
 
 /// Which pure-kernel baseline scheduler to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,55 +68,14 @@ impl ControllerFactory for Baseline {
     }
 }
 
-/// Run `workload` under a pure kernel scheduling policy on `cores` cores.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Sim::on(MachineParams::linux(cores)).workload(&w).controller(KernelOnly(b.policy())) \
-            (with MachineParams::srtf for the oracle) instead"
-)]
-pub fn run_baseline(baseline: Baseline, cores: usize, workload: &Workload) -> Vec<RequestOutcome> {
-    #[allow(deprecated)]
-    run_baseline_with(baseline, MachineParams::linux(cores), workload)
-}
-
-/// As [`run_baseline`] but with explicit machine parameters (tunable CFS
-/// knobs, context-switch cost).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Sim::on(params).workload(&w).controller(KernelOnly(b.policy())) instead"
-)]
-pub fn run_baseline_with(
-    baseline: Baseline,
-    mut params: MachineParams,
-    workload: &Workload,
-) -> Vec<RequestOutcome> {
-    baseline.configure_machine(&mut params);
-    Sim::on(params)
-        .workload(workload)
-        .boxed_controller(baseline.build())
-        .run()
-        .outcomes
-}
-
-/// The IDEAL scenario: infinite resources, zero contention. Turnaround is
-/// the spec's isolated duration by construction.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Sim::on(params).workload(&w).controller(Ideal) instead"
-)]
-pub fn run_ideal(workload: &Workload) -> Vec<RequestOutcome> {
-    Sim::on(MachineParams::linux(1))
-        .workload(workload)
-        .controller(Ideal)
-        .run()
-        .outcomes
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policies::Ideal;
+    use crate::sim::Sim;
+    use crate::stats::RequestOutcome;
     use sfs_simcore::SimDuration;
-    use sfs_workload::WorkloadSpec;
+    use sfs_workload::{Workload, WorkloadSpec};
 
     fn workload() -> Workload {
         WorkloadSpec::azure_sampled(400, 21)
@@ -144,34 +100,6 @@ mod tests {
                 assert!(o.turnaround >= SimDuration::ZERO);
                 assert!(o.rte > 0.0 && o.rte <= 1.0);
             }
-        }
-    }
-
-    #[test]
-    fn deprecated_shims_match_the_new_api() {
-        let w = workload();
-        for b in [Baseline::Cfs, Baseline::Fifo, Baseline::Rr, Baseline::Srtf] {
-            #[allow(deprecated)]
-            let old = run_baseline(b, 4, &w);
-            let new = baseline_outcomes(b, 4, &w);
-            assert_eq!(old.len(), new.len());
-            for (x, y) in old.iter().zip(new.iter()) {
-                assert_eq!(x.id, y.id);
-                assert_eq!(x.finished, y.finished);
-                assert_eq!(x.rte.to_bits(), y.rte.to_bits());
-                assert_eq!(x.ctx_switches, y.ctx_switches);
-            }
-        }
-        #[allow(deprecated)]
-        let old_ideal = run_ideal(&w);
-        let new_ideal = Sim::on(MachineParams::linux(4))
-            .workload(&w)
-            .controller(Ideal)
-            .run()
-            .outcomes;
-        for (x, y) in old_ideal.iter().zip(new_ideal.iter()) {
-            assert_eq!(x.finished, y.finished);
-            assert_eq!(x.turnaround, y.turnaround);
         }
     }
 

@@ -13,8 +13,8 @@
 //!   further controllers ([`HistoryPriority`], [`UserMlfq`]);
 //! * [`config`] — SFS tunables (window N, poll interval, overload factor O);
 //! * [`timeslice`] — the adaptive FILTER slice `S = mean(IAT_N) × c`;
-//! * [`baseline`] — [`Baseline`] descriptors and deprecated run shims;
-//! * [`stats`] — per-request outcomes and legacy run aggregates.
+//! * [`baseline`] — [`Baseline`] descriptors ([`ControllerFactory`] form);
+//! * [`stats`] — per-request outcomes and run aggregates.
 //!
 //! ## Quickstart
 //! ```
@@ -41,14 +41,10 @@ pub mod stats;
 pub mod timeslice;
 
 pub use baseline::Baseline;
-#[allow(deprecated)]
-pub use baseline::{run_baseline, run_baseline_with, run_ideal};
 pub use config::{QueueMode, SfsConfig, SliceMode};
 pub use policies::{HistoryPriority, Ideal, KernelOnly, UserMlfq};
 pub use scheduler::SfsController;
-#[allow(deprecated)]
-pub use scheduler::SfsSimulator;
-pub use sim::{Controller, ControllerFactory, MachineView, RunOutcome, Sim, Telemetry};
+pub use sim::{Controller, ControllerFactory, FnFactory, MachineView, RunOutcome, Sim, Telemetry};
 pub use stats::{RequestOutcome, SfsRunResult};
 pub use timeslice::SliceController;
 
@@ -287,32 +283,26 @@ mod tests {
     }
 
     #[test]
-    fn legacy_simulator_shim_matches_new_api() {
-        // The deprecated SfsSimulator facade must stay bit-identical to the
-        // Sim + SfsController path it delegates to.
+    fn run_aggregate_view_matches_run_outcome() {
+        // SfsRunResult (the aggregate view the old facade returned) must
+        // stay a faithful projection of RunOutcome.
         let w = WorkloadSpec::azure_sampled(700, 43)
             .with_load(4, 0.9)
             .generate();
-        #[allow(deprecated)]
-        let old = SfsSimulator::new(SfsConfig::new(4), MachineParams::linux(4), w.clone()).run();
-        let new = run_sfs(SfsConfig::new(4), 4, &w);
-        assert_eq!(old.outcomes.len(), new.outcomes.len());
-        for (x, y) in old.outcomes.iter().zip(new.outcomes.iter()) {
+        let run = run_sfs(SfsConfig::new(4), 4, &w);
+        let agg: SfsRunResult = run_sfs(SfsConfig::new(4), 4, &w).into();
+        assert_eq!(agg.outcomes.len(), run.outcomes.len());
+        for (x, y) in agg.outcomes.iter().zip(run.outcomes.iter()) {
             assert_eq!(x.id, y.id);
             assert_eq!(x.finished, y.finished);
             assert_eq!(x.rte.to_bits(), y.rte.to_bits());
-            assert_eq!(x.queue_delay, y.queue_delay);
-            assert_eq!(x.demoted, y.demoted);
-            assert_eq!(x.offloaded, y.offloaded);
-            assert_eq!(x.filter_rounds, y.filter_rounds);
-            assert_eq!(x.io_blocks, y.io_blocks);
         }
-        assert_eq!(old.polls, new.telemetry.polls);
-        assert_eq!(old.sched_actions, new.sched_actions);
-        assert_eq!(old.offloaded, new.telemetry.offloaded);
-        assert_eq!(old.demoted, new.telemetry.demoted);
-        assert_eq!(old.machine_ctx_switches, new.machine_ctx_switches);
-        assert_eq!(old.sim_span, new.sim_span);
+        assert_eq!(agg.polls, run.telemetry.polls);
+        assert_eq!(agg.sched_actions, run.sched_actions);
+        assert_eq!(agg.offloaded, run.telemetry.offloaded);
+        assert_eq!(agg.demoted, run.telemetry.demoted);
+        assert_eq!(agg.machine_ctx_switches, run.machine_ctx_switches);
+        assert_eq!(agg.sim_span, run.sim_span);
     }
 
     #[test]

@@ -29,13 +29,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use sfs_sched::{MachineParams, Notification, Pid, Policy, ProcState};
+use sfs_sched::{Notification, Pid, Policy, ProcState};
 use sfs_simcore::{EventQueue, SimDuration, SimTime, TimeSeries};
-use sfs_workload::{Request, Workload};
+use sfs_workload::Request;
 
 use crate::config::{QueueMode, SfsConfig};
-use crate::sim::{Controller, MachineView, Sim, Telemetry};
-use crate::stats::{RequestOutcome, SfsRunResult};
+use crate::sim::{Controller, MachineView, Telemetry};
+use crate::stats::RequestOutcome;
 use crate::timeslice::SliceController;
 
 #[derive(Debug, Clone)]
@@ -536,54 +536,5 @@ impl crate::sim::ControllerFactory for SfsConfig {
 
     fn label(&self) -> String {
         "SFS".to_string()
-    }
-}
-
-/// Legacy entry point: SFS bound to one workload and one machine.
-///
-/// Thin shim over `Sim::on(params).workload(&w).controller(SfsController::new(cfg))`;
-/// kept for one release so downstream code migrates at its own pace.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Sim::on(params).workload(&w).controller(SfsController::new(cfg)).run() instead"
-)]
-pub struct SfsSimulator {
-    cfg: SfsConfig,
-    params: MachineParams,
-    workload: Workload,
-    tracing: bool,
-}
-
-#[allow(deprecated)]
-impl SfsSimulator {
-    /// Build a simulator for `workload` on a machine described by `mparams`.
-    /// `cfg.workers` should normally equal `mparams.cores`.
-    pub fn new(cfg: SfsConfig, mparams: MachineParams, workload: Workload) -> SfsSimulator {
-        cfg.validate().expect("invalid SFS config");
-        SfsSimulator {
-            cfg,
-            params: mparams,
-            workload,
-            tracing: false,
-        }
-    }
-
-    /// Enable execution-trace recording on the underlying machine; the
-    /// trace is returned in [`SfsRunResult::schedule_trace`].
-    pub fn with_tracing(mut self) -> SfsSimulator {
-        self.tracing = true;
-        self
-    }
-
-    /// Run the workload to completion and return all per-request outcomes
-    /// plus the controller timelines.
-    pub fn run(self) -> SfsRunResult {
-        let mut sim = Sim::on(self.params)
-            .workload(&self.workload)
-            .controller(SfsController::new(self.cfg));
-        if self.tracing {
-            sim = sim.tracing();
-        }
-        sim.run().into()
     }
 }

@@ -223,6 +223,44 @@ pub trait ControllerFactory {
     }
 }
 
+/// A [`ControllerFactory`] from a label and a build closure — the glue for
+/// policies that ship as plain [`Controller`] values (no config struct of
+/// their own) but need to run behind multi-host harnesses or sweeps:
+///
+/// ```
+/// use sfs_core::{Controller, ControllerFactory, FnFactory, UserMlfq};
+///
+/// let factory = FnFactory::new("user-mlfq", || {
+///     Box::new(UserMlfq::default()) as Box<dyn Controller>
+/// });
+/// assert_eq!(factory.label(), "user-mlfq");
+/// let _controller = factory.build();
+/// ```
+pub struct FnFactory<F> {
+    label: String,
+    build: F,
+}
+
+impl<F: Fn() -> Box<dyn Controller>> FnFactory<F> {
+    /// A factory labelled `label` building controllers with `build`.
+    pub fn new(label: impl Into<String>, build: F) -> FnFactory<F> {
+        FnFactory {
+            label: label.into(),
+            build,
+        }
+    }
+}
+
+impl<F: Fn() -> Box<dyn Controller>> ControllerFactory for FnFactory<F> {
+    fn build(&self) -> Box<dyn Controller> {
+        (self.build)()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
 /// Run-level counters and timelines deposited by a controller via
 /// [`Controller::finish`]. Fields default to zero/empty for controllers
 /// that do not poll, slice, or queue (e.g. the kernel-only baselines).

@@ -76,7 +76,7 @@ pub struct SfsRunResult {
     pub sim_span: SimDuration,
     /// Cores in the simulated machine.
     pub cores: usize,
-    /// Execution trace, if requested via `SfsSimulator::with_tracing`.
+    /// Execution trace, if requested via `Sim::tracing`.
     pub schedule_trace: Option<sfs_sched::ScheduleTrace>,
 }
 

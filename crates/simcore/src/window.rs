@@ -16,6 +16,8 @@ pub struct SlidingWindow {
     sum: f64,
     /// Total observations ever pushed (not just retained).
     pushed: u64,
+    /// Evictions since `sum` was last recomputed exactly from the buffer.
+    evictions_since_recompute: usize,
 }
 
 impl SlidingWindow {
@@ -28,19 +30,30 @@ impl SlidingWindow {
             capacity,
             sum: 0.0,
             pushed: 0,
+            evictions_since_recompute: 0,
         }
     }
 
     /// Push an observation, evicting the oldest if the window is full.
+    ///
+    /// The running sum is maintained incrementally (`sum - old + new`), which
+    /// accumulates floating-point error across evictions; every `capacity`
+    /// evictions the sum is recomputed exactly from the buffer, bounding the
+    /// drift while keeping the per-push cost O(1) amortized.
     pub fn push(&mut self, x: f64) {
         if self.buf.len() == self.capacity {
             if let Some(old) = self.buf.pop_front() {
                 self.sum -= old;
+                self.evictions_since_recompute += 1;
             }
         }
         self.buf.push_back(x);
         self.sum += x;
         self.pushed += 1;
+        if self.evictions_since_recompute >= self.capacity {
+            self.sum = self.buf.iter().sum();
+            self.evictions_since_recompute = 0;
+        }
     }
 
     /// Number of retained observations (≤ capacity).
@@ -69,12 +82,17 @@ impl SlidingWindow {
     }
 
     /// Mean of retained observations (0 if empty).
+    ///
+    /// Backed by the incrementally maintained sum, which [`push`] recomputes
+    /// exactly every `capacity` evictions — so over arbitrarily long runs the
+    /// error stays bounded by at most `capacity` incremental updates (see the
+    /// long-run drift test).
+    ///
+    /// [`push`]: SlidingWindow::push
     pub fn mean(&self) -> f64 {
         if self.buf.is_empty() {
             0.0
         } else {
-            // Recompute lazily from the buffer when the incremental sum may
-            // have accumulated float error over very long runs.
             self.sum / self.buf.len() as f64
         }
     }
@@ -97,6 +115,7 @@ impl SlidingWindow {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.sum = 0.0;
+        self.evictions_since_recompute = 0;
     }
 }
 
@@ -167,6 +186,45 @@ mod tests {
             );
             assert_eq!(w.len(), values.len().min(cap), "case {case}");
         }
+    }
+
+    #[test]
+    fn long_run_mean_does_not_drift() {
+        // 1e7 pushes of mixed-magnitude values: a purely incremental sum
+        // accumulates catastrophic cancellation error (large values enter
+        // and leave the window, each eviction rounding the running sum);
+        // the periodic exact recompute must keep the reported mean within
+        // 1e-9 (relative) of a from-scratch mean at all times.
+        let mut rng = SimRng::seed_from_u64(0x51D2);
+        let mut w = SlidingWindow::new(100);
+        let mut checks = 0u32;
+        for i in 0..10_000_000u64 {
+            // Alternate tiny and huge magnitudes so eviction rounding error
+            // is large relative to the retained sum.
+            let x = if i % 2 == 0 {
+                rng.uniform(1e-3, 1.0)
+            } else {
+                rng.uniform(1e6, 1e9)
+            };
+            w.push(x);
+            if i % 999_983 == 0 {
+                let exact = w.mean_exact();
+                let got = w.mean();
+                assert!(
+                    (got - exact).abs() <= 1e-9 * exact.abs().max(1.0),
+                    "push {i}: incremental mean {got} drifted from exact {exact}"
+                );
+                checks += 1;
+            }
+        }
+        let exact = w.mean_exact();
+        assert!(
+            (w.mean() - exact).abs() <= 1e-9 * exact.abs().max(1.0),
+            "final mean {} drifted from exact {exact}",
+            w.mean()
+        );
+        assert!(checks >= 10);
+        assert_eq!(w.total_pushed(), 10_000_000);
     }
 
     #[test]

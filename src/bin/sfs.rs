@@ -3,23 +3,31 @@
 //! ```text
 //! sfs gen      --requests 5000 --cores 16 --load 0.9 [--mix openlambda] [--seed N] [--out trace.csv]
 //! sfs run      --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace trace.csv | --requests N --load X] [--gantt]
+//! sfs run      --cluster hosts=8,cores=8,placement=jsq[,affinity=10000:50] [--sched sfs] [--threads T]
 //! sfs compare  [--requests N --cores C --load X]         # SFS vs CFS headline
 //! sfs slo      [--requests N --cores C --load X]         # paper-SLO attainment
 //! ```
 //!
 //! Every `--sched` value is a `Controller` driven by the same `Sim`
-//! runner — adding a scheduler to this CLI is one match arm.
+//! runner — adding a scheduler to this CLI is one match arm. `--cluster`
+//! lifts any of them onto the multi-host dispatcher (`sfs_faas::Cluster`):
+//! `placement` is one of round-robin|least-loaded|long-to-lightest|
+//! join-shortest-queue|consistent-hash (or rr|ll|l2l|jsq|hash), the
+//! optional `affinity=KEEPMS:COLDMS` key enables the warm-container
+//! cold-start model, and hosts run in parallel with bit-identical output
+//! at any `--threads` value.
 //!
 //! Argument parsing is deliberately dependency-free (flag pairs only).
 
 use std::collections::HashMap;
 use std::process::exit;
 
+use sfs_repro::faas::{Cluster, Placement};
 use sfs_repro::metrics::{evaluate_slo, headline_claims, MarkdownTable, Paired, SloRule};
 use sfs_repro::sched::MachineParams;
 use sfs_repro::sfs::{
-    Baseline, Controller, ControllerFactory, HistoryPriority, Ideal, RequestOutcome, RunOutcome,
-    SfsConfig, SfsController, Sim, UserMlfq,
+    Baseline, Controller, ControllerFactory, FnFactory, HistoryPriority, Ideal, RequestOutcome,
+    RunOutcome, SfsConfig, SfsController, Sim, UserMlfq,
 };
 use sfs_repro::simcore::SimDuration;
 use sfs_repro::simcore::{Samples, SimTime};
@@ -51,6 +59,7 @@ fn usage_and_exit() -> ! {
          USAGE:\n\
            sfs gen     --requests N --cores C --load X [--mix fib|openlambda] [--seed S] [--out FILE]\n\
            sfs run     --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
+           sfs run     --cluster hosts=N,cores=M,placement=P[,affinity=KEEPMS:COLDMS] [--sched S] [--threads T] [--requests N --load X]\n\
            sfs compare [--requests N] [--cores C] [--load X] [--seed S]\n\
            sfs slo     [--requests N] [--cores C] [--load X] [--seed S]"
     );
@@ -178,7 +187,125 @@ fn controller_for(
     Some((name.to_string(), ctl, params))
 }
 
+/// Build the controller *recipe* for a `--sched` name — the form cluster
+/// runs need (one fresh controller per host).
+fn factory_for(sched: &str, cores: usize) -> Option<Box<dyn ControllerFactory + Sync>> {
+    Some(match sched {
+        "sfs" => Box::new(SfsConfig::new(cores)),
+        "slo-sfs" => Box::new(FnFactory::new("SLO", move || {
+            Box::new(SfsController::with_slo(
+                SfsConfig::new(cores),
+                SimDuration::from_millis(250),
+            )) as Box<dyn Controller>
+        })),
+        "history" => Box::new(FnFactory::new("HIST", || {
+            Box::new(HistoryPriority::new()) as Box<dyn Controller>
+        })),
+        "mlfq" => Box::new(FnFactory::new("MLFQ", || {
+            Box::new(UserMlfq::default()) as Box<dyn Controller>
+        })),
+        "ideal" => Box::new(FnFactory::new("IDEAL", || {
+            Box::new(Ideal) as Box<dyn Controller>
+        })),
+        "cfs" => Box::new(Baseline::Cfs),
+        "fifo" => Box::new(Baseline::Fifo),
+        "rr" => Box::new(Baseline::Rr),
+        "srtf" => Box::new(Baseline::Srtf),
+        _ => return None,
+    })
+}
+
+/// A parsed `--cluster` spec.
+struct ClusterSpec {
+    hosts: usize,
+    cores: usize,
+    placement: Placement,
+    /// `(keep_alive_ms, cold_start_ms)` when `affinity=...` was given.
+    affinity: Option<(u64, u64)>,
+}
+
+/// Parse `--cluster hosts=N,cores=M,placement=P[,affinity=KEEPMS:COLDMS]`
+/// (each key optional; defaults 4 hosts × 8 cores, round-robin, no
+/// affinity model — a 1-host cluster then matches the plain `--sched`
+/// run exactly).
+fn parse_cluster_spec(spec: &str) -> Option<ClusterSpec> {
+    let mut parsed = ClusterSpec {
+        hosts: 4,
+        cores: 8,
+        placement: Placement::RoundRobin,
+        affinity: None,
+    };
+    if spec != "true" {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = part.split_once('=')?;
+            match k {
+                "hosts" => parsed.hosts = v.parse().ok().filter(|&h| h >= 1)?,
+                "cores" => parsed.cores = v.parse().ok().filter(|&c| c >= 1)?,
+                "placement" => parsed.placement = Placement::parse(v)?,
+                "affinity" => {
+                    let (keep, cold) = v.split_once(':')?;
+                    parsed.affinity = Some((keep.parse().ok()?, cold.parse().ok()?));
+                }
+                _ => return None,
+            }
+        }
+    }
+    Some(parsed)
+}
+
+fn cmd_run_cluster(flags: &HashMap<String, String>, spec: &str) {
+    let Some(ClusterSpec {
+        hosts,
+        cores,
+        placement,
+        affinity,
+    }) = parse_cluster_spec(spec)
+    else {
+        eprintln!(
+            "bad --cluster spec {spec:?} (expected hosts=N,cores=M,placement=\
+             rr|ll|l2l|jsq|hash[,affinity=KEEPMS:COLDMS])"
+        );
+        usage_and_exit();
+    };
+    let sched = flags.get("sched").map(String::as_str).unwrap_or("sfs");
+    let Some(factory) = factory_for(sched, cores) else {
+        eprintln!("unknown scheduler: {sched}");
+        usage_and_exit();
+    };
+    let threads = get(
+        flags,
+        "threads",
+        sfs_repro::simcore::parallel::default_threads(),
+    );
+    let w = build_workload(flags, hosts * cores);
+    let mut cluster = Cluster::new(hosts, cores);
+    if let Some((keep_ms, cold_ms)) = affinity {
+        cluster = cluster.with_affinity(
+            SimDuration::from_millis(keep_ms),
+            SimDuration::from_millis(cold_ms),
+        );
+    }
+    let run = cluster.run_with_threads(placement, &*factory, &w, threads);
+    summarise(&factory.label(), &run.outcomes);
+    let fmt_mean = |m: Option<f64>| m.map_or_else(|| "n/a".into(), |v| format!("{v:.1}ms"));
+    println!(
+        "        cluster: {hosts} hosts x {cores} cores, placement={} ({threads} thread{})",
+        placement.name(),
+        if threads == 1 { "" } else { "s" },
+    );
+    println!(
+        "        short mean={} long mean={} cold starts={}",
+        fmt_mean(run.short_mean_ms()),
+        fmt_mean(run.long_mean_ms()),
+        run.cold_starts,
+    );
+    println!("        per-host requests: {:?}", run.per_host);
+}
+
 fn cmd_run(flags: &HashMap<String, String>) {
+    if let Some(spec) = flags.get("cluster") {
+        return cmd_run_cluster(flags, spec);
+    }
     let cores = get(flags, "cores", 16usize);
     let w = build_workload(flags, cores);
     let sched = flags.get("sched").map(String::as_str).unwrap_or("sfs");

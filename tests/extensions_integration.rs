@@ -73,16 +73,32 @@ fn slo_rule_separates_sfs_from_fifo_at_load() {
 
 #[test]
 fn cluster_matches_single_host_when_hosts_is_one() {
-    // A 1-host cluster must behave exactly like the plain simulator.
+    // A 1-host cluster must reproduce the plain `Sim` run bit-exactly,
+    // for every placement (with one host they all degenerate to "host 0").
     let w = WorkloadSpec::azure_sampled(500, 37)
         .with_load(8, 0.9)
         .generate();
     let cluster = Cluster::new(1, 8);
-    let run = cluster.run(Placement::RoundRobin, &w);
     let direct = run_sfs(8, &w);
-    assert_eq!(run.outcomes.len(), direct.outcomes.len());
-    for (c, d) in run.outcomes.iter().zip(direct.outcomes.iter()) {
-        assert_eq!(c.finished, d.finished, "request {} diverged", c.id);
+    for p in Placement::ALL {
+        let run = cluster.run(p, &w);
+        assert_eq!(run.outcomes.len(), direct.outcomes.len());
+        for (c, d) in run.outcomes.iter().zip(direct.outcomes.iter()) {
+            assert_eq!(c.id, d.id);
+            assert_eq!(
+                c.finished,
+                d.finished,
+                "{}: req {} diverged",
+                p.name(),
+                c.id
+            );
+            assert_eq!(c.turnaround, d.turnaround);
+            assert_eq!(c.rte.to_bits(), d.rte.to_bits(), "{}: rte bits", p.name());
+            assert_eq!(c.ctx_switches, d.ctx_switches);
+            assert_eq!(c.queue_delay, d.queue_delay);
+            assert_eq!(c.demoted, d.demoted);
+            assert_eq!(c.offloaded, d.offloaded);
+        }
     }
 }
 
