@@ -13,6 +13,7 @@
 //! `SFS_BENCH_REQUESTS` (default figure-specific), `SFS_BENCH_SEED`,
 //! `SFS_BENCH_THREADS` (wall-clock only — never the numbers).
 
+pub mod perf;
 pub mod sweep;
 pub mod timebench;
 

@@ -15,6 +15,27 @@ const BATCH_TARGET: Duration = Duration::from_millis(10);
 /// Number of timed batches per benchmark.
 const BATCHES: usize = 25;
 
+/// Tunables for one measurement: how long a timed batch should run and how
+/// many batches feed the quantiles. The defaults match the classic
+/// microbenchmark harness; heavyweight operations (full simulation runs in
+/// the perf suite) use longer batches and fewer of them.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Calibration target: grow the batch until it runs at least this long.
+    pub batch_target: Duration,
+    /// Number of timed batches (the quantile sample size).
+    pub batches: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            batch_target: BATCH_TARGET,
+            batches: BATCHES,
+        }
+    }
+}
+
 /// Measured distribution of per-iteration cost.
 #[derive(Debug, Clone, Copy)]
 pub struct Measurement {
@@ -43,16 +64,34 @@ impl Default for Harness {
 impl Harness {
     /// Build a harness, taking an optional substring filter from argv.
     pub fn from_args() -> Harness {
-        let filter = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+        Harness::with_filter(std::env::args().nth(1).filter(|a| !a.starts_with('-')))
+    }
+
+    /// Build a harness with an explicit substring filter (`None` runs
+    /// everything) — the testable constructor behind
+    /// [`Harness::from_args`].
+    pub fn with_filter(filter: Option<String>) -> Harness {
         Harness { filter, ran: 0 }
+    }
+
+    /// Whether `name` passes the filter (i.e. [`Harness::bench`] would run
+    /// it).
+    pub fn matches(&self, name: &str) -> bool {
+        match self.filter.as_deref() {
+            Some(pat) => name.contains(pat),
+            None => true,
+        }
+    }
+
+    /// Number of benchmarks run so far.
+    pub fn ran(&self) -> usize {
+        self.ran
     }
 
     /// Run one benchmark: `f` is the operation to time, called repeatedly.
     pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
-        if let Some(ref pat) = self.filter {
-            if !name.contains(pat.as_str()) {
-                return;
-            }
+        if !self.matches(name) {
+            return;
         }
         let m = measure(&mut f);
         self.ran += 1;
@@ -79,19 +118,25 @@ const MAX_BATCH_ITERS: u64 = 1 << 30;
 
 /// Time `f`, returning the per-iteration cost distribution.
 pub fn measure<F: FnMut()>(f: &mut F) -> Measurement {
-    // Calibrate: grow the batch until it runs for at least BATCH_TARGET.
+    measure_with(f, &MeasureConfig::default())
+}
+
+/// As [`measure`], with explicit batch tunables.
+pub fn measure_with<F: FnMut()>(f: &mut F, cfg: &MeasureConfig) -> Measurement {
+    assert!(cfg.batches >= 1, "need at least one timed batch");
+    // Calibrate: grow the batch until it runs for at least the target.
     let mut iters: u64 = 1;
     loop {
         let t = time_batch(f, iters);
-        if t >= BATCH_TARGET || iters >= MAX_BATCH_ITERS {
+        if t >= cfg.batch_target || iters >= MAX_BATCH_ITERS {
             break;
         }
         // Aim straight for the target with 2x headroom, at least doubling.
-        let scale = BATCH_TARGET.as_secs_f64() / t.as_secs_f64().max(1e-9);
+        let scale = cfg.batch_target.as_secs_f64() / t.as_secs_f64().max(1e-9);
         iters = (iters as f64 * scale.max(1.0) * 2.0).min(MAX_BATCH_ITERS as f64) as u64;
         iters = iters.max(2);
     }
-    let mut per_iter: Vec<f64> = (0..BATCHES)
+    let mut per_iter: Vec<f64> = (0..cfg.batches)
         .map(|_| time_batch(f, iters).as_nanos() as f64 / iters as f64)
         .collect();
     per_iter.sort_by(|a, b| a.total_cmp(b));
@@ -114,7 +159,8 @@ fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> Duration {
     start.elapsed()
 }
 
-fn fmt_ns(ns: f64) -> String {
+/// Human-format a nanosecond count with an auto-picked unit.
+pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
     } else if ns >= 1e6 {
@@ -148,5 +194,76 @@ mod tests {
         assert_eq!(fmt_ns(1_200.0), "1.20us");
         assert_eq!(fmt_ns(3_400_000.0), "3.40ms");
         assert_eq!(fmt_ns(2_000_000_000.0), "2.00s");
+    }
+
+    #[test]
+    fn calibration_picks_a_nonzero_batch_size() {
+        // A near-free operation must be batched up well past one iteration
+        // to reach the batch target; a single-iteration batch would make
+        // every quantile pure timer noise.
+        let mut x = 0u64;
+        let mut f = || x = x.wrapping_add(1);
+        let cfg = MeasureConfig {
+            batch_target: Duration::from_millis(1),
+            batches: 3,
+        };
+        let m = measure_with(&mut f, &cfg);
+        assert!(m.batch_iters > 1, "free op not batched: {}", m.batch_iters);
+        // A slow operation stays at small batches instead of spinning the
+        // calibration loop forever.
+        let mut g = || std::thread::sleep(Duration::from_millis(2));
+        let m = measure_with(&mut g, &cfg);
+        assert_eq!(m.batch_iters, 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_under_config() {
+        let mut x = 1u64;
+        let mut f = || {
+            for _ in 0..100 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            black_box_u64(x);
+        };
+        let cfg = MeasureConfig {
+            batch_target: Duration::from_millis(2),
+            batches: 7,
+        };
+        let m = measure_with(&mut f, &cfg);
+        assert!(m.p10_ns <= m.median_ns, "{} > {}", m.p10_ns, m.median_ns);
+        assert!(m.median_ns <= m.p90_ns, "{} > {}", m.median_ns, m.p90_ns);
+        assert!(m.median_ns > 0.0);
+    }
+
+    fn black_box_u64(v: u64) {
+        std::hint::black_box(v);
+    }
+
+    #[test]
+    fn filter_runs_the_matching_subset() {
+        let mut h = Harness::with_filter(Some("cfs".to_string()));
+        assert!(h.matches("cfs_runqueue/pick"));
+        assert!(h.matches("micro/cfs_pick_64"));
+        assert!(!h.matches("rt_runqueue/push_pop"));
+        let mut hits = Vec::new();
+        for name in ["cfs/a", "rt/b", "event/cfs_c"] {
+            if h.matches(name) {
+                hits.push(name);
+            }
+        }
+        assert_eq!(hits, ["cfs/a", "event/cfs_c"]);
+        // bench() itself honours the filter: only the matching name runs.
+        h.bench("rt/skipped", || unreachable!("filtered out"));
+        assert_eq!(h.ran(), 0);
+        let mut x = 0u64;
+        h.bench("cfs/tiny", || x = x.wrapping_add(1));
+        assert_eq!(h.ran(), 1);
+    }
+
+    #[test]
+    fn no_filter_matches_everything() {
+        let h = Harness::with_filter(None);
+        assert!(h.matches("anything/at_all"));
+        assert_eq!(h.ran(), 0);
     }
 }

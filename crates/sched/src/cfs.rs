@@ -14,8 +14,6 @@
 //! runnable tasks a short function receives only `period/k` of CPU every
 //! `period`, so its turnaround is roughly `k ×` its service time.
 
-use std::collections::{BTreeSet, HashMap};
-
 use sfs_simcore::SimDuration;
 
 use crate::task::Pid;
@@ -97,16 +95,42 @@ impl CfsParams {
     }
 }
 
+/// Sentinel for "this pid is not queued" in the position index.
+const POS_NONE: u32 = u32::MAX;
+
 /// A per-core CFS runqueue: queued (not running) tasks ordered by vruntime.
+///
+/// Index-backed: a 4-ary min-heap of `(vruntime, pid, weight)` entries
+/// keyed by `(vruntime, pid)`, plus a dense `pid → heap position` index,
+/// replacing the original `BTreeSet<(u64, Pid)>` + `HashMap<Pid, u32>`
+/// weight table. A pick or an enqueue now touches one contiguous array
+/// (no tree-node walks) and never hashes the pid (the weight travels in
+/// the entry, the position index is a plain vector). The observable
+/// semantics are identical — pops always yield the unique smallest
+/// `(vruntime, pid)` — and the differential suite
+/// (`tests/cfs_runqueue_diff.rs`) drives this and a naive sorted
+/// reference model through randomized interleavings to prove it.
+///
+/// The position index is keyed by `pid.0`, sized to the largest pid ever
+/// enqueued. The machine allocates pids densely from 0, so the index is
+/// O(spawned tasks); don't feed sparse synthetic pids like
+/// `Pid(u64::MAX)` to a real queue.
 #[derive(Debug, Clone, Default)]
 pub struct CfsRunqueue {
-    tree: BTreeSet<(u64, Pid)>,
-    /// Weight of each queued task (captured at enqueue).
-    weights: HashMap<Pid, u32>,
+    /// 4-ary min-heap ordered by `(vruntime, pid)`; weight rides along.
+    heap: Vec<(u64, Pid, u32)>,
+    /// `pos[pid.0]` = index into `heap`, or [`POS_NONE`].
+    pos: Vec<u32>,
     /// Monotonic minimum vruntime floor for this queue (never decreases).
     min_vruntime: u64,
     /// Sum of weights of queued tasks.
     total_weight: u64,
+}
+
+/// Heap ordering key.
+#[inline]
+fn key(e: &(u64, Pid, u32)) -> (u64, u64) {
+    (e.0, e.1 .0)
 }
 
 impl CfsRunqueue {
@@ -117,12 +141,12 @@ impl CfsRunqueue {
 
     /// Number of queued (runnable, not running) tasks.
     pub fn len(&self) -> usize {
-        self.tree.len()
+        self.heap.len()
     }
 
     /// True iff no tasks are queued.
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.heap.is_empty()
     }
 
     /// Sum of queued task weights.
@@ -142,45 +166,62 @@ impl CfsRunqueue {
         task_vruntime.max(self.min_vruntime)
     }
 
-    /// Insert a task with its (already normalised) vruntime.
-    pub fn enqueue(&mut self, pid: Pid, vruntime: u64, weight: u32) {
-        let inserted = self.tree.insert((vruntime, pid));
-        debug_assert!(inserted, "task {pid} double-enqueued");
-        self.weights.insert(pid, weight);
-        self.total_weight += weight as u64;
+    #[inline]
+    fn pos_of(&self, pid: Pid) -> u32 {
+        self.pos.get(pid.0 as usize).copied().unwrap_or(POS_NONE)
     }
 
-    /// Remove a specific task (e.g. policy change while queued).
-    pub fn remove(&mut self, pid: Pid, vruntime: u64) -> bool {
-        let removed = self.tree.remove(&(vruntime, pid));
-        if removed {
-            let w = self.weights.remove(&pid).unwrap_or(0);
-            self.total_weight = self.total_weight.saturating_sub(w as u64);
+    /// Insert a task with its (already normalised) vruntime.
+    pub fn enqueue(&mut self, pid: Pid, vruntime: u64, weight: u32) {
+        debug_assert!(self.pos_of(pid) == POS_NONE, "task {pid} double-enqueued");
+        let slot = pid.0 as usize;
+        if self.pos.len() <= slot {
+            self.pos.resize(slot + 1, POS_NONE);
         }
-        removed
+        let idx = self.heap.len();
+        self.heap.push((vruntime, pid, weight));
+        self.pos[slot] = idx as u32;
+        self.total_weight += weight as u64;
+        self.sift_up(idx);
+    }
+
+    /// Remove a specific task (e.g. policy change while queued). Returns
+    /// `false` when `(pid, vruntime)` is not queued.
+    pub fn remove(&mut self, pid: Pid, vruntime: u64) -> bool {
+        let idx = self.pos_of(pid);
+        if idx == POS_NONE || self.heap[idx as usize].0 != vruntime {
+            return false;
+        }
+        let (_, _, w) = self.remove_at(idx as usize);
+        self.total_weight = self.total_weight.saturating_sub(w as u64);
+        true
     }
 
     /// Peek the leftmost (smallest-vruntime) task.
     pub fn peek(&self) -> Option<(u64, Pid)> {
-        self.tree.first().copied()
+        self.heap.first().map(|&(v, p, _)| (v, p))
     }
 
     /// Pop the leftmost task and advance `min_vruntime` to it.
     pub fn pop(&mut self) -> Option<(u64, Pid)> {
-        let entry = self.tree.pop_first()?;
-        let w = self.weights.remove(&entry.1).unwrap_or(0);
+        if self.heap.is_empty() {
+            return None;
+        }
+        let (v, p, w) = self.remove_at(0);
         self.total_weight = self.total_weight.saturating_sub(w as u64);
-        self.advance_min_vruntime(entry.0);
-        Some(entry)
+        self.advance_min_vruntime(v);
+        Some((v, p))
     }
 
     /// Pop the *rightmost* (largest-vruntime) task — used for idle stealing,
     /// where taking the task that would run last disturbs the victim least.
+    /// The heap keeps no max order, so this scans — stealing only happens
+    /// when a core goes idle, far off the pick path.
     pub fn pop_last(&mut self) -> Option<(u64, Pid)> {
-        let entry = self.tree.pop_last()?;
-        let w = self.weights.remove(&entry.1).unwrap_or(0);
+        let (idx, _) = self.heap.iter().enumerate().max_by_key(|(_, e)| key(e))?;
+        let (v, p, w) = self.remove_at(idx);
         self.total_weight = self.total_weight.saturating_sub(w as u64);
-        Some(entry)
+        Some((v, p))
     }
 
     /// Raise the monotonic floor (called as tasks run/pop).
@@ -188,6 +229,71 @@ impl CfsRunqueue {
         if candidate > self.min_vruntime {
             self.min_vruntime = candidate;
         }
+    }
+
+    /// Detach the entry at `idx`, refilling the hole from the heap tail.
+    fn remove_at(&mut self, idx: usize) -> (u64, Pid, u32) {
+        let entry = self.heap[idx];
+        self.pos[entry.1 .0 as usize] = POS_NONE;
+        let last = self.heap.pop().expect("non-empty");
+        if idx < self.heap.len() {
+            self.heap[idx] = last;
+            self.pos[last.1 .0 as usize] = idx as u32;
+            // The tail entry may belong above or below the hole.
+            if idx > 0 && key(&self.heap[idx]) < key(&self.heap[(idx - 1) / 4]) {
+                self.sift_up(idx);
+            } else {
+                self.sift_down(idx);
+            }
+        }
+        entry
+    }
+
+    /// Hole-based sift: entries shift into the hole and the moving entry
+    /// is written (and its position indexed) exactly once at the end.
+    fn sift_up(&mut self, mut idx: usize) {
+        let entry = self.heap[idx];
+        let k = key(&entry);
+        while idx > 0 {
+            let parent = (idx - 1) / 4;
+            if k < key(&self.heap[parent]) {
+                self.heap[idx] = self.heap[parent];
+                self.pos[self.heap[idx].1 .0 as usize] = idx as u32;
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[idx] = entry;
+        self.pos[entry.1 .0 as usize] = idx as u32;
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        let entry = self.heap[idx];
+        let k = key(&entry);
+        loop {
+            let first = 4 * idx + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let mut best = first;
+            let mut best_key = key(&self.heap[first]);
+            for c in (first + 1)..(first + 4).min(self.heap.len()) {
+                let ck = key(&self.heap[c]);
+                if ck < best_key {
+                    best = c;
+                    best_key = ck;
+                }
+            }
+            if best_key >= k {
+                break;
+            }
+            self.heap[idx] = self.heap[best];
+            self.pos[self.heap[idx].1 .0 as usize] = idx as u32;
+            idx = best;
+        }
+        self.heap[idx] = entry;
+        self.pos[entry.1 .0 as usize] = idx as u32;
     }
 }
 

@@ -377,13 +377,30 @@ impl Machine {
     /// Advance virtual time to `t`, processing all internal events due at or
     /// before `t`, and return notifications generated along the way.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<Notification> {
+        let mut out = Vec::new();
+        self.advance_into(t, &mut out);
+        out
+    }
+
+    /// As [`Machine::advance_to`], appending the notifications to a
+    /// caller-owned buffer instead of allocating a fresh vector — the
+    /// drain-and-reuse fast path for hot simulation loops (`Sim::run`
+    /// clears and refills one buffer per step, so steady-state advancing
+    /// performs zero notification-buffer allocations; the machine's
+    /// internal staging vector keeps its capacity across calls too).
+    ///
+    /// The internal event loop stays incremental (peek + pop per event)
+    /// rather than batch-popping: machine handlers legitimately schedule
+    /// follow-up events (wakes, slice renewals) that must be observed
+    /// within the same `advance` span.
+    pub fn advance_into(&mut self, t: SimTime, out: &mut Vec<Notification>) {
         debug_assert!(t >= self.now, "time must not go backwards");
         while let Some((at, ev)) = self.events.pop_until(t) {
             self.now = at;
             self.handle(ev);
         }
         self.now = t;
-        std::mem::take(&mut self.out)
+        out.append(&mut self.out);
     }
 
     /// Drain all pending events (run to quiescence).

@@ -38,8 +38,30 @@ use crate::sim::{Controller, MachineView, Telemetry};
 use crate::stats::RequestOutcome;
 use crate::timeslice::SliceController;
 
+/// Where a tracked request currently sits in SFS's own bookkeeping.
+///
+/// Maintained exactly at every queue transition so the completion path can
+/// skip the queue scans entirely for the common case (a request that
+/// finished while running a FILTER round or after being left to CFS is in
+/// no SFS queue): the old design rescanned the global queue, every
+/// per-worker queue, and the blocked list on *every* completion — an
+/// O(requests x queue depth) term that dominated deep-backlog runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In no SFS queue (FILTER round in flight, left to CFS, or done).
+    None,
+    /// In the global queue or a per-worker queue.
+    Queued,
+    /// In the blocked (I/O wake-detection) list.
+    Blocked,
+}
+
+/// Per-request state, stored in a dense slab indexed by `pid` (see
+/// [`SfsController::states`]).
 #[derive(Debug, Clone)]
 struct ReqState {
+    /// Request id — the outcome key [`Controller::annotate`] receives.
+    id: u64,
     pid: Pid,
     /// Invocation timestamp (when the FaaS server enqueued it).
     t_inv: SimTime,
@@ -50,16 +72,38 @@ struct ReqState {
     slice_remaining: Option<SimDuration>,
     /// Queue delay observed at the first pop (enqueue → pop), for Fig. 12a.
     first_pop_delay: Option<SimDuration>,
+    loc: Loc,
     demoted: bool,
     offloaded: bool,
     filter_rounds: u32,
     io_blocks: u32,
 }
 
+impl ReqState {
+    /// Filler for slab holes (only reachable if a driver hands out sparse
+    /// pids; [`crate::Sim`] never does).
+    fn vacant() -> ReqState {
+        ReqState {
+            id: u64::MAX,
+            pid: Pid(u64::MAX),
+            t_inv: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            slice_remaining: None,
+            first_pop_delay: None,
+            loc: Loc::None,
+            demoted: false,
+            offloaded: false,
+            filter_rounds: 0,
+            io_blocks: 0,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Assignment {
     pid: Pid,
-    req: u64,
+    /// Slab slot of the request in this FILTER round.
+    slot: u32,
     /// FILTER budget for this round.
     budget: SimDuration,
     /// CPU time the process had consumed when this round started.
@@ -90,17 +134,26 @@ pub struct SfsController {
     /// Absolute queue-delay deadline (SLO variant); `None` = paper SFS.
     slo_deadline: Option<SimDuration>,
     slice: SliceController,
-    queue: VecDeque<u64>,
+    queue: VecDeque<u32>,
     /// Per-worker queues (used only in [`QueueMode::PerWorker`]).
-    worker_queues: Vec<VecDeque<u64>>,
+    worker_queues: Vec<VecDeque<u32>>,
     /// Round-robin cursor for per-worker assignment.
     next_rr: usize,
-    reqs: HashMap<u64, ReqState>,
-    /// pid → request id for completion lookups.
-    by_pid: HashMap<Pid, u64>,
+    /// Per-request state slab, indexed by `pid.0` (the *slot*). The sim
+    /// spawns one process per request with densely allocated pids, so
+    /// every hot-path lookup — assign, poll, demote, completion — is a
+    /// plain vector index; the old `HashMap<u64, ReqState>` keyed by
+    /// request id plus the `HashMap<Pid, u64>` reverse map hashed twice
+    /// per touch.
+    states: Vec<ReqState>,
+    /// Request id → slot, consulted once per request (in
+    /// [`Controller::annotate`], which only receives the outcome id).
+    slot_of_id: HashMap<u64, u32>,
     workers: Vec<Worker>,
-    /// Requests blocked on I/O, awaiting wake detection by polling.
-    blocked: Vec<u64>,
+    /// Slots blocked on I/O, awaiting wake detection by polling.
+    blocked: Vec<u32>,
+    /// Reusable scratch for wake detection in [`SfsController::on_poll`].
+    rewoken: Vec<u32>,
     events: EventQueue<SfsEv>,
     /// Reusable batch buffer for [`Controller::on_wakeup`]: every SFS
     /// handler schedules strictly future events (slice timers at
@@ -130,10 +183,11 @@ impl SfsController {
             queue: VecDeque::new(),
             worker_queues: (0..cfg.workers).map(|_| VecDeque::new()).collect(),
             next_rr: 0,
-            reqs: HashMap::new(),
-            by_pid: HashMap::new(),
+            states: Vec::new(),
+            slot_of_id: HashMap::new(),
             workers: (0..cfg.workers).map(|_| Worker::default()).collect(),
             blocked: Vec::new(),
+            rewoken: Vec::new(),
             events: EventQueue::new(),
             due: Vec::with_capacity(64),
             poll_armed: false,
@@ -167,13 +221,14 @@ impl SfsController {
     // ------------------------------------------------------------------
 
     /// Route a request into the configured queue topology.
-    fn enqueue_req(&mut self, id: u64) {
+    fn enqueue_req(&mut self, slot: u32) {
+        self.states[slot as usize].loc = Loc::Queued;
         match self.cfg.queue_mode {
-            QueueMode::Global => self.queue.push_back(id),
+            QueueMode::Global => self.queue.push_back(slot),
             QueueMode::PerWorker => {
                 let w = self.next_rr % self.worker_queues.len();
                 self.next_rr += 1;
-                self.worker_queues[w].push_back(id);
+                self.worker_queues[w].push_back(slot);
             }
         }
     }
@@ -186,18 +241,18 @@ impl SfsController {
                 let Some(w) = self.workers.iter().position(|w| w.current.is_none()) else {
                     return;
                 };
-                let Some(id) = self.queue.pop_front() else {
+                let Some(slot) = self.queue.pop_front() else {
                     return;
                 };
-                self.assign_step(m, w, id);
+                self.assign_step(m, w, slot);
             },
             QueueMode::PerWorker => {
                 for w in 0..self.workers.len() {
                     while self.workers[w].current.is_none() {
-                        let Some(id) = self.worker_queues[w].pop_front() else {
+                        let Some(slot) = self.worker_queues[w].pop_front() else {
                             break;
                         };
-                        self.assign_step(m, w, id);
+                        self.assign_step(m, w, slot);
                     }
                 }
             }
@@ -207,11 +262,12 @@ impl SfsController {
     /// Handle one popped request for an idle worker `w`: overload bypass,
     /// dead-skip, exhausted-slice demotion, or FILTER promotion. The worker
     /// remains idle unless a promotion happened.
-    fn assign_step(&mut self, m: &mut MachineView<'_>, w: usize, id: u64) {
+    fn assign_step(&mut self, m: &mut MachineView<'_>, w: usize, slot: u32) {
         let now = m.now();
         let s_now = self.slice.current();
         let (pid, delay, age, budget) = {
-            let st = self.reqs.get_mut(&id).expect("queued request tracked");
+            let st = &mut self.states[slot as usize];
+            st.loc = Loc::None; // popped from its queue
             let delay = now.since(st.enqueued_at);
             if st.first_pop_delay.is_none() {
                 st.first_pop_delay = Some(now.since(st.t_inv));
@@ -237,8 +293,7 @@ impl SfsController {
                 self.slice.current().as_millis_f64() * self.cfg.overload_factor,
             );
             if over_slo || (self.cfg.hybrid_overload && delay >= threshold) {
-                let st = self.reqs.get_mut(&id).expect("tracked");
-                st.offloaded = true;
+                self.states[slot as usize].offloaded = true;
                 self.offloaded_total += 1;
                 // The process is already SCHED_NORMAL; leaving it to CFS
                 // *is* the bypass. The worker stays free for the next
@@ -250,7 +305,7 @@ impl SfsController {
         // Exhausted slice from previous rounds: demote instead of a
         // zero-length FILTER round.
         if budget.is_zero() {
-            self.demote(m, id, pid);
+            self.demote(m, slot, pid);
             return;
         }
 
@@ -262,13 +317,12 @@ impl SfsController {
             },
         );
         let cpu_at_start = m.cpu_time(pid);
-        let st = self.reqs.get_mut(&id).expect("tracked");
-        st.filter_rounds += 1;
+        self.states[slot as usize].filter_rounds += 1;
         self.workers[w].gen += 1;
         let gen = self.workers[w].gen;
         self.workers[w].current = Some(Assignment {
             pid,
-            req: id,
+            slot,
             budget,
             cpu_at_start,
         });
@@ -298,15 +352,15 @@ impl SfsController {
                 // Forcible preemption: demote to CFS.
                 self.workers[w].current = None;
                 self.workers[w].gen += 1;
-                self.demote(m, a.req, a.pid);
+                self.demote(m, a.slot, a.pid);
                 self.try_assign(m);
             }
         }
     }
 
-    fn demote(&mut self, m: &mut MachineView<'_>, id: u64, pid: Pid) {
+    fn demote(&mut self, m: &mut MachineView<'_>, slot: u32, pid: Pid) {
         m.set_policy(pid, Policy::NORMAL);
-        let st = self.reqs.get_mut(&id).expect("tracked");
+        let st = &mut self.states[slot as usize];
         st.demoted = true;
         st.slice_remaining = Some(SimDuration::ZERO);
         self.demoted_total += 1;
@@ -333,27 +387,32 @@ impl SfsController {
             // Detect blocked functions that became runnable again: re-add to
             // the global queue with their unused slice.
             let now = m.now();
-            let mut rewoken = Vec::new();
-            let reqs = &self.reqs;
+            let mut rewoken = std::mem::take(&mut self.rewoken);
+            rewoken.clear();
+            let states = &mut self.states;
             let polled = &mut self.polled_tasks;
-            self.blocked.retain(|&id| {
-                let st = reqs.get(&id).expect("blocked request tracked");
+            self.blocked.retain(|&slot| {
+                let st = &mut states[slot as usize];
                 *polled += 1;
                 match m.proc_state(st.pid) {
                     ProcState::Sleeping => true,
-                    ProcState::Dead => false, // finished while blocked-tracked
+                    ProcState::Dead => {
+                        // Finished while blocked-tracked.
+                        st.loc = Loc::None;
+                        false
+                    }
                     _ => {
-                        rewoken.push(id);
+                        rewoken.push(slot);
                         false
                     }
                 }
             });
-            for id in rewoken {
-                let st = self.reqs.get_mut(&id).expect("tracked");
-                st.enqueued_at = now;
-                self.enqueue_req(id);
+            for &slot in &rewoken {
+                self.states[slot as usize].enqueued_at = now;
+                self.enqueue_req(slot);
                 freed = true;
             }
+            self.rewoken = rewoken;
         }
 
         // SLO variant: proactively shed queued requests past their age
@@ -363,12 +422,12 @@ impl SfsController {
         // as zero-delay in the Fig. 12a-style series.
         if let Some(deadline) = self.slo_deadline {
             let now = m.now();
-            let reqs = &mut self.reqs;
+            let states = &mut self.states;
             let offloaded = &mut self.offloaded_total;
             let series = &mut self.queue_delay_series;
-            let mut shed = |q: &mut VecDeque<u64>| {
-                q.retain(|&id| {
-                    let st = reqs.get_mut(&id).expect("queued request tracked");
+            let mut shed = |q: &mut VecDeque<u32>| {
+                q.retain(|&slot| {
+                    let st = &mut states[slot as usize];
                     let age = now.since(st.t_inv);
                     if age >= deadline {
                         if st.first_pop_delay.is_none() {
@@ -376,6 +435,7 @@ impl SfsController {
                             series.record(st.t_inv, age.as_secs_f64());
                         }
                         st.offloaded = true;
+                        st.loc = Loc::None;
                         *offloaded += 1;
                         false
                     } else {
@@ -409,10 +469,11 @@ impl SfsController {
         // the I/O completes it is runnable (work conservation) without
         // occupying the FILTER pool.
         m.set_policy(a.pid, Policy::NORMAL);
-        let st = self.reqs.get_mut(&a.req).expect("tracked");
+        let st = &mut self.states[a.slot as usize];
         st.slice_remaining = Some(remaining);
         st.io_blocks += 1;
-        self.blocked.push(a.req);
+        st.loc = Loc::Blocked;
+        self.blocked.push(a.slot);
         self.try_assign(m);
     }
 
@@ -444,30 +505,36 @@ impl Controller for SfsController {
     fn on_arrival(&mut self, m: &mut MachineView<'_>, req: &Request, pid: Pid) {
         let now = m.now();
         let id = req.id;
-        self.by_pid.insert(pid, id);
-        self.reqs.insert(
+        // Slab slot = pid: the sim spawns one process per request with
+        // densely allocated pids, so this is a plain push in practice.
+        let slot = pid.0 as usize;
+        if self.states.len() <= slot {
+            self.states.resize_with(slot + 1, ReqState::vacant);
+        }
+        self.states[slot] = ReqState {
             id,
-            ReqState {
-                pid,
-                t_inv: now,
-                enqueued_at: now,
-                slice_remaining: None,
-                first_pop_delay: None,
-                demoted: false,
-                offloaded: false,
-                filter_rounds: 0,
-                io_blocks: 0,
-            },
-        );
+            pid,
+            t_inv: now,
+            enqueued_at: now,
+            slice_remaining: None,
+            first_pop_delay: None,
+            loc: Loc::None,
+            demoted: false,
+            offloaded: false,
+            filter_rounds: 0,
+            io_blocks: 0,
+        };
+        self.slot_of_id.insert(id, slot as u32);
         self.slice.on_arrival(now);
-        self.enqueue_req(id);
+        self.enqueue_req(slot as u32);
         self.try_assign(m);
         self.arm_poll(m);
     }
 
     fn on_notification(&mut self, m: &mut MachineView<'_>, note: &Notification) {
         if let Notification::Finished(rec) = note {
-            let id = self.by_pid[&rec.pid];
+            let slot = rec.pid.0 as usize;
+            debug_assert_eq!(self.states[slot].id, rec.label, "pid/slot mismatch");
             // Free the worker if this function was in a FILTER round.
             for w in 0..self.workers.len() {
                 if self.workers[w].current.is_some_and(|a| a.pid == rec.pid) {
@@ -475,12 +542,26 @@ impl Controller for SfsController {
                     self.workers[w].gen += 1;
                 }
             }
-            // Drop from queue/blocked tracking if it completed under CFS.
-            self.queue.retain(|&q| q != id);
-            for q in self.worker_queues.iter_mut() {
-                q.retain(|&x| x != id);
+            // Drop from queue/blocked tracking if it completed under CFS
+            // while still queued (e.g. after an I/O round). The location
+            // flag makes the common cases — finished in a FILTER round or
+            // after a bypass — free instead of scanning every queue.
+            match self.states[slot].loc {
+                Loc::None => {}
+                Loc::Queued => {
+                    let s = slot as u32;
+                    self.queue.retain(|&q| q != s);
+                    for q in self.worker_queues.iter_mut() {
+                        q.retain(|&x| x != s);
+                    }
+                    self.states[slot].loc = Loc::None;
+                }
+                Loc::Blocked => {
+                    let s = slot as u32;
+                    self.blocked.retain(|&b| b != s);
+                    self.states[slot].loc = Loc::None;
+                }
             }
-            self.blocked.retain(|&b| b != id);
             self.try_assign(m);
         }
     }
@@ -503,10 +584,11 @@ impl Controller for SfsController {
     }
 
     fn annotate(&mut self, outcome: &mut RequestOutcome) {
-        let st = self
-            .reqs
+        let slot = self
+            .slot_of_id
             .remove(&outcome.id)
             .expect("finished request tracked");
+        let st = &self.states[slot as usize];
         outcome.queue_delay = st.first_pop_delay.unwrap_or(SimDuration::ZERO);
         outcome.demoted = st.demoted;
         outcome.offloaded = st.offloaded;

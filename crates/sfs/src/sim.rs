@@ -58,6 +58,20 @@ pub struct MachineView<'a> {
     sched_actions: &'a mut u64,
 }
 
+impl<'a> MachineView<'a> {
+    /// A view over `machine` that counts policy switches into
+    /// `sched_actions`. [`Sim::run`] builds these internally; the public
+    /// constructor exists for harnesses and benchmarks that drive a
+    /// [`Controller`] hook-by-hook against a hand-built machine (e.g. the
+    /// `perf_suite` dispatch microbenchmark).
+    pub fn new(machine: &'a mut Machine, sched_actions: &'a mut u64) -> MachineView<'a> {
+        MachineView {
+            machine,
+            sched_actions,
+        }
+    }
+}
+
 impl MachineView<'_> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
@@ -455,6 +469,10 @@ impl<'a> Sim<'a> {
         let mut cursor = 0usize;
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(total);
         let mut sched_actions = 0u64;
+        // Reused notification buffer: cleared and refilled every step
+        // (the drain-and-reuse idiom from the old simulator loop), so the
+        // steady-state loop allocates nothing per advance.
+        let mut notes: Vec<Notification> = Vec::new();
         // Stall detection: a well-behaved step either pops a machine event,
         // spawns an arrival, completes a request, or advances the
         // controller's wakeup. If the observable state repeats across
@@ -494,7 +512,8 @@ impl<'a> Sim<'a> {
                     )
                 })
                 .max(machine.now());
-            let notes = machine.advance_to(next);
+            notes.clear();
+            machine.advance_into(next, &mut notes);
             let mut view = MachineView {
                 machine: &mut machine,
                 sched_actions: &mut sched_actions,

@@ -1,0 +1,47 @@
+//! Regression tests pinning `Sim`'s builder-misuse panic messages.
+//!
+//! The builder deliberately fails fast with a message naming the missing
+//! call; these tests pin the exact wording so a refactor can't silently
+//! turn the guidance into an obscure `Option::unwrap` backtrace.
+
+use sfs_core::{KernelOnly, SfsConfig, SfsController, Sim};
+use sfs_sched::{MachineParams, Policy};
+use sfs_workload::WorkloadSpec;
+
+#[test]
+#[should_panic(expected = "Sim: no workload set (call .workload(&w))")]
+fn missing_workload_panics_with_guidance() {
+    let _ = Sim::on(MachineParams::linux(2))
+        .controller(KernelOnly(Policy::NORMAL))
+        .run();
+}
+
+#[test]
+#[should_panic(expected = "Sim: no controller set (call .controller(...))")]
+fn missing_controller_panics_with_guidance() {
+    let w = WorkloadSpec::azure_sampled(5, 1)
+        .with_load(2, 0.5)
+        .generate();
+    let _ = Sim::on(MachineParams::linux(2)).workload(&w).run();
+}
+
+#[test]
+#[should_panic(expected = "Sim: no workload set (call .workload(&w))")]
+fn missing_both_reports_workload_first() {
+    // With neither set, the workload check fires first — pinned so the
+    // error a fresh user sees stays the one naming the first builder step.
+    let _ = Sim::<'_>::on(MachineParams::linux(1)).run();
+}
+
+#[test]
+fn well_formed_builder_still_runs() {
+    // Control: the pinned panics are misuse-only; the happy path works.
+    let w = WorkloadSpec::azure_sampled(8, 2)
+        .with_load(2, 0.5)
+        .generate();
+    let run = Sim::on(MachineParams::linux(2))
+        .workload(&w)
+        .controller(SfsController::new(SfsConfig::new(2)))
+        .run();
+    assert_eq!(run.outcomes.len(), 8);
+}

@@ -1,0 +1,100 @@
+//! Cluster request-conservation invariant.
+//!
+//! For random workloads × all five placements × affinity on/off, the
+//! dispatcher must account for every request exactly once: placement
+//! counts sum to the workload size, every host runs to completion, and
+//! the merged outcome list contains each request id exactly once — no
+//! request lost in dispatch, none duplicated across hosts.
+//!
+//! Seeded case-loop style (like `property_invariants.rs`): fixed seeds,
+//! exactly reproducible failures.
+
+use std::collections::HashSet;
+
+use sfs_repro::faas::{Cluster, Placement};
+use sfs_repro::simcore::{SimDuration, SimRng};
+use sfs_repro::workload::WorkloadSpec;
+
+fn case_rng(test: &str, case: u64) -> SimRng {
+    SimRng::seed_from_u64(0x0C10_57E4)
+        .derive(test)
+        .derive(&case.to_string())
+}
+
+#[test]
+fn every_request_is_placed_and_completed_exactly_once() {
+    for case in 0..12u64 {
+        let mut rng = case_rng("conservation", case);
+        let n = rng.uniform_u64(40, 220) as usize;
+        let seed = rng.uniform_u64(0, 9_999);
+        let hosts = [1usize, 2, 3, 5, 8][rng.uniform_u64(0, 4) as usize];
+        let cores = rng.uniform_u64(1, 4) as usize;
+        let load = rng.uniform(0.5, 1.3);
+        let w = WorkloadSpec::azure_sampled(n, seed)
+            .with_load(hosts * cores, load)
+            .generate();
+        let expected_ids: HashSet<u64> = w.requests.iter().map(|r| r.id).collect();
+        assert_eq!(expected_ids.len(), n, "workload ids unique (case {case})");
+
+        for affinity in [false, true] {
+            let mut cluster = Cluster::new(hosts, cores);
+            if affinity {
+                cluster = cluster.with_affinity(
+                    SimDuration::from_millis(rng.uniform_u64(50, 2_000)),
+                    SimDuration::from_millis(rng.uniform_u64(1, 150)),
+                );
+            }
+            for placement in Placement::ALL {
+                let run = cluster.run(placement, &w);
+                let ctx = format!(
+                    "case {case}: {} hosts={hosts} cores={cores} affinity={affinity}",
+                    placement.name()
+                );
+
+                // Placement conserves requests: per-host counts sum to n.
+                assert_eq!(run.per_host.len(), hosts, "{ctx}");
+                assert_eq!(run.per_host.iter().sum::<usize>(), n, "{ctx}");
+
+                // Every request id appears in the merged outcomes exactly
+                // once (sorted by id, so uniqueness = strict monotonicity).
+                assert_eq!(run.outcomes.len(), n, "{ctx}");
+                let ids: Vec<u64> = run.outcomes.iter().map(|o| o.id).collect();
+                assert!(
+                    ids.windows(2).all(|p| p[0] < p[1]),
+                    "{ctx}: dup/unsorted ids"
+                );
+                assert!(
+                    ids.iter().all(|id| expected_ids.contains(id)),
+                    "{ctx}: unknown outcome id"
+                );
+
+                // Cold starts only exist under the affinity model, and
+                // never exceed one per request.
+                if !affinity {
+                    assert_eq!(run.cold_starts, 0, "{ctx}");
+                } else {
+                    assert!(run.cold_starts <= n as u64, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conservation_holds_for_degenerate_shapes() {
+    // More hosts than requests; single request; empty workload.
+    for (hosts, n) in [(8usize, 3usize), (4, 1), (5, 0)] {
+        let w = WorkloadSpec::azure_sampled(n, 77)
+            .with_load(hosts, 0.8)
+            .generate();
+        for placement in Placement::ALL {
+            let run = Cluster::new(hosts, 2)
+                .with_affinity(SimDuration::from_millis(500), SimDuration::from_millis(20))
+                .run(placement, &w);
+            assert_eq!(run.per_host.iter().sum::<usize>(), n);
+            assert_eq!(run.outcomes.len(), n);
+            let ids: Vec<u64> = run.outcomes.iter().map(|o| o.id).collect();
+            assert!(ids.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+}
