@@ -17,9 +17,10 @@
 use sfs_bench::{banner, rtes, run_factory, run_sfs, save, section, turnarounds_ms, Sweep};
 use sfs_core::{
     Baseline, Controller, ControllerFactory, HistoryPriority, RequestOutcome, SfsConfig,
-    SfsController, UserMlfq,
+    SfsController, Sim, UserMlfq,
 };
 use sfs_metrics::{cdf_chart, MarkdownTable, PercentileTable};
+use sfs_sched::{MachineParams, SmpParams};
 use sfs_simcore::SimDuration;
 use sfs_workload::WorkloadSpec;
 
@@ -206,4 +207,73 @@ fn main() {
     section("policy matrix: new controllers on the same families");
     println!("{}", ptable.to_markdown());
     save("matrix_policies.csv", &ptable.to_csv());
+
+    // ------------------------------------------------------------------
+    // SMP matrix: SFS vs CFS with the machine's load balancer, migration
+    // penalty, and cache-affinity cost enabled, at 2/4/8 cores under
+    // azure replay. Every section above runs the default (all-off)
+    // SmpParams; this one turns the SMP machinery on. CI diffs this
+    // section's stdout byte-for-byte at --threads 1 vs 8.
+    // ------------------------------------------------------------------
+    let smp = SmpParams::balanced(
+        SimDuration::from_millis(4),
+        SimDuration::from_micros(30),
+        SimDuration::from_micros(15),
+    );
+    let mut ssweep: Sweep<'_, Vec<RequestOutcome>> = Sweep::new("smp_matrix", seed);
+    for &cores in &[2usize, 4, 8] {
+        for policy in ["SFS", "CFS"] {
+            ssweep.scenario(format!("{policy} smp{cores}"), move |_| {
+                let w = WorkloadSpec::azure_replay(n, seed)
+                    .with_load(cores, LOAD)
+                    .generate();
+                let sim = Sim::on(MachineParams::linux(cores).with_smp(smp)).workload(&w);
+                let run = match policy {
+                    "SFS" => sim
+                        .controller(SfsController::new(SfsConfig::new(cores)))
+                        .run(),
+                    _ => sim.boxed_controller(Baseline::Cfs.build()).run(),
+                };
+                run.outcomes
+            });
+        }
+    }
+    let sresults = ssweep.run();
+
+    let mut stable = MarkdownTable::new(&[
+        "policy / cores",
+        "mean (ms)",
+        "p99 (ms)",
+        "short mean (ms)",
+        "fraction RTE >= 0.95",
+        "mean migrations/req",
+    ]);
+    for r in &sresults {
+        let mean_of = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let durs = turnarounds_ms(&r.value);
+        let mut sorted = durs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p99 = sorted[((sorted.len() as f64 * 0.99) as usize).min(sorted.len() - 1)];
+        let short: Vec<f64> = r
+            .value
+            .iter()
+            .filter(|o| o.ideal.as_millis_f64() < 1550.0)
+            .map(|o| o.turnaround.as_millis_f64())
+            .collect();
+        let rt = rtes(&r.value);
+        let at95 = rt.iter().filter(|&&x| x >= 0.95).count() as f64 / rt.len().max(1) as f64;
+        let migs =
+            r.value.iter().map(|o| o.migrations as f64).sum::<f64>() / r.value.len().max(1) as f64;
+        stable.row(&[
+            r.label.clone(),
+            format!("{:.1}", mean_of(&durs)),
+            format!("{p99:.1}"),
+            format!("{:.1}", mean_of(&short)),
+            format!("{at95:.3}"),
+            format!("{migs:.2}"),
+        ]);
+    }
+    section("SMP matrix: balance tick + migration/affinity costs on");
+    println!("{}", stable.to_markdown());
+    save("matrix_smp.csv", &stable.to_csv());
 }

@@ -1,10 +1,11 @@
 //! `perf_suite` — the machine-readable performance trajectory.
 //!
-//! Runs the fixed perf scenario matrix (`sfs_bench::perf::suite`): four
-//! end-to-end simulations (SFS / CFS / 4-host cluster / azure replay) at a
-//! pinned seed and request count, plus the hot-loop microbenchmarks (CFS
-//! pick, SFS dispatch). Prints a human table and writes the
-//! schema-versioned `BENCH_sim.json`.
+//! Runs the fixed perf scenario matrix (`sfs_bench::perf::suite`): the
+//! end-to-end simulations (SFS / CFS / 4-host cluster / azure replay /
+//! SFS on the SMP-enabled machine) at a pinned seed and request count,
+//! plus the hot-loop microbenchmarks (CFS pick, SFS dispatch, SMP balance
+//! tick). Prints a human table and writes the schema-versioned
+//! `BENCH_sim.json`.
 //!
 //! ```text
 //! perf_suite [--out PATH] [--check BASELINE.json] [--tolerance RATIO]

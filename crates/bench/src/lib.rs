@@ -119,6 +119,7 @@ mod tests {
             cpu_demand: SimDuration::from_millis(ideal_ms),
             rte: ideal_ms as f64 / turn_ms as f64,
             ctx_switches: 0,
+            migrations: 0,
             queue_delay: SimDuration::ZERO,
             demoted: false,
             offloaded: false,

@@ -38,7 +38,8 @@ use sfs_core::{
 };
 use sfs_faas::{Cluster, Placement};
 use sfs_sched::{
-    CfsRunqueue, FinishedTask, Machine, MachineParams, Notification, Phase, Pid, Policy, TaskSpec,
+    CfsRunqueue, FinishedTask, Machine, MachineParams, Notification, Phase, Pid, Policy, SmpParams,
+    TaskSpec,
 };
 use sfs_simcore::{SimDuration, SimTime};
 use sfs_workload::{AppKind, Request, WorkloadSpec};
@@ -113,6 +114,9 @@ const DISPATCH_BURST: usize = 512;
 /// dispatch path under an overload burst.
 pub fn suite(requests: usize, seed: u64) -> Vec<PerfScenario> {
     let mut v: Vec<PerfScenario> = Vec::new();
+    // `requests` is shadowed by the dispatch microbenchmark's request pool
+    // below; scenarios defined after it use this copy.
+    let req_count = requests;
 
     // -- End-to-end simulation scenarios (one item = one request). ------
     let w_azure = WorkloadSpec::azure_sampled(requests, seed)
@@ -277,6 +281,7 @@ pub fn suite(requests: usize, seed: u64) -> Vec<PerfScenario> {
                 cpu_demand: SimDuration::from_millis(1),
                 rte: 1.0,
                 ctx_switches: 0,
+                migrations: 0,
                 queue_delay: SimDuration::ZERO,
                 demoted: false,
                 offloaded: false,
@@ -285,6 +290,69 @@ pub fn suite(requests: usize, seed: u64) -> Vec<PerfScenario> {
             };
             ctl.annotate(&mut outcome);
             std::hint::black_box(outcome.queue_delay);
+        }),
+    });
+
+    // The SMP balance tick in steady state: eight FIFO hogs pin every
+    // core (no slice events — FIFO runs to block), a large CFS backlog
+    // sits queued, and each timed operation advances exactly one balance
+    // interval, firing one Balance event. The backlog equalises within
+    // the first few (untimed warm-up irrelevant: calibration batches
+    // absorb it) ticks, so the measured cost is the pure per-tick scan —
+    // the price every SMP machine pays each interval whether or not it
+    // migrates.
+    let smp_cores = 8;
+    let tick = SimDuration::from_millis(1);
+    let mut smp_machine = Machine::new(MachineParams::linux(smp_cores).with_smp(
+        SmpParams::balanced(tick, SimDuration::ZERO, SimDuration::ZERO),
+    ));
+    for i in 0..smp_cores as u64 {
+        smp_machine.spawn(TaskSpec {
+            phases: vec![Phase::Cpu(SimDuration::from_millis(1 << 30))],
+            policy: Policy::Fifo { prio: 50 },
+            label: i,
+        });
+    }
+    for i in 0..256u64 {
+        smp_machine.spawn(TaskSpec {
+            phases: vec![Phase::Cpu(SimDuration::from_millis(1 << 20))],
+            policy: Policy::NORMAL,
+            label: 1_000 + i,
+        });
+    }
+    let mut smp_now = SimTime::ZERO;
+    v.push(PerfScenario {
+        name: "micro/smp_balance_tick",
+        items: 1,
+        cfg: MeasureConfig::default(),
+        body: Box::new(move || {
+            smp_now += tick;
+            smp_machine.advance_to(smp_now);
+            std::hint::black_box(smp_machine.balance_migrations());
+        }),
+    });
+
+    // End-to-end SFS on the SMP-enabled machine (balance tick + migration
+    // + affinity costs on), same workload shape as sim/sfs_azure so the
+    // two medians directly price the SMP machinery.
+    let w_smp = WorkloadSpec::azure_sampled(req_count, seed)
+        .with_load(SIM_CORES, 0.9)
+        .generate();
+    let smp_on = SmpParams::balanced(
+        SimDuration::from_millis(4),
+        SimDuration::from_micros(30),
+        SimDuration::from_micros(15),
+    );
+    v.push(PerfScenario {
+        name: "sim/sfs_azure_smp4",
+        items: req_count as u64,
+        cfg: sim_cfg(),
+        body: Box::new(move || {
+            let run = Sim::on(MachineParams::linux(SIM_CORES).with_smp(smp_on))
+                .workload(&w_smp)
+                .controller(SfsController::new(sfs))
+                .run();
+            std::hint::black_box(run.outcomes.len());
         }),
     });
 
@@ -678,5 +746,7 @@ mod tests {
         assert!(names.contains(&"micro/cfs_pick_4096"));
         assert!(names.contains(&"micro/sfs_dispatch"));
         assert!(names.contains(&"sim/cluster4_ll_sfs"));
+        assert!(names.contains(&"micro/smp_balance_tick"));
+        assert!(names.contains(&"sim/sfs_azure_smp4"));
     }
 }

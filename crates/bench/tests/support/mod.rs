@@ -7,7 +7,7 @@ use sfs_core::{
     UserMlfq,
 };
 use sfs_faas::{Cluster, HostScheduler, OpenLambda, OpenLambdaParams, Placement};
-use sfs_sched::MachineParams;
+use sfs_sched::{MachineParams, SmpParams};
 use sfs_simcore::{Samples, SimDuration};
 use sfs_workload::WorkloadSpec;
 
@@ -32,6 +32,30 @@ pub const SCENARIOS: &[&str] = &[
     "cluster4_jsq_sfs",
     "cluster4_hash_sfs",
     "cluster4_l2l_cfs",
+    // SMP machine model with the load balancer + migration/affinity costs
+    // enabled (PR 6). Every other scenario runs the default (all-off)
+    // `SmpParams`, which is what keeps their snapshots byte-identical to
+    // the pre-SMP machine.
+    "smp2_sfs",
+    "smp4_sfs",
+    "smp8_sfs",
+    "smp4_cfs",
+    "smp8_cfs",
+    "smp4_burst_sfs",
+    "smp4_burst_cfs",
+];
+
+/// The SMP-enabled scenario subset (SFS vs CFS at cores ∈ {2,4,8} under
+/// azure replay, plus an overload burst pair at 4 cores).
+#[allow(dead_code)] // each test binary compiles its own copy of this module
+pub const SMP_SCENARIOS: &[&str] = &[
+    "smp2_sfs",
+    "smp4_sfs",
+    "smp8_sfs",
+    "smp4_cfs",
+    "smp8_cfs",
+    "smp4_burst_sfs",
+    "smp4_burst_cfs",
 ];
 
 /// Request count: small enough for CI, large enough for stable shapes.
@@ -145,8 +169,49 @@ pub fn run_scenario(name: &str) -> Vec<RequestOutcome> {
         "cluster4_jsq_sfs" => cluster_scenario(Placement::JoinShortestQueue, None),
         "cluster4_hash_sfs" => cluster_scenario(Placement::ConsistentHash, None),
         "cluster4_l2l_cfs" => cluster_scenario(Placement::LongToLightest, Some(Baseline::Cfs)),
+        "smp2_sfs" => smp_scenario(2, None, false),
+        "smp4_sfs" => smp_scenario(4, None, false),
+        "smp8_sfs" => smp_scenario(8, None, false),
+        "smp4_cfs" => smp_scenario(4, Some(Baseline::Cfs), false),
+        "smp8_cfs" => smp_scenario(8, Some(Baseline::Cfs), false),
+        "smp4_burst_sfs" => smp_scenario(4, None, true),
+        "smp4_burst_cfs" => smp_scenario(4, Some(Baseline::Cfs), true),
         other => panic!("unknown scenario {other:?}"),
     }
+}
+
+/// The standard "SMP on" machine: balance every 4ms, 30µs migration
+/// penalty, 15µs cross-core resume cost.
+pub fn smp_on() -> SmpParams {
+    SmpParams::balanced(
+        SimDuration::from_millis(4),
+        SimDuration::from_micros(30),
+        SimDuration::from_micros(15),
+    )
+}
+
+/// SFS (or a kernel baseline) on a balancing SMP machine: azure replay at
+/// 0.85 load, or an overload burst (sampled traces at 1.5× capacity) when
+/// `burst` is set.
+fn smp_scenario(cores: usize, baseline: Option<Baseline>, burst: bool) -> Vec<RequestOutcome> {
+    let w = if burst {
+        WorkloadSpec::azure_sampled(N, SEED)
+            .with_load(cores, 1.5)
+            .generate()
+    } else {
+        WorkloadSpec::azure_replay(N, SEED)
+            .with_load(cores, 0.85)
+            .generate()
+    };
+    let params = MachineParams::linux(cores).with_smp(smp_on());
+    let sim = Sim::on(params).workload(&w);
+    let run = match baseline {
+        Some(b) => sim.boxed_controller(b.build()).run(),
+        None => sim
+            .controller(SfsController::new(SfsConfig::new(cores)))
+            .run(),
+    };
+    run.outcomes
 }
 
 /// A 4-host × 4-core cluster under the warm-container affinity model;

@@ -171,6 +171,11 @@ impl CfsRunqueue {
         self.pos.get(pid.0 as usize).copied().unwrap_or(POS_NONE)
     }
 
+    /// True iff `pid` is queued here (O(1) via the position index).
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.pos_of(pid) != POS_NONE
+    }
+
     /// Insert a task with its (already normalised) vruntime.
     pub fn enqueue(&mut self, pid: Pid, vruntime: u64, weight: u32) {
         debug_assert!(self.pos_of(pid) == POS_NONE, "task {pid} double-enqueued");

@@ -34,12 +34,14 @@
 pub mod cfs;
 pub mod machine;
 pub mod rt;
+pub mod smp;
 pub mod task;
 pub mod trace;
 
 pub use cfs::{weight_of_nice, CfsParams, CfsRunqueue, NICE_0_WEIGHT};
 pub use machine::{Machine, MachineParams, Notification, SchedMode};
 pub use rt::{RtRunqueue, RR_TIMESLICE};
+pub use smp::SmpParams;
 pub use task::{FinishedTask, Phase, Pid, Policy, ProcState, TaskSpec};
 pub use trace::{ScheduleTrace, Segment};
 
@@ -590,5 +592,155 @@ mod tests {
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         assert!(short_mean(&srtf) * 2.0 < short_mean(&cfs));
+    }
+
+    /// Build the canonical imbalance: a long FIFO task pins core 0, so CFS
+    /// placement (which counts an RT core's queue only) stacks the queue
+    /// gap the balancer must fix — queued depths 3 vs 1 after five spawns.
+    fn imbalanced_arrivals() -> Vec<(SimTime, TaskSpec)> {
+        let mut v = vec![(
+            at(0),
+            TaskSpec {
+                phases: vec![Phase::Cpu(ms(100))],
+                policy: Policy::Fifo { prio: 50 },
+                label: 100,
+            },
+        )];
+        for i in 0..5 {
+            v.push((at(0), TaskSpec::cpu(i, ms(50))));
+        }
+        v
+    }
+
+    #[test]
+    fn balance_tick_migrates_busiest_to_idlest() {
+        let smp = SmpParams::balanced(ms(1), SimDuration::ZERO, SimDuration::ZERO);
+        let mut m = Machine::new(exact_params(2, SchedMode::Linux).with_smp(smp));
+        for (t, spec) in imbalanced_arrivals() {
+            m.advance_to(t);
+            m.spawn(spec);
+        }
+        // FIFO holds core 0; CFS placement left queued depths 3 (core 0)
+        // vs 1 (core 1): an imbalance the first tick at 1ms must repair.
+        assert_eq!(m.core_depth(0), 3);
+        assert_eq!(m.core_depth(1), 1);
+        assert_eq!(m.balance_migrations(), 0);
+        let mut notes = Vec::new();
+        m.advance_into(at(1), &mut notes);
+        assert_eq!(m.balance_migrations(), 1, "one migration per tick");
+        assert_eq!(m.core_depth(0), 2);
+        assert_eq!(m.core_depth(1), 2);
+        m.assert_conservation();
+        // Re-balanced: the next tick scans but must not migrate.
+        m.advance_into(at(2), &mut notes);
+        assert_eq!(m.balance_migrations(), 1, "balanced load never migrates");
+        m.run_until_quiescent();
+        assert_eq!(m.finished().len(), 6, "balancing must not lose tasks");
+        m.assert_conservation();
+    }
+
+    #[test]
+    fn balanced_load_never_migrates() {
+        // Six identical CFS tasks spread 3/3 across two cores: every tick
+        // scans, none migrates.
+        let smp = SmpParams::balanced(ms(1), ms(1), SimDuration::ZERO);
+        let mut m = Machine::new(exact_params(2, SchedMode::Linux).with_smp(smp));
+        for i in 0..6 {
+            m.spawn(TaskSpec::cpu(i, ms(30)));
+        }
+        m.run_until_quiescent();
+        assert_eq!(m.finished().len(), 6);
+        assert_eq!(m.balance_migrations(), 0);
+    }
+
+    #[test]
+    fn migration_cost_delays_the_migrated_work() {
+        let run = |mig: SimDuration| {
+            let smp = SmpParams::balanced(ms(1), mig, SimDuration::ZERO);
+            run_open_loop(
+                exact_params(2, SchedMode::Linux).with_smp(smp),
+                imbalanced_arrivals(),
+            )
+        };
+        let free = run(SimDuration::ZERO);
+        let costly = run(ms(10));
+        assert_eq!(free.len(), costly.len());
+        let total = |v: &[FinishedTask]| v.iter().map(|t| t.turnaround().as_nanos()).sum::<u64>();
+        assert!(
+            total(&costly) > total(&free),
+            "a 10ms migration penalty must show up in aggregate turnaround"
+        );
+        // The penalty is dispatch latency, never billed CPU time.
+        for t in &costly {
+            assert_eq!(t.cpu_time, t.cpu_demand);
+        }
+    }
+
+    #[test]
+    fn affinity_cost_charged_exactly_once_on_cross_core_resume() {
+        // B pins core 0; A runs its first burst on core 1, blocks, and C
+        // (stolen by the idling core 1) holds it, so A resumes on core 0:
+        // one cross-core resume, one affinity charge.
+        let arrivals = || {
+            vec![
+                (at(0), TaskSpec::cpu(0, ms(40))),
+                (
+                    at(0),
+                    TaskSpec {
+                        phases: vec![Phase::Cpu(ms(5)), Phase::Io(ms(5)), Phase::Cpu(ms(5))],
+                        policy: Policy::NORMAL,
+                        label: 1,
+                    },
+                ),
+                (at(0), TaskSpec::cpu(2, ms(40))),
+            ]
+        };
+        let run = |aff: SimDuration| {
+            let smp = SmpParams {
+                affinity_cost: aff,
+                ..SmpParams::default()
+            };
+            run_open_loop(exact_params(2, SchedMode::Linux).with_smp(smp), arrivals())
+        };
+        let base = run(SimDuration::ZERO);
+        let charged = run(ms(1));
+        let a_base = base.iter().find(|t| t.label == 1).unwrap();
+        let a_charged = charged.iter().find(|t| t.label == 1).unwrap();
+        assert!(a_base.migrations >= 1, "scenario must move A across cores");
+        assert_eq!(
+            a_charged.finished,
+            a_base.finished + ms(1),
+            "exactly one affinity charge on A's cross-core resume"
+        );
+    }
+
+    #[test]
+    fn single_core_is_immune_to_smp_knobs() {
+        // cores = 1 with every SMP mechanism enabled must be bit-identical
+        // to the default machine: there is no second core to balance toward
+        // and no cross-core resume to charge. This is the unit-level face of
+        // the golden bit-exactness gate.
+        let arrivals = || {
+            let mut v = Vec::new();
+            for i in 0..40u64 {
+                let spec = if i % 3 == 0 {
+                    TaskSpec::io_then_cpu(i, ms(2 + i % 7), ms(4 + i % 11))
+                } else {
+                    TaskSpec::cpu(i, ms(1 + i % 13))
+                };
+                v.push((at(i * 3), spec));
+            }
+            v
+        };
+        let plain = run_open_loop(exact_params(1, SchedMode::Linux), arrivals());
+        let smp_on = run_open_loop(
+            exact_params(1, SchedMode::Linux).with_smp(SmpParams::balanced(
+                SimDuration::from_micros(500),
+                ms(1),
+                ms(1),
+            )),
+            arrivals(),
+        );
+        assert_eq!(format!("{plain:?}"), format!("{smp_on:?}"));
     }
 }

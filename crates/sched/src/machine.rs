@@ -23,6 +23,7 @@ use sfs_simcore::{EventQueue, SimDuration, SimTime};
 
 use crate::cfs::{weight_of_nice, CfsParams, CfsRunqueue};
 use crate::rt::{RtRunqueue, RR_TIMESLICE};
+use crate::smp::{pick_imbalance, SmpParams};
 use crate::task::{FinishedTask, Phase, Pid, Policy, ProcState, Task, TaskSpec};
 use crate::trace::{ScheduleTrace, Segment};
 
@@ -61,6 +62,10 @@ pub struct MachineParams {
     pub contention_cap: f64,
     /// Scheduling regime.
     pub mode: SchedMode,
+    /// SMP behaviour: periodic load balancing, migration penalty, and
+    /// cache-affinity cost. The all-zero default disables every mechanism,
+    /// making the machine bit-exact with the pre-SMP model.
+    pub smp: SmpParams,
 }
 
 impl Default for MachineParams {
@@ -72,6 +77,7 @@ impl Default for MachineParams {
             contention_beta: 0.0,
             contention_cap: 6.0,
             mode: SchedMode::Linux,
+            smp: SmpParams::default(),
         }
     }
 }
@@ -93,6 +99,12 @@ impl MachineParams {
             mode: SchedMode::Srtf,
             ..Default::default()
         }
+    }
+
+    /// The same machine with the given SMP behaviour knobs.
+    pub fn with_smp(mut self, smp: SmpParams) -> Self {
+        self.smp = smp;
+        self
     }
 }
 
@@ -116,6 +128,9 @@ enum Ev {
     CoreFire { core: usize, gen: u64 },
     /// I/O completion for a sleeping task.
     Wake { pid: Pid, io: SimDuration },
+    /// Periodic SMP load-balance tick (only scheduled when
+    /// [`SmpParams::balance_interval`] is non-zero in Linux mode).
+    Balance,
 }
 
 #[derive(Debug, Clone)]
@@ -132,6 +147,10 @@ struct Core {
     /// for recomputing `slice_end` when runqueue membership changes.
     slice_start: SimTime,
     slice_end: SimTime,
+    /// Core-local clock: the latest instant this core's accounting
+    /// advanced (dispatch or charge). Monotone per core; lags the machine
+    /// clock while the core idles.
+    clock: SimTime,
     cfs: CfsRunqueue,
 }
 
@@ -144,6 +163,7 @@ impl Core {
             run_start: SimTime::ZERO,
             slice_start: SimTime::ZERO,
             slice_end: SimTime::MAX,
+            clock: SimTime::ZERO,
             cfs: CfsRunqueue::new(),
         }
     }
@@ -168,6 +188,12 @@ pub struct Machine {
     out: Vec<Notification>,
     finished: Vec<FinishedTask>,
     total_ctx_switches: u64,
+    /// Tasks migrated by the periodic balance tick (a subset of the
+    /// per-task `migrations` total, which also counts wakeup placement
+    /// moves and idle steals).
+    balance_migrations: u64,
+    /// Whether a [`Ev::Balance`] event is currently pending.
+    balance_armed: bool,
     live_tasks: usize,
     /// Runnable + running CPU tasks (excludes sleepers and the dead);
     /// drives the consolidation-contention inflation.
@@ -191,6 +217,8 @@ impl Machine {
             out: Vec::new(),
             finished: Vec::new(),
             total_ctx_switches: 0,
+            balance_migrations: 0,
+            balance_armed: false,
             live_tasks: 0,
             active_tasks: 0,
             trace: None,
@@ -263,6 +291,105 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Per-core (SMP) read-only queries
+    // ------------------------------------------------------------------
+
+    /// Number of cores — alias of [`Machine::cores`], matching the
+    /// `nr_cpu_ids` spelling controllers expect.
+    pub fn nr_cores(&self) -> usize {
+        self.params.cores
+    }
+
+    /// Queued (runnable, not running) CFS tasks on `core`'s runqueue — the
+    /// per-CPU depth `/proc/schedstat` exposes. RT tasks wait in the
+    /// machine-global RT queue and are not counted here.
+    pub fn core_depth(&self, core: usize) -> usize {
+        self.cores[core].cfs.len()
+    }
+
+    /// The task currently running on `core`, if any.
+    pub fn running_on(&self, core: usize) -> Option<Pid> {
+        self.cores[core].current
+    }
+
+    /// `core`'s local clock: the latest instant its accounting advanced
+    /// (a dispatch or a charge). Monotone per core; lags [`Machine::now`]
+    /// while the core idles.
+    pub fn core_clock(&self, core: usize) -> SimTime {
+        self.cores[core].clock
+    }
+
+    /// The core `pid` last executed on (the `processor` field of
+    /// `/proc/<pid>/stat`), or `None` before its first dispatch.
+    pub fn last_ran_core(&self, pid: Pid) -> Option<usize> {
+        self.task(pid).last_core
+    }
+
+    /// Number of queued machine-global RT tasks.
+    pub fn rt_depth(&self) -> usize {
+        self.rt.len()
+    }
+
+    /// Tasks migrated by the periodic balance tick so far (a subset of the
+    /// per-task migration totals, which also count wakeup placement moves
+    /// and idle steals).
+    pub fn balance_migrations(&self) -> u64 {
+        self.balance_migrations
+    }
+
+    /// Walk every task and runqueue and panic on any conservation
+    /// violation: each live task must be in exactly one place (running on
+    /// one core, queued on exactly one runqueue, or sleeping), and dead
+    /// tasks must be nowhere. Diagnostic hook for the SMP property suite;
+    /// O(tasks × cores), so not for hot loops.
+    pub fn assert_conservation(&self) {
+        for (i, c) in self.cores.iter().enumerate() {
+            if let Some(pid) = c.current {
+                assert_eq!(
+                    self.task(pid).state,
+                    ProcState::Running,
+                    "core {i} runs {pid} but its state disagrees"
+                );
+                assert_eq!(
+                    self.task(pid).home_core,
+                    Some(i),
+                    "core {i} runs {pid} but its home core disagrees"
+                );
+            }
+        }
+        for t in &self.tasks {
+            let queued_cfs = self.cores.iter().filter(|c| c.cfs.contains(t.pid)).count();
+            let queued_rt = usize::from(self.rt.contains(t.pid));
+            let queued_srtf = self.srtf_pool.iter().filter(|&&(_, p)| p == t.pid).count();
+            let running = self
+                .cores
+                .iter()
+                .filter(|c| c.current == Some(t.pid))
+                .count();
+            let places = queued_cfs + queued_rt + queued_srtf + running;
+            match t.state {
+                ProcState::Running => assert_eq!(
+                    (running, places),
+                    (1, 1),
+                    "{}: running task on {running} cores, {places} places",
+                    t.pid
+                ),
+                ProcState::Runnable => assert_eq!(
+                    (running, places),
+                    (0, 1),
+                    "{}: runnable task queued in {places} places",
+                    t.pid
+                ),
+                ProcState::Sleeping | ProcState::Dead => assert_eq!(
+                    places, 0,
+                    "{}: off-runqueue task found in {places} places",
+                    t.pid
+                ),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Controller-facing operations
     // ------------------------------------------------------------------
 
@@ -273,6 +400,17 @@ impl Machine {
         let task = Task::new(pid, spec, self.now);
         let leading_io = task.phase();
         self.live_tasks += 1;
+        // First live task (re-)arms the periodic balance tick; it re-arms
+        // itself until the machine quiesces, so `run_until_quiescent`
+        // still terminates.
+        if self.params.smp.balancing()
+            && self.params.mode == SchedMode::Linux
+            && !self.balance_armed
+        {
+            self.balance_armed = true;
+            self.events
+                .push(self.now + self.params.smp.balance_interval, Ev::Balance);
+        }
         self.active_tasks += 1; // Task::new starts Runnable
         self.tasks.push(task);
         // A task whose first phase is I/O sleeps immediately (it was started
@@ -393,12 +531,27 @@ impl Machine {
     /// rather than batch-popping: machine handlers legitimately schedule
     /// follow-up events (wakes, slice renewals) that must be observed
     /// within the same `advance` span.
+    /// Delivery contract: every event due at or before `t` is processed
+    /// within this call — **including events a handler schedules for
+    /// exactly `t` while the span is being processed** (e.g. an I/O block
+    /// at `t - d` scheduling its wake at `t`). The loop therefore re-polls
+    /// the queue after every handler instead of batch-popping the due
+    /// prefix; a batch pop would silently defer same-instant follow-ups to
+    /// the next call, which controllers observe as a late notification.
+    /// `tests/machine_scenarios.rs` pins this with end-of-span regression
+    /// cases.
     pub fn advance_into(&mut self, t: SimTime, out: &mut Vec<Notification>) {
         debug_assert!(t >= self.now, "time must not go backwards");
         while let Some((at, ev)) = self.events.pop_until(t) {
             self.now = at;
             self.handle(ev);
         }
+        // The contract above, enforced: nothing due within the span may
+        // survive it.
+        debug_assert!(
+            self.events.peek_time().map_or(true, |next| next > t),
+            "advance_into deferred a due event past its span"
+        );
         self.now = t;
         out.append(&mut self.out);
     }
@@ -450,6 +603,7 @@ impl Machine {
         }
         let ran = self.now - run_start;
         self.cores[core_id].run_start = self.now;
+        self.cores[core_id].clock = self.cores[core_id].clock.max(self.now);
         if let Some(trace) = self.trace.as_mut() {
             trace.record(Segment {
                 pid,
@@ -753,11 +907,21 @@ impl Machine {
             matches!(self.task(pid).phase(), Some(Phase::Cpu(_))),
             "dispatched task must be in a CPU phase"
         );
-        let cost = if self.cores[core_id].last_ran == Some(pid) {
+        let mut cost = if self.cores[core_id].last_ran == Some(pid) {
             SimDuration::ZERO
         } else {
             self.params.ctx_switch_cost
         };
+        // Cache-affinity: resuming on a different core than the task last
+        // executed on costs a cold-cache refill on top of the switch.
+        if !self.params.smp.affinity_cost.is_zero()
+            && self.task(pid).last_core.is_some_and(|c| c != core_id)
+        {
+            cost += self.params.smp.affinity_cost;
+        }
+        // One-shot penalty deposited by the balance tick when it force-
+        // migrated this task.
+        cost += std::mem::take(&mut self.task_mut(pid).pending_migration_cost);
         let start = self.now + cost;
         {
             let c = &mut self.cores[core_id];
@@ -766,9 +930,15 @@ impl Machine {
             c.gen += 1;
             c.run_start = start;
             c.slice_start = start;
+            // `max`: a dispatch pre-pays its switch cost (`start` is in the
+            // future); if it is preempted before then and the core turns
+            // over at a cheaper cost, the earlier start must not rewind
+            // the core clock.
+            c.clock = c.clock.max(start);
         }
         self.set_state(pid, ProcState::Running);
         self.task_mut(pid).home_core = Some(core_id);
+        self.task_mut(pid).last_core = Some(core_id);
         if self.task(pid).first_run.is_none() {
             self.task_mut(pid).first_run = Some(self.now);
             self.out.push(Notification::FirstRun(pid, self.now));
@@ -823,6 +993,51 @@ impl Machine {
                 }
             }
             Ev::Wake { pid, io } => self.wake(pid, io),
+            Ev::Balance => self.balance_tick(),
+        }
+    }
+
+    /// Periodic load balance: migrate one task from the busiest to the
+    /// idlest CFS runqueue when the queued-depth gap reaches the threshold
+    /// (the kernel's conservative `load_balance` envelope: one pull per
+    /// tick, never across a trivial imbalance). The migrated task is
+    /// charged [`SmpParams::migration_cost`] at its next dispatch.
+    fn balance_tick(&mut self) {
+        self.balance_armed = false;
+        if self.live_tasks > 0 {
+            self.balance_armed = true;
+            self.events
+                .push(self.now + self.params.smp.balance_interval, Ev::Balance);
+        }
+        let depths: Vec<u64> = self.cores.iter().map(|c| c.cfs.len() as u64).collect();
+        let Some((src, dst)) = pick_imbalance(&depths, self.params.smp.balance_threshold) else {
+            return;
+        };
+        // Pull from the tail: the task that would run last on the busy
+        // core loses the least cache state by moving (same choice as the
+        // idle-steal path).
+        let Some((v, pid)) = self.cores[src].cfs.pop_last() else {
+            return;
+        };
+        self.task_mut(pid).migrations += 1;
+        self.balance_migrations += 1;
+        let mig_cost = self.params.smp.migration_cost;
+        self.task_mut(pid).pending_migration_cost += mig_cost;
+        let placed = self.cores[dst].cfs.place_vruntime(v);
+        self.task_mut(pid).vruntime = placed;
+        self.task_mut(pid).home_core = Some(dst);
+        let w = self.weight(pid);
+        self.cores[dst].cfs.enqueue(pid, placed, w);
+        match self.cores[dst].current {
+            // An idle destination (only possible transiently, e.g. a tick
+            // coinciding with a completion) starts the migrant at once.
+            None => self.reschedule(dst),
+            // The destination queue grew: its running CFS task's fair
+            // slice shrank, exactly as on a wakeup enqueue.
+            Some(curr) if !self.task(curr).policy.is_realtime() => {
+                self.refresh_current_slice(dst);
+            }
+            Some(_) => {}
         }
     }
 

@@ -41,6 +41,12 @@ impl RtRunqueue {
         self.len == 0
     }
 
+    /// True iff `pid` waits at any priority level (O(n) scan; used by
+    /// conservation audits, not the hot path).
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.queues.values().any(|q| q.contains(&pid))
+    }
+
     /// Enqueue at the tail of its priority level (new arrivals, wakeups).
     pub fn push_back(&mut self, pid: Pid, prio: u8) {
         self.queues.entry(prio).or_default().push_back(pid);

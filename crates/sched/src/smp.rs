@@ -1,0 +1,151 @@
+//! SMP tunables and the periodic load balancer.
+//!
+//! A real multicore kernel does not leave wakeup placement as the only
+//! cross-core mechanism: `scheduler_tick` periodically walks the runqueues
+//! and pulls work from the busiest CPU toward the idlest one, paying a
+//! migration cost (cache/TLB refill) for every task it moves. SFS coexists
+//! with exactly that machinery on a live host, so the simulated
+//! [`Machine`](crate::Machine) models it too:
+//!
+//! * **Balance tick** — every [`SmpParams::balance_interval`] the machine
+//!   compares per-core queued depths and migrates one task from the busiest
+//!   to the idlest CFS runqueue when the gap reaches
+//!   [`SmpParams::balance_threshold`] (one migration per tick, like the
+//!   kernel's conservative `load_balance` envelope).
+//! * **Migration penalty** — a balance-migrated task pays
+//!   [`SmpParams::migration_cost`] of extra dispatch latency the next time
+//!   it gets a CPU (its cache footprint is gone).
+//! * **Cache-affinity cost** — any task resuming on a different core than
+//!   it last executed on pays [`SmpParams::affinity_cost`] at dispatch,
+//!   whatever moved it (wakeup placement, idle stealing, or the balancer).
+//!
+//! All three default to **zero/off**: a default-constructed machine is
+//! bit-exact with the pre-SMP model at any core count, which is what the
+//! golden suite and `smp_single_core_diff` lock.
+
+use sfs_simcore::SimDuration;
+
+/// SMP behaviour knobs for [`MachineParams`](crate::MachineParams).
+///
+/// The all-zero [`Default`] disables every SMP mechanism, reproducing the
+/// pre-SMP machine exactly; [`SmpParams::balanced`] is the standard "on"
+/// configuration the SMP bench scenarios use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmpParams {
+    /// Period of the load-balance tick. `ZERO` disables balancing.
+    pub balance_interval: SimDuration,
+    /// Minimum queued-depth gap (busiest − idlest CFS runqueue) that
+    /// triggers a migration. Below the threshold the tick is a pure scan.
+    /// A threshold under 2 is meaningless (moving a task across a gap of 1
+    /// just inverts the imbalance) and is clamped to 2 by the balancer.
+    pub balance_threshold: u64,
+    /// Extra dispatch latency a balance-migrated task pays on its next
+    /// dispatch (cold cache after a forced move). Charged once per
+    /// migration, on top of the ordinary context-switch cost.
+    pub migration_cost: SimDuration,
+    /// Extra dispatch latency any task pays when it resumes on a different
+    /// core than it last executed on. `ZERO` disables the model. On a
+    /// single-core machine this never fires (there is no other core).
+    pub affinity_cost: SimDuration,
+}
+
+impl Default for SmpParams {
+    fn default() -> Self {
+        SmpParams {
+            balance_interval: SimDuration::ZERO,
+            balance_threshold: 2,
+            migration_cost: SimDuration::ZERO,
+            affinity_cost: SimDuration::ZERO,
+        }
+    }
+}
+
+impl SmpParams {
+    /// True iff the periodic balance tick is enabled.
+    pub fn balancing(&self) -> bool {
+        !self.balance_interval.is_zero()
+    }
+
+    /// The standard "SMP on" configuration used by the SMP bench
+    /// scenarios: balance every `interval`, threshold 2, with the given
+    /// migration and affinity costs.
+    pub fn balanced(
+        interval: SimDuration,
+        migration_cost: SimDuration,
+        affinity_cost: SimDuration,
+    ) -> SmpParams {
+        SmpParams {
+            balance_interval: interval,
+            balance_threshold: 2,
+            migration_cost,
+            affinity_cost,
+        }
+    }
+}
+
+/// Pick the (busiest, idlest) pair of cores by queued depth, if the gap
+/// reaches `threshold` (clamped to ≥ 2). Ties break on the lowest core
+/// index for both ends — the deterministic contract every balance decision
+/// relies on. Returns `None` when the load is already balanced.
+pub fn pick_imbalance(depths: &[u64], threshold: u64) -> Option<(usize, usize)> {
+    if depths.len() < 2 {
+        return None;
+    }
+    let threshold = threshold.max(2);
+    let mut busiest = 0usize;
+    let mut idlest = 0usize;
+    for (i, &d) in depths.iter().enumerate().skip(1) {
+        if d > depths[busiest] {
+            busiest = i;
+        }
+        if d < depths[idlest] {
+            idlest = i;
+        }
+    }
+    if depths[busiest] >= depths[idlest] + threshold {
+        Some((busiest, idlest))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_off() {
+        let p = SmpParams::default();
+        assert!(!p.balancing());
+        assert!(p.migration_cost.is_zero());
+        assert!(p.affinity_cost.is_zero());
+    }
+
+    #[test]
+    fn imbalance_requires_threshold_gap() {
+        assert_eq!(pick_imbalance(&[3, 1], 2), Some((0, 1)));
+        assert_eq!(pick_imbalance(&[2, 1], 2), None, "gap of 1 never migrates");
+        assert_eq!(pick_imbalance(&[5, 5, 5], 2), None, "balanced load");
+        assert_eq!(pick_imbalance(&[0, 0], 2), None, "all idle");
+        assert_eq!(pick_imbalance(&[7], 2), None, "single core");
+        assert_eq!(pick_imbalance(&[], 2), None);
+    }
+
+    #[test]
+    fn threshold_is_clamped_to_two() {
+        // threshold 0/1 would migrate across a gap of 1, which only swaps
+        // which core is the busy one; the clamp forbids it.
+        assert_eq!(pick_imbalance(&[2, 1], 0), None);
+        assert_eq!(pick_imbalance(&[2, 1], 1), None);
+        assert_eq!(pick_imbalance(&[3, 1], 1), Some((0, 1)));
+        // Larger thresholds are honoured as given.
+        assert_eq!(pick_imbalance(&[4, 1], 4), None);
+        assert_eq!(pick_imbalance(&[5, 1], 4), Some((0, 1)));
+    }
+
+    #[test]
+    fn ties_break_on_lowest_core_index() {
+        assert_eq!(pick_imbalance(&[4, 4, 0, 0], 2), Some((0, 2)));
+        assert_eq!(pick_imbalance(&[0, 4, 4, 0], 2), Some((1, 0)));
+    }
+}

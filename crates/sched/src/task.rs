@@ -250,6 +250,12 @@ pub(crate) struct Task {
     pub migrations: u64,
     /// Core whose CFS runqueue currently owns this task (if queued/running).
     pub home_core: Option<usize>,
+    /// Core this task last *executed* on (dispatch granularity), feeding the
+    /// cache-affinity cost model. Unlike `home_core` this survives sleeps.
+    pub last_core: Option<usize>,
+    /// One-shot extra dispatch latency owed from a balance migration,
+    /// consumed (reset to zero) at the next dispatch.
+    pub pending_migration_cost: SimDuration,
 }
 
 impl Task {
@@ -275,6 +281,8 @@ impl Task {
             ctx_switches: 0,
             migrations: 0,
             home_core: None,
+            last_core: None,
+            pending_migration_cost: SimDuration::ZERO,
         }
     }
 

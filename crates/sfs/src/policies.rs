@@ -73,6 +73,7 @@ impl Controller for Ideal {
                         cpu_demand: r.spec.cpu_demand(),
                         rte: 1.0,
                         ctx_switches: 0,
+                        migrations: 0,
                         queue_delay: SimDuration::ZERO,
                         demoted: false,
                         offloaded: false,

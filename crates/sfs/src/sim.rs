@@ -105,6 +105,25 @@ impl MachineView<'_> {
     pub fn policy_of(&self, pid: Pid) -> Policy {
         self.machine.policy_of(pid)
     }
+
+    /// Number of CPU cores — alias of [`MachineView::cores`] matching the
+    /// SMP query family (`nr_cpu_ids` in kernel terms).
+    pub fn nr_cores(&self) -> usize {
+        self.machine.nr_cores()
+    }
+
+    /// Queued (runnable, not running) CFS depth of one core's runqueue, as
+    /// `/proc/schedstat` exposes per CPU. Read-only: a user-space scheduler
+    /// may observe per-core load but never place tasks directly.
+    pub fn core_depth(&self, core: usize) -> usize {
+        self.machine.core_depth(core)
+    }
+
+    /// The core `pid` last executed on (the `processor` field of
+    /// `/proc/<pid>/stat`), or `None` before its first dispatch.
+    pub fn last_ran_core(&self, pid: Pid) -> Option<usize> {
+        self.machine.last_ran_core(pid)
+    }
 }
 
 /// A user-space scheduling policy reacting to machine notifications.
@@ -563,6 +582,7 @@ fn outcome_of(rec: &FinishedTask) -> RequestOutcome {
         cpu_demand: rec.cpu_demand,
         rte: rec.rte(),
         ctx_switches: rec.ctx_switches,
+        migrations: rec.migrations,
         queue_delay: SimDuration::ZERO,
         demoted: false,
         offloaded: false,

@@ -21,6 +21,9 @@ pub struct RequestOutcome {
     pub rte: f64,
     /// Involuntary context switches suffered.
     pub ctx_switches: u64,
+    /// Core-to-core migrations (wakeup placement, idle steals, and SMP
+    /// balance-tick pulls combined).
+    pub migrations: u64,
     /// Time spent waiting in SFS's global queue before the first pop
     /// (zero for pure-kernel baselines).
     pub queue_delay: SimDuration,
@@ -168,6 +171,7 @@ mod tests {
             cpu_demand: SimDuration::from_millis(ideal_ms),
             rte: ideal_ms as f64 / turn_ms as f64,
             ctx_switches: 0,
+            migrations: 0,
             queue_delay: SimDuration::ZERO,
             demoted: false,
             offloaded: false,

@@ -3,6 +3,7 @@
 //! ```text
 //! sfs gen      --requests 5000 --cores 16 --load 0.9 [--mix openlambda] [--seed N] [--out trace.csv]
 //! sfs run      --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace trace.csv | --requests N --load X] [--gantt]
+//! sfs run      --sched ... --smp balance=MS[,migration=US][,affinity=US]   # SMP load balancer + costs
 //! sfs run      --cluster hosts=8,cores=8,placement=jsq[,affinity=10000:50] [--sched sfs] [--threads T]
 //! sfs compare  [--requests N --cores C --load X]         # SFS vs CFS headline
 //! sfs slo      [--requests N --cores C --load X]         # paper-SLO attainment
@@ -17,6 +18,13 @@
 //! cold-start model, and hosts run in parallel with bit-identical output
 //! at any `--threads` value.
 //!
+//! `--smp` turns on the machine's SMP model (periodic load-balance tick
+//! plus migration/affinity costs — `sfs_sched::SmpParams`): `balance` is
+//! the tick interval in ms, `migration`/`affinity` are the penalties in
+//! µs. A bare `--smp` uses the bench suite's standard knobs
+//! (4 ms / 30 µs / 15 µs). Without the flag the machine runs the
+//! all-zero default, which is bit-exact with the pre-SMP simulator.
+//!
 //! Argument parsing is deliberately dependency-free (flag pairs only).
 
 use std::collections::HashMap;
@@ -24,7 +32,7 @@ use std::process::exit;
 
 use sfs_repro::faas::{Cluster, Placement};
 use sfs_repro::metrics::{evaluate_slo, headline_claims, MarkdownTable, Paired, SloRule};
-use sfs_repro::sched::MachineParams;
+use sfs_repro::sched::{MachineParams, SmpParams};
 use sfs_repro::sfs::{
     Baseline, Controller, ControllerFactory, FnFactory, HistoryPriority, Ideal, RequestOutcome,
     RunOutcome, SfsConfig, SfsController, Sim, UserMlfq,
@@ -59,6 +67,7 @@ fn usage_and_exit() -> ! {
          USAGE:\n\
            sfs gen     --requests N --cores C --load X [--mix fib|openlambda] [--seed S] [--out FILE]\n\
            sfs run     --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
+                       [--smp balance=MS[,migration=US][,affinity=US]]\n\
            sfs run     --cluster hosts=N,cores=M,placement=P[,affinity=KEEPMS:COLDMS] [--sched S] [--threads T] [--requests N --load X]\n\
            sfs compare [--requests N] [--cores C] [--load X] [--seed S]\n\
            sfs slo     [--requests N] [--cores C] [--load X] [--seed S]"
@@ -253,6 +262,31 @@ fn parse_cluster_spec(spec: &str) -> Option<ClusterSpec> {
     Some(parsed)
 }
 
+/// Parse `--smp balance=MS[,migration=US][,affinity=US]`. A bare `--smp`
+/// (value "true") uses the bench suite's standard knobs: balance every
+/// 4 ms, 30 µs migration penalty, 15 µs cross-core resume cost.
+fn parse_smp_spec(spec: &str) -> Option<SmpParams> {
+    let mut balance_ms = 4u64;
+    let mut migration_us = 30u64;
+    let mut affinity_us = 15u64;
+    if spec != "true" {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = part.split_once('=')?;
+            match k {
+                "balance" => balance_ms = v.parse().ok()?,
+                "migration" => migration_us = v.parse().ok()?,
+                "affinity" => affinity_us = v.parse().ok()?,
+                _ => return None,
+            }
+        }
+    }
+    Some(SmpParams::balanced(
+        SimDuration::from_millis(balance_ms),
+        SimDuration::from_micros(migration_us),
+        SimDuration::from_micros(affinity_us),
+    ))
+}
+
 fn cmd_run_cluster(flags: &HashMap<String, String>, spec: &str) {
     let Some(ClusterSpec {
         hosts,
@@ -310,16 +344,32 @@ fn cmd_run(flags: &HashMap<String, String>) {
     let w = build_workload(flags, cores);
     let sched = flags.get("sched").map(String::as_str).unwrap_or("sfs");
     let gantt = flags.contains_key("gantt");
-    let Some((name, ctl, params)) = controller_for(sched, cores) else {
+    let Some((name, ctl, mut params)) = controller_for(sched, cores) else {
         eprintln!("unknown scheduler: {sched}");
         usage_and_exit();
     };
+    let smp = flags.get("smp").map(|spec| {
+        parse_smp_spec(spec).unwrap_or_else(|| {
+            eprintln!("bad --smp spec {spec:?} (expected balance=MS[,migration=US][,affinity=US])");
+            usage_and_exit();
+        })
+    });
+    if let Some(smp) = smp {
+        params = params.with_smp(smp);
+    }
     let mut sim = Sim::on(params).workload(&w).boxed_controller(ctl);
     if gantt {
         sim = sim.tracing();
     }
     let r = sim.run();
     summarise(&name, &r.outcomes);
+    if smp.is_some() {
+        let migrations: u64 = r.outcomes.iter().map(|o| o.migrations).sum();
+        println!(
+            "        smp: {migrations} migrations ({:.2}/request)",
+            migrations as f64 / r.outcomes.len().max(1) as f64
+        );
+    }
     if sched == "sfs" || sched == "slo-sfs" {
         println!(
             "        demoted={} offloaded={} slice_recalcs={} polls={}",
