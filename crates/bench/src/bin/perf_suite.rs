@@ -30,10 +30,8 @@ use sfs_bench::perf::{self, BenchReport};
 use sfs_bench::timebench::fmt_ns;
 
 fn perf_requests() -> usize {
-    std::env::var("SFS_PERF_REQUESTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000)
+    let v = std::env::var("SFS_PERF_REQUESTS").ok();
+    sfs_bench::parse_env_override("SFS_PERF_REQUESTS", v.as_deref(), 2_000)
 }
 
 struct Args {
@@ -83,6 +81,10 @@ fn main() -> ExitCode {
     let seed = sfs_bench::seed();
     println!("== perf_suite: simulator performance matrix");
     println!("   requests={n} seed={seed:#x} (SFS_PERF_REQUESTS / SFS_BENCH_SEED to override)");
+    println!(
+        "   large-run scale={} (SFS_PERF_LARGE_REQUESTS to override)",
+        perf::large_requests()
+    );
     println!();
     println!(
         "{:<24} {:>12} {:>12} {:>12} {:>16}",
@@ -107,6 +109,15 @@ fn main() -> ExitCode {
             rec.throughput_rps,
         );
     });
+
+    if let Some(bytes) = sfs_bench::peak_rss_bytes() {
+        // Peak-memory note: the whole matrix, the streaming large-run
+        // scenario included, inside one process high-water mark.
+        println!(
+            "\npeak RSS {:.1} MiB (VmHWM, whole suite incl. sim/sfs_azure_10m)",
+            bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
 
     match std::fs::write(&args.out, report.to_json()) {
         Ok(()) => println!("\n[saved {}]", args.out),

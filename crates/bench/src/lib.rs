@@ -39,20 +39,59 @@ pub fn run_factory(f: &dyn ControllerFactory, cores: usize, w: &Workload) -> Run
     f.run_on(cores, w)
 }
 
-/// Number of requests for a harness, overridable via `SFS_BENCH_REQUESTS`.
-pub fn n_requests(default: usize) -> usize {
-    std::env::var("SFS_BENCH_REQUESTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Parse a scale-knob override, treating an unparsable value as a hard
+/// error instead of silently running the default scale. `value` is the raw
+/// environment value (`None` = unset → `default`); `name` is only for the
+/// error message. Pure in its inputs so tests never race on process-global
+/// environment state.
+pub fn parse_env_override<T: std::str::FromStr>(name: &str, value: Option<&str>, default: T) -> T {
+    match value {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            panic!(
+                "{name} must be a valid {}, got {raw:?}",
+                std::any::type_name::<T>()
+            )
+        }),
+    }
 }
 
-/// Experiment seed, overridable via `SFS_BENCH_SEED`.
+/// Number of requests for a harness, overridable via `SFS_BENCH_REQUESTS`.
+/// A malformed override aborts (so a typo can't silently run — and report —
+/// the default scale).
+pub fn n_requests(default: usize) -> usize {
+    let v = std::env::var("SFS_BENCH_REQUESTS").ok();
+    parse_env_override("SFS_BENCH_REQUESTS", v.as_deref(), default)
+}
+
+/// Experiment seed, overridable via `SFS_BENCH_SEED`. A malformed override
+/// aborts rather than silently pinning the default seed.
 pub fn seed() -> u64 {
-    std::env::var("SFS_BENCH_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0x5F5_2022)
+    let v = std::env::var("SFS_BENCH_SEED").ok();
+    parse_env_override("SFS_BENCH_SEED", v.as_deref(), 0x5F5_2022)
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where unavailable. The large-run perf
+/// scenario prints this so BENCH entries carry a peak-memory note proving
+/// streaming runs stay O(1) in request count.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            // Format: "VmHWM:      123456 kB"
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 /// Turnaround values (ms) of a run.
@@ -147,6 +186,55 @@ mod tests {
         // No env set in tests: defaults pass through.
         assert_eq!(n_requests(1234), 1234);
         assert_eq!(seed(), 0x5F5_2022);
+    }
+
+    #[test]
+    fn env_overrides_accept_valid_values() {
+        assert_eq!(
+            parse_env_override("SFS_BENCH_REQUESTS", Some("5000"), 1234usize),
+            5000
+        );
+        assert_eq!(
+            parse_env_override("SFS_BENCH_SEED", Some("42"), 0x5F5_2022u64),
+            42
+        );
+        assert_eq!(parse_env_override("SFS_BENCH_SEED", None, 7u64), 7);
+    }
+
+    #[test]
+    fn malformed_requests_override_is_a_hard_error() {
+        // Regression: "20O0" (typo'd zero) used to silently run — and
+        // banner — the default scale.
+        let err = std::panic::catch_unwind(|| {
+            parse_env_override("SFS_BENCH_REQUESTS", Some("20O0"), 2000usize)
+        })
+        .expect_err("malformed SFS_BENCH_REQUESTS must abort");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(
+            msg.contains("SFS_BENCH_REQUESTS"),
+            "names the variable: {msg}"
+        );
+        assert!(msg.contains("20O0"), "names the bad value: {msg}");
+    }
+
+    #[test]
+    fn malformed_seed_override_is_a_hard_error() {
+        let err =
+            std::panic::catch_unwind(|| parse_env_override("SFS_BENCH_SEED", Some("0xlol"), 0u64))
+                .expect_err("malformed SFS_BENCH_SEED must abort");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("SFS_BENCH_SEED"), "names the variable: {msg}");
+        assert!(msg.contains("0xlol"), "names the bad value: {msg}");
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            let bytes = rss.expect("VmHWM should parse on linux");
+            // A running test process has at least a megabyte resident.
+            assert!(bytes > 1 << 20, "implausible peak RSS {bytes}");
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@
 use std::time::Duration;
 
 use sfs_core::{
-    Baseline, Controller, ControllerFactory, MachineView, RequestOutcome, SfsConfig, SfsController,
-    Sim,
+    Baseline, Controller, ControllerFactory, MachineView, OutcomeSummary, RequestOutcome,
+    SfsConfig, SfsController, Sim,
 };
 use sfs_faas::{Cluster, Placement};
 use sfs_sched::{
@@ -102,6 +102,14 @@ fn sim_cfg() -> MeasureConfig {
 
 /// Cores used by the single-host `sim/` scenarios.
 const SIM_CORES: usize = 4;
+
+/// Scale of the `sim/sfs_azure_10m` streaming scenario:
+/// `SFS_PERF_LARGE_REQUESTS`, default 10M. CI overrides with a reduced
+/// scale (the scenario's point is that ns/req is flat in the scale).
+pub fn large_requests() -> usize {
+    let v = std::env::var("SFS_PERF_LARGE_REQUESTS").ok();
+    crate::parse_env_override("SFS_PERF_LARGE_REQUESTS", v.as_deref(), 10_000_000)
+}
 /// Requests per iteration of the `micro/sfs_dispatch` burst (fixed so the
 /// microbenchmarks are comparable across `SFS_PERF_REQUESTS` scales).
 const DISPATCH_BURST: usize = 512;
@@ -372,6 +380,36 @@ pub fn suite(requests: usize, seed: u64) -> Vec<PerfScenario> {
                 .controller(SfsController::new(burst_cfg))
                 .run();
             std::hint::black_box(run.telemetry.offloaded);
+        }),
+    });
+
+    // -- The large-run capstone: streaming end to end. ------------------
+    // Lazy workload stream -> Sim::run_streaming -> OutcomeSummary sketch
+    // sink: nothing is ever materialised per request, so memory is
+    // O(peak concurrency) while the scale climbs to 10M
+    // (`SFS_PERF_LARGE_REQUESTS`; CI runs reduced). Unlike the scenarios
+    // above, workload generation runs *inside* the timed body — at 10M
+    // there is nowhere to precompute it — so its ns/req additionally
+    // carries the generator; staying within ~1.3x of sim/sfs_azure is the
+    // flat-scaling guarantee this scenario locks. One iteration is a whole
+    // run (tens of seconds at full scale), so batches are few.
+    let large_n = large_requests();
+    let spec_large = WorkloadSpec::azure_sampled(large_n, seed).with_load(SIM_CORES, 0.9);
+    let sfs_stream = SfsConfig::new(SIM_CORES).without_series();
+    v.push(PerfScenario {
+        name: "sim/sfs_azure_10m",
+        items: large_n as u64,
+        cfg: MeasureConfig {
+            batch_target: Duration::from_millis(30),
+            batches: 3,
+        },
+        body: Box::new(move || {
+            let mut summary = OutcomeSummary::new();
+            let run = Sim::on(MachineParams::linux(SIM_CORES))
+                .controller(SfsController::new(sfs_stream))
+                .run_streaming(spec_large.stream(), |o| summary.observe(&o));
+            assert_eq!(run.requests, large_n as u64);
+            std::hint::black_box(summary.turnaround_ms.count());
         }),
     });
 
@@ -748,5 +786,21 @@ mod tests {
         assert!(names.contains(&"sim/cluster4_ll_sfs"));
         assert!(names.contains(&"micro/smp_balance_tick"));
         assert!(names.contains(&"sim/sfs_azure_smp4"));
+        assert!(names.contains(&"sim/sfs_azure_10m"));
+    }
+
+    #[test]
+    fn large_scenario_streams_at_tiny_scale() {
+        // The capstone scenario's body at a toy scale: exercises the full
+        // stream -> run_streaming -> sketch pipeline inside the perf
+        // harness shape without the 10M cost.
+        let spec = WorkloadSpec::azure_sampled(300, 5).with_load(4, 0.9);
+        let mut summary = OutcomeSummary::new();
+        let run = Sim::on(MachineParams::linux(4))
+            .controller(SfsController::new(SfsConfig::new(4).without_series()))
+            .run_streaming(spec.stream(), |o| summary.observe(&o));
+        assert_eq!(run.requests, 300);
+        assert_eq!(summary.requests, 300);
+        assert!(summary.turnaround_ms.percentile(50.0) > 0.0);
     }
 }

@@ -198,6 +198,11 @@ pub struct Machine {
     /// Runnable + running CPU tasks (excludes sleepers and the dead);
     /// drives the consolidation-contention inflation.
     active_tasks: usize,
+    /// Whether completion records accumulate in `finished` (default). The
+    /// streaming path turns this off: records still flow out through
+    /// `Notification::Finished`, but the machine holds no per-task history,
+    /// keeping memory O(live tasks) instead of O(total tasks).
+    retain_finished: bool,
     /// Optional execution trace (who ran where, when).
     trace: Option<ScheduleTrace>,
 }
@@ -221,7 +226,48 @@ impl Machine {
             balance_armed: false,
             live_tasks: 0,
             active_tasks: 0,
+            retain_finished: true,
             trace: None,
+        }
+    }
+
+    /// Control completion-record retention. With `false`, completions are
+    /// only delivered through [`Notification::Finished`] and
+    /// [`Machine::finished`] stays empty — the streaming-run mode where
+    /// memory must not grow with request count.
+    pub fn set_retain_finished(&mut self, retain: bool) {
+        self.retain_finished = retain;
+    }
+
+    /// Length of the internal task table (total tasks spawned since the
+    /// last [`Machine::compact`]). Streaming drivers watch this to decide
+    /// when compacting is worthwhile.
+    pub fn task_table_len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Reclaim per-task memory at a quiescent point. Requires
+    /// `live_tasks() == 0`; panics otherwise.
+    ///
+    /// Drops the task table (keeping its allocation) and restarts pid
+    /// numbering from 0, so a long streaming run's memory is bounded by its
+    /// peak *concurrency*, not its total request count. This is behaviour-
+    /// transparent: with no live task there is no pending `Wake`
+    /// (sleepers are live), `CoreFire` carries `(core, gen)` rather than a
+    /// pid, per-pid tie-breaks only ever compare co-live tasks (whose
+    /// relative order a fresh numbering preserves), and clearing each
+    /// core's `last_ran` reproduces the always-charge-context-cost outcome
+    /// that distinct pids would produce anyway. Skipped while tracing
+    /// (trace segments refer to pids) or while completion records are
+    /// retained (records would alias reused pids).
+    pub fn compact(&mut self) {
+        assert_eq!(self.live_tasks, 0, "compact() requires a quiescent machine");
+        if self.trace.is_some() || self.retain_finished {
+            return;
+        }
+        self.tasks.clear();
+        for c in &mut self.cores {
+            c.last_ran = None;
         }
     }
 
@@ -1054,7 +1100,9 @@ impl Machine {
                 self.task_mut(pid).home_core = None;
                 self.live_tasks -= 1;
                 let rec = self.task(pid).finished_record(self.now);
-                self.finished.push(rec.clone());
+                if self.retain_finished {
+                    self.finished.push(rec.clone());
+                }
                 self.out.push(Notification::Finished(Box::new(rec)));
                 self.reschedule(core_id);
             }
@@ -1151,7 +1199,9 @@ impl Machine {
                 self.task_mut(pid).home_core = None;
                 self.live_tasks -= 1;
                 let rec = self.task(pid).finished_record(self.now);
-                self.finished.push(rec.clone());
+                if self.retain_finished {
+                    self.finished.push(rec.clone());
+                }
                 self.out.push(Notification::Finished(Box::new(rec)));
             }
             Some(Phase::Cpu(d)) => {

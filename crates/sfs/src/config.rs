@@ -63,6 +63,11 @@ pub struct SfsConfig {
     pub filter_prio: u8,
     /// Queue topology (global by default; per-worker is an ablation).
     pub queue_mode: QueueMode,
+    /// Record per-request/timeline series (queue-delay series, slice and
+    /// IAT timelines) in [`Telemetry`](crate::Telemetry). On by default —
+    /// the figure harnesses need them. Streaming runs turn this off so
+    /// telemetry memory stays O(1) in request count.
+    pub record_series: bool,
 }
 
 impl SfsConfig {
@@ -81,7 +86,16 @@ impl SfsConfig {
             overload_factor: 3.0,
             filter_prio: 50,
             queue_mode: QueueMode::Global,
+            record_series: true,
         }
+    }
+
+    /// Streaming-run mode: skip series recording (queue-delay series, slice
+    /// and IAT timelines) so telemetry memory is O(1) in request count.
+    /// Scalar counters (polls, offloads, demotions, …) are unaffected.
+    pub fn without_series(mut self) -> SfsConfig {
+        self.record_series = false;
+        self
     }
 
     /// Fig. 9 baseline: fixed slice of `ms` milliseconds.
@@ -163,6 +177,8 @@ mod tests {
             SfsConfig::new(4).per_worker_queues().queue_mode,
             QueueMode::PerWorker
         );
+        assert!(SfsConfig::new(4).record_series);
+        assert!(!SfsConfig::new(4).without_series().record_series);
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub use baseline::Baseline;
 pub use config::{QueueMode, SfsConfig, SliceMode};
 pub use policies::{HistoryPriority, Ideal, KernelOnly, UserMlfq};
 pub use scheduler::SfsController;
-pub use sim::{Controller, ControllerFactory, FnFactory, MachineView, RunOutcome, Sim, Telemetry};
-pub use stats::{RequestOutcome, SfsRunResult};
+pub use sim::{
+    Controller, ControllerFactory, FnFactory, MachineView, RunOutcome, Sim, StreamRun, Telemetry,
+};
+pub use stats::{OutcomeSummary, RequestOutcome, SfsRunResult};
 pub use timeslice::SliceController;
 
 #[cfg(test)]

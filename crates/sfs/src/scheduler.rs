@@ -271,8 +271,10 @@ impl SfsController {
             let delay = now.since(st.enqueued_at);
             if st.first_pop_delay.is_none() {
                 st.first_pop_delay = Some(now.since(st.t_inv));
-                self.queue_delay_series
-                    .record(st.t_inv, now.since(st.t_inv).as_secs_f64());
+                if self.cfg.record_series {
+                    self.queue_delay_series
+                        .record(st.t_inv, now.since(st.t_inv).as_secs_f64());
+                }
             }
             let budget = st.slice_remaining.unwrap_or(s_now);
             (st.pid, delay, now.since(st.t_inv), budget)
@@ -425,6 +427,7 @@ impl SfsController {
             let states = &mut self.states;
             let offloaded = &mut self.offloaded_total;
             let series = &mut self.queue_delay_series;
+            let record_series = self.cfg.record_series;
             let mut shed = |q: &mut VecDeque<u32>| {
                 q.retain(|&slot| {
                     let st = &mut states[slot as usize];
@@ -432,7 +435,9 @@ impl SfsController {
                     if age >= deadline {
                         if st.first_pop_delay.is_none() {
                             st.first_pop_delay = Some(age);
-                            series.record(st.t_inv, age.as_secs_f64());
+                            if record_series {
+                                series.record(st.t_inv, age.as_secs_f64());
+                            }
                         }
                         st.offloaded = true;
                         st.loc = Loc::None;

@@ -485,89 +485,317 @@ impl<'a> Sim<'a> {
         }
         let total = workload.len();
         let order = workload.arrival_order();
-        let mut cursor = 0usize;
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(total);
-        let mut sched_actions = 0u64;
-        // Reused notification buffer: cleared and refilled every step
-        // (the drain-and-reuse idiom from the old simulator loop), so the
-        // steady-state loop allocates nothing per advance.
-        let mut notes: Vec<Notification> = Vec::new();
-        // Stall detection: a well-behaved step either pops a machine event,
-        // spawns an arrival, completes a request, or advances the
-        // controller's wakeup. If the observable state repeats across
-        // iterations the controller is violating the wakeup timing
-        // contract (a stale `next_wakeup` it never clears); panic instead
-        // of spinning forever.
-        let mut last_state = None;
-        let mut stalled = 0u32;
-
-        while outcomes.len() < total {
-            let tm = machine.next_event_time();
-            let ta = order.get(cursor).map(|&i| workload.requests[i].arrival);
-            let tc = controller.next_wakeup();
-            let state = (tm, tc, cursor, outcomes.len());
-            if last_state == Some(state) {
-                stalled += 1;
-                assert!(
-                    stalled < 100,
-                    "simulation stalled at t={} with {} of {total} outcomes: \
-                     the controller's next_wakeup ({tc:?}) is not strictly in \
-                     the future and on_wakeup makes no progress",
-                    machine.now(),
-                    outcomes.len()
-                );
-            } else {
-                stalled = 0;
-                last_state = Some(state);
-            }
-            let next = [tm, ta, tc]
-                .into_iter()
-                .flatten()
-                .min()
-                .unwrap_or_else(|| {
-                    unreachable!(
-                        "simulation stalled with {} of {total} outcomes",
-                        outcomes.len()
-                    )
-                })
-                .max(machine.now());
-            notes.clear();
-            machine.advance_into(next, &mut notes);
-            let mut view = MachineView {
-                machine: &mut machine,
-                sched_actions: &mut sched_actions,
-            };
-            for note in &notes {
-                controller.on_notification(&mut view, note);
-                if let Notification::Finished(rec) = note {
-                    let mut o = outcome_of(rec);
-                    controller.annotate(&mut o);
-                    outcomes.push(o);
-                }
-            }
-            while cursor < order.len() && workload.requests[order[cursor]].arrival <= next {
-                let req = &workload.requests[order[cursor]];
-                cursor += 1;
-                let mut spec = req.spec.clone();
-                spec.policy = controller.dispatch_policy(req);
-                let pid = view.machine.spawn(spec);
-                controller.on_arrival(&mut view, req, pid);
-            }
-            controller.on_wakeup(&mut view);
-        }
+        let source: Source<'_, std::iter::Empty<Request>> = Source::Replay {
+            workload,
+            order,
+            cursor: 0,
+        };
+        let res = drive(
+            &mut machine,
+            &mut *controller,
+            source,
+            |o| outcomes.push(o),
+            None,
+        );
 
         outcomes.sort_by_key(|o| o.id);
         let mut telemetry = Telemetry::default();
         controller.finish(&mut telemetry);
         RunOutcome {
             outcomes,
-            sched_actions,
+            sched_actions: res.sched_actions,
             machine_ctx_switches: machine.total_ctx_switches(),
             sim_span: machine.now() - SimTime::ZERO,
             cores: machine.cores(),
             schedule_trace: machine.trace().cloned(),
             telemetry,
         }
+    }
+
+    /// Run an *arrival stream* to completion without materialising the
+    /// workload or the outcome list: each [`Request`] is pulled from
+    /// `arrivals` only when the simulation reaches its arrival time, and
+    /// each [`RequestOutcome`] is handed to `sink` (in completion order,
+    /// not id order) the moment its request finishes. Peak memory is
+    /// O(peak concurrency), not O(request count): the machine drops
+    /// completion records ([`sfs_sched::Machine::set_retain_finished`])
+    /// and compacts its task table at quiescent points
+    /// ([`sfs_sched::Machine::compact`]).
+    ///
+    /// `arrivals` must be non-decreasing in arrival time (checked) — the
+    /// order [`sfs_workload::WorkloadSpec::stream`] produces. A run over
+    /// the same requests is event-for-event identical to [`Sim::run`];
+    /// only the retention differs. Controllers with an analytic bypass
+    /// ([`Controller::analytic`]) are rejected: they need the whole
+    /// workload at once.
+    ///
+    /// # Panics
+    /// Panics if no controller was set, if a workload was set (streaming
+    /// takes its requests from `arrivals`), if the controller is analytic,
+    /// if arrivals regress in time, or if the simulation stalls.
+    pub fn run_streaming<I>(
+        mut self,
+        arrivals: I,
+        mut sink: impl FnMut(RequestOutcome),
+    ) -> StreamRun
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        assert!(
+            self.workload.is_none(),
+            "Sim::run_streaming: remove .workload(..) — streaming pulls \
+             requests from the arrivals iterator"
+        );
+        let mut controller = self
+            .controller
+            .take()
+            .expect("Sim: no controller set (call .controller(...))");
+        assert!(
+            controller
+                .analytic(&Workload { requests: vec![] })
+                .is_none(),
+            "analytic controllers are not supported in streaming mode \
+             (they need the whole workload at once)"
+        );
+
+        let mut machine = Machine::new(self.params);
+        if self.tracing {
+            machine.enable_tracing();
+        }
+        machine.set_retain_finished(false);
+        let source = Source::Stream {
+            iter: arrivals.into_iter().peekable(),
+            last_arrival: SimTime::ZERO,
+        };
+        let res = drive(
+            &mut machine,
+            &mut *controller,
+            source,
+            &mut sink,
+            Some(COMPACT_TASK_TABLE_LEN),
+        );
+
+        let mut telemetry = Telemetry::default();
+        controller.finish(&mut telemetry);
+        StreamRun {
+            requests: res.completed as u64,
+            sched_actions: res.sched_actions,
+            machine_ctx_switches: machine.total_ctx_switches(),
+            sim_span: machine.now() - SimTime::ZERO,
+            cores: machine.cores(),
+            schedule_trace: machine.trace().cloned(),
+            telemetry,
+        }
+    }
+}
+
+/// Result of one [`Sim::run_streaming`] run: everything [`RunOutcome`]
+/// carries except the per-request outcome vector (those went to the sink).
+#[derive(Debug, Clone)]
+pub struct StreamRun {
+    /// Number of requests completed (== outcomes handed to the sink).
+    pub requests: u64,
+    /// Policy switches the controller issued.
+    pub sched_actions: u64,
+    /// Machine-wide involuntary context switches.
+    pub machine_ctx_switches: u64,
+    /// Total simulated span.
+    pub sim_span: SimDuration,
+    /// Cores in the simulated machine.
+    pub cores: usize,
+    /// Execution trace, if requested via [`Sim::tracing`]. (Tracing
+    /// disables task-table compaction, so only use it at small scales.)
+    pub schedule_trace: Option<ScheduleTrace>,
+    /// Controller-specific counters and timelines.
+    pub telemetry: Telemetry,
+}
+
+/// Compact the machine's task table whenever the run quiesces with at
+/// least this many dead task records — large enough that compaction cost
+/// is amortised, small enough that a streaming run's slab stays tiny.
+const COMPACT_TASK_TABLE_LEN: usize = 1024;
+
+/// Where the simulation loop pulls due requests from: a materialised
+/// workload replayed in stable `(arrival, index)` order, or a lazy
+/// non-decreasing arrival stream.
+enum Source<'a, I: Iterator<Item = Request>> {
+    Replay {
+        workload: &'a Workload,
+        order: Vec<usize>,
+        cursor: usize,
+    },
+    Stream {
+        iter: std::iter::Peekable<I>,
+        last_arrival: SimTime,
+    },
+}
+
+impl<I: Iterator<Item = Request>> Source<'_, I> {
+    /// Arrival time of the next pending request, if any.
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            Source::Replay {
+                workload,
+                order,
+                cursor,
+            } => order.get(*cursor).map(|&i| workload.requests[i].arrival),
+            Source::Stream { iter, .. } => iter.peek().map(|r| r.arrival),
+        }
+    }
+
+    /// True iff requests are still pending.
+    fn pending(&mut self) -> bool {
+        self.peek_time().is_some()
+    }
+
+    /// Dispatch every request due at or before `next`: clone its spec with
+    /// the controller's dispatch policy applied, spawn it, and hand the
+    /// *original* (policy-unmodified) request to the controller. Returns
+    /// how many were spawned.
+    fn spawn_due<C: Controller + ?Sized>(
+        &mut self,
+        next: SimTime,
+        view: &mut MachineView<'_>,
+        controller: &mut C,
+    ) -> usize {
+        let mut spawned = 0;
+        match self {
+            Source::Replay {
+                workload,
+                order,
+                cursor,
+            } => {
+                while *cursor < order.len() && workload.requests[order[*cursor]].arrival <= next {
+                    let req = &workload.requests[order[*cursor]];
+                    *cursor += 1;
+                    let mut spec = req.spec.clone();
+                    spec.policy = controller.dispatch_policy(req);
+                    let pid = view.machine.spawn(spec);
+                    controller.on_arrival(view, req, pid);
+                    spawned += 1;
+                }
+            }
+            Source::Stream { iter, last_arrival } => {
+                while iter.peek().is_some_and(|r| r.arrival <= next) {
+                    let req = iter.next().expect("peeked request present");
+                    assert!(
+                        req.arrival >= *last_arrival,
+                        "streaming arrivals must be non-decreasing in time \
+                         (request {} at {} after {})",
+                        req.id,
+                        req.arrival,
+                        last_arrival
+                    );
+                    *last_arrival = req.arrival;
+                    let mut spec = req.spec.clone();
+                    spec.policy = controller.dispatch_policy(&req);
+                    let pid = view.machine.spawn(spec);
+                    controller.on_arrival(view, &req, pid);
+                    spawned += 1;
+                }
+            }
+        }
+        spawned
+    }
+}
+
+/// Counters the shared simulation loop reports back to its caller.
+struct DriveResult {
+    sched_actions: u64,
+    completed: usize,
+}
+
+/// The simulation loop shared by [`Sim::run`] and [`Sim::run_streaming`]:
+/// advance the machine to the next event (machine / arrival / controller
+/// wakeup), deliver notifications, emit outcomes, spawn due arrivals, fire
+/// controller timers — identically for both sources, so a streamed run is
+/// event-for-event the same simulation as a replayed one.
+fn drive<I, C, F>(
+    machine: &mut Machine,
+    controller: &mut C,
+    mut source: Source<'_, I>,
+    mut emit: F,
+    compact_threshold: Option<usize>,
+) -> DriveResult
+where
+    I: Iterator<Item = Request>,
+    C: Controller + ?Sized,
+    F: FnMut(RequestOutcome),
+{
+    let mut sched_actions = 0u64;
+    let mut spawned = 0usize;
+    let mut completed = 0usize;
+    // Reused notification buffer: cleared and refilled every step
+    // (the drain-and-reuse idiom from the old simulator loop), so the
+    // steady-state loop allocates nothing per advance.
+    let mut notes: Vec<Notification> = Vec::new();
+    // Stall detection: a well-behaved step either pops a machine event,
+    // spawns an arrival, completes a request, or advances the
+    // controller's wakeup. If the observable state repeats across
+    // iterations the controller is violating the wakeup timing
+    // contract (a stale `next_wakeup` it never clears); panic instead
+    // of spinning forever.
+    let mut last_state = None;
+    let mut stalled = 0u32;
+
+    while completed < spawned || source.pending() {
+        let tm = machine.next_event_time();
+        let ta = source.peek_time();
+        let tc = controller.next_wakeup();
+        let state = (tm, tc, spawned, completed);
+        if last_state == Some(state) {
+            stalled += 1;
+            assert!(
+                stalled < 100,
+                "simulation stalled at t={} with {completed} of {spawned} \
+                 spawned requests completed: the controller's next_wakeup \
+                 ({tc:?}) is not strictly in the future and on_wakeup makes \
+                 no progress",
+                machine.now(),
+            );
+        } else {
+            stalled = 0;
+            last_state = Some(state);
+        }
+        let next = [tm, ta, tc]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or_else(|| {
+                unreachable!("simulation stalled with {completed} of {spawned} spawned")
+            })
+            .max(machine.now());
+        notes.clear();
+        machine.advance_into(next, &mut notes);
+        let mut view = MachineView {
+            machine: &mut *machine,
+            sched_actions: &mut sched_actions,
+        };
+        for note in &notes {
+            controller.on_notification(&mut view, note);
+            if let Notification::Finished(rec) = note {
+                let mut o = outcome_of(rec);
+                controller.annotate(&mut o);
+                emit(o);
+                completed += 1;
+            }
+        }
+        spawned += source.spawn_due(next, &mut view, controller);
+        controller.on_wakeup(&mut view);
+        // Streaming runs reclaim the task table whenever the machine
+        // quiesces with enough dead records — behaviour-transparent (see
+        // Machine::compact), so replay and stream stay event-identical.
+        if let Some(threshold) = compact_threshold {
+            if machine.live_tasks() == 0 && machine.task_table_len() >= threshold {
+                machine.compact();
+            }
+        }
+    }
+
+    DriveResult {
+        sched_actions,
+        completed,
     }
 }
 

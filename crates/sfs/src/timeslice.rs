@@ -23,6 +23,8 @@ pub struct SliceController {
     arrivals_since_recalc: usize,
     last_arrival: Option<SimTime>,
     recalcs: u64,
+    /// Whether the timelines below are recorded (`SfsConfig::record_series`).
+    record_series: bool,
     /// Timeline of `(t, S in ms)` after each recalculation (Fig. 10).
     slice_timeline: TimeSeries,
     /// Timeline of `(t, window-mean IAT in ms)` at each recalculation.
@@ -47,6 +49,7 @@ impl SliceController {
             arrivals_since_recalc: 0,
             last_arrival: None,
             recalcs: 0,
+            record_series: cfg.record_series,
             slice_timeline: TimeSeries::new("slice_ms"),
             iat_timeline: TimeSeries::new("iat_ms"),
         }
@@ -78,8 +81,10 @@ impl SliceController {
                     .min(self.max_slice);
                 self.current = s;
                 self.recalcs += 1;
-                self.slice_timeline.record(t, s.as_millis_f64());
-                self.iat_timeline.record(t, mean_iat_ms);
+                if self.record_series {
+                    self.slice_timeline.record(t, s.as_millis_f64());
+                    self.iat_timeline.record(t, mean_iat_ms);
+                }
             }
         }
     }

@@ -29,10 +29,10 @@ pub mod stats;
 pub mod time;
 pub mod window;
 
-pub use events::EventQueue;
+pub use events::{EventCore, EventQueue};
 pub use parallel::SeedSequencer;
 pub use rng::SimRng;
 pub use series::TimeSeries;
-pub use stats::{Cdf, Histogram, OnlineStats, Samples};
+pub use stats::{Cdf, Histogram, OnlineStats, QuantileSketch, Samples};
 pub use time::{SimDuration, SimTime};
 pub use window::SlidingWindow;

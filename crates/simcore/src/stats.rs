@@ -152,8 +152,11 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.data
-                .sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+            // Total order so a single degenerate NaN sample cannot panic a
+            // multi-minute run: NaN sorts after every number (+inf included),
+            // so finite-quantile queries stay meaningful and only queries
+            // that genuinely reach into the NaN tail observe it.
+            self.data.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -229,6 +232,238 @@ impl Samples {
     /// Consume into the raw vector.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+}
+
+/// A streaming quantile sketch with a bounded relative-error contract.
+///
+/// DDSketch-style log-bucketed histogram over non-negative values: bucket
+/// `k` covers `(γ^(k-1), γ^k]` with `γ = (1+α)/(1−α)`, so reporting the
+/// geometric midpoint of the covering bucket guarantees
+///
+/// > `|quantile(q) − exact_nearest_rank(q)| ≤ α · exact_nearest_rank(q)`
+///
+/// for every `q` — a *relative* error bound of `α` (default 1%) at any
+/// rank, tails included. Memory is O(log(max/min)/α), independent of how
+/// many values are recorded: ~2.8k buckets cover twelve decades at the
+/// default `α`, where an exact [`Samples`] store for a 10M-request run
+/// would hold 80 MB per metric. Values at or below [`QuantileSketch::FLOOR`]
+/// (and, in release builds, NaN) collapse into a zero bucket reported
+/// as 0.0.
+///
+/// Count, sum, mean, min and max are tracked exactly. Sketches with the
+/// same `α` merge losslessly (the bound still holds after
+/// [`QuantileSketch::merge`]).
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    alpha: f64,
+    /// `ln γ`, cached: bucket key of `v` is `ceil(ln v / ln γ)`.
+    gamma_ln: f64,
+    /// Bucket counts; `buckets[i]` is the count for key `offset + i`.
+    buckets: std::collections::VecDeque<u64>,
+    /// Key of `buckets[0]` (meaningless while `buckets` is empty).
+    offset: i64,
+    /// Values in `[0, FLOOR]` (and release-mode NaN), reported as 0.0.
+    zero_count: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// Default relative-error bound: 1%.
+    pub const DEFAULT_ALPHA: f64 = 0.01;
+    /// Values at or below this land in the zero bucket (reported as 0.0).
+    pub const FLOOR: f64 = 1e-12;
+
+    /// Empty sketch with relative-error bound `alpha` (in `(0, 1)`).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0, 1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma_ln: gamma.ln(),
+            buckets: std::collections::VecDeque::new(),
+            offset: 0,
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The relative-error bound `α` this sketch guarantees.
+    pub fn relative_error_bound(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Bucket key of a value above the floor: `ceil(ln v / ln γ)`.
+    fn key_of(&self, x: f64) -> i64 {
+        (x.ln() / self.gamma_ln).ceil() as i64
+    }
+
+    /// Record one observation. The sketch is defined over non-negative
+    /// finite values; NaN and negatives are a caller bug (debug-asserted)
+    /// and degrade to the zero bucket in release builds rather than
+    /// poisoning the sketch.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "QuantileSketch::push(NaN)");
+        debug_assert!(x >= 0.0, "QuantileSketch::push({x}): negative value");
+        let x = if x.is_nan() { 0.0 } else { x.max(0.0) };
+        self.count += 1;
+        self.sum += x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+        if x <= Self::FLOOR {
+            self.zero_count += 1;
+            return;
+        }
+        let key = self.key_of(x);
+        if self.buckets.is_empty() {
+            self.offset = key;
+            self.buckets.push_back(1);
+            return;
+        }
+        if key < self.offset {
+            for _ in key..self.offset {
+                self.buckets.push_front(0);
+            }
+            self.offset = key;
+        } else if key >= self.offset + self.buckets.len() as i64 {
+            for _ in (self.offset + self.buckets.len() as i64)..=key {
+                self.buckets.push_back(0);
+            }
+        }
+        self.buckets[(key - self.offset) as usize] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True iff no observations recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (q in `[0,1]`), within `α` relative error of the
+    /// exact nearest-rank answer ([`Samples::quantile`] semantics).
+    /// Returns 0.0 for an empty sketch.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Same nearest-rank (and epsilon guard) as Samples::quantile, so
+        // the two agree bucket-for-bucket on the rank they answer for.
+        let rank = (((q * self.count as f64) - 1e-9).ceil().max(1.0) as u64).min(self.count);
+        let mut acc = self.zero_count;
+        if rank <= acc {
+            return 0.0;
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                let key = self.offset + i as i64;
+                // Geometric midpoint of (γ^(k-1), γ^k]: worst-case relative
+                // error (γ−1)/(γ+1) = α. Clamp to the exact extrema so
+                // q=0 / q=1 are exact.
+                let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+                let mid = 2.0 * ((key as f64) * self.gamma_ln).exp() / (gamma + 1.0);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: percentile in `[0,100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Merge another sketch into this one (parallel reduction). Both must
+    /// share the same `α`; the error bound is preserved.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "cannot merge sketches with different error bounds"
+        );
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zero_count += other.zero_count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (i, &c) in other.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let key = other.offset + i as i64;
+            if self.buckets.is_empty() {
+                self.offset = key;
+                self.buckets.push_back(c);
+                continue;
+            }
+            if key < self.offset {
+                for _ in key..self.offset {
+                    self.buckets.push_front(0);
+                }
+                self.offset = key;
+            } else if key >= self.offset + self.buckets.len() as i64 {
+                for _ in (self.offset + self.buckets.len() as i64)..=key {
+                    self.buckets.push_back(0);
+                }
+            }
+            self.buckets[(key - self.offset) as usize] += c;
+        }
+    }
+
+    /// Number of live buckets — O(log(max/min)/α), *not* O(count). Exposed
+    /// so memory-bound tests can pin the O(1)-in-request-count contract.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len() + 1
     }
 }
 
@@ -414,6 +649,101 @@ mod tests {
         let csv = cdf.to_csv();
         assert!(csv.starts_with("value,fraction\n"));
         assert_eq!(csv.lines().count(), 101);
+    }
+
+    #[test]
+    fn nan_sample_does_not_panic_quantiles() {
+        // Regression: ensure_sorted used partial_cmp().expect(), so one NaN
+        // (e.g. a degenerate 0/0 ratio) panicked the whole run at report
+        // time. total_cmp sorts NaN after every number instead.
+        let mut s = Samples::from_vec(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        // Only a query that reaches into the NaN tail observes it.
+        assert!(s.quantile(1.0).is_nan());
+        assert!((s.fraction_below(2.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_quantiles_within_alpha_of_exact() {
+        let alpha = 0.01;
+        let mut sk = QuantileSketch::new(alpha);
+        let mut exact = Samples::new();
+        // Log-uniform spread over 6 decades, worst case for bucketing.
+        for i in 0..10_000 {
+            let v = 10f64.powf((i % 6000) as f64 / 1000.0) * (1.0 + (i as f64) * 1e-7);
+            sk.push(v);
+            exact.push(v);
+        }
+        for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999, 1.0] {
+            let e = exact.quantile(q);
+            let a = sk.quantile(q);
+            assert!(
+                (a - e).abs() <= alpha * e + 1e-12,
+                "q={q}: sketch {a} vs exact {e} breaks the {alpha} bound"
+            );
+        }
+        assert_eq!(sk.count(), 10_000);
+        assert!((sk.mean() - exact.mean()).abs() < 1e-9 * exact.mean());
+    }
+
+    #[test]
+    fn sketch_zero_and_extrema_are_exact() {
+        let mut sk = QuantileSketch::default();
+        sk.push(0.0);
+        sk.push(5.0);
+        sk.push(1000.0);
+        assert_eq!(sk.quantile(0.0), 0.0);
+        assert_eq!(sk.min(), 0.0);
+        assert_eq!(sk.max(), 1000.0);
+        // q=1 clamps to the exact max.
+        assert_eq!(sk.quantile(1.0), 1000.0);
+        assert!(sk.quantile(0.34) > 0.0);
+        let empty = QuantileSketch::default();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_stream() {
+        let mut whole = QuantileSketch::default();
+        let mut a = QuantileSketch::default();
+        let mut b = QuantileSketch::default();
+        for i in 0..4000 {
+            let v = ((i * 37 % 4001) as f64).powf(1.3) + 0.5;
+            whole.push(v);
+            if i % 2 == 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(
+                a.quantile(q),
+                whole.quantile(q),
+                "merged sketch must be bucket-identical to single-stream"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_memory_is_bounded_by_value_range_not_count() {
+        let mut sk = QuantileSketch::default();
+        for i in 0..200_000u64 {
+            sk.push(0.001 + (i % 1000) as f64);
+        }
+        // Three decades of values at alpha=1% is a few hundred buckets no
+        // matter how many samples stream through.
+        assert!(
+            sk.bucket_count() < 1000,
+            "bucket count {} grew past the value-range bound",
+            sk.bucket_count()
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Differential suite: the timing-wheel event core against the binary-heap
+//! core, driven through long randomized operation interleavings.
+//!
+//! Both backends realise the same total order — `(time, insertion seq)` —
+//! so for *any* sequence of `push`/`pop`/`pop_until`/`pop_batch_until`/
+//! `recycle` calls their outputs must be identical element for element.
+//! The unit tests in `events.rs` pin individual contracts; this suite
+//! shakes the state space: same-tick FIFO ties, far-future (overflow)
+//! events, drained-and-refilled queues, and time jumps spanning several
+//! wheel levels.
+
+use sfs_simcore::{EventCore, EventQueue, SimDuration, SimRng, SimTime};
+
+fn t(ns: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_nanos(ns)
+}
+
+/// One randomized op applied to both queues; their outputs must match.
+fn step(
+    rng: &mut SimRng,
+    wheel: &mut EventQueue<u64>,
+    heap: &mut EventQueue<u64>,
+    now: &mut u64,
+    next_payload: &mut u64,
+) {
+    assert_eq!(wheel.len(), heap.len());
+    assert_eq!(wheel.is_empty(), heap.is_empty());
+    assert_eq!(wheel.peek_time(), heap.peek_time());
+    match rng.uniform_u64(0, 100) {
+        // Push a burst: mixes same-tick ties (delta 0), short-range slots,
+        // and far-future events that land in high wheel levels or overflow.
+        0..=49 => {
+            let burst = rng.uniform_u64(1, 8);
+            for _ in 0..burst {
+                let delta = match rng.uniform_u64(0, 10) {
+                    0..=3 => 0,                           // same-tick FIFO tie
+                    4..=6 => rng.uniform_u64(0, 1 << 12), // near: low levels
+                    7..=8 => rng.uniform_u64(0, 1 << 30), // mid levels
+                    _ => rng.uniform_u64(0, 1 << 45),     // far future / overflow
+                };
+                let at = t(*now + delta);
+                wheel.push(at, *next_payload);
+                heap.push(at, *next_payload);
+                *next_payload += 1;
+            }
+        }
+        // Plain pop.
+        50..=64 => {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if let Some((at, _)) = a {
+                *now = (*now).max(at.since(SimTime::ZERO).as_nanos());
+            }
+        }
+        // Bounded pop: advance a randomized horizon (sometimes huge, to
+        // force multi-level cascades in one jump).
+        65..=79 => {
+            let jump = match rng.uniform_u64(0, 3) {
+                0 => rng.uniform_u64(0, 1 << 11),
+                1 => rng.uniform_u64(0, 1 << 24),
+                _ => rng.uniform_u64(0, 1 << 40),
+            };
+            let horizon = t(*now + jump);
+            let (a, b) = (wheel.pop_until(horizon), heap.pop_until(horizon));
+            assert_eq!(a, b);
+            if let Some((at, _)) = a {
+                *now = (*now).max(at.since(SimTime::ZERO).as_nanos());
+            }
+        }
+        // Batch drain up to a horizon.
+        80..=92 => {
+            let horizon = t(*now + rng.uniform_u64(0, 1 << 28));
+            let (mut va, mut vb) = (Vec::new(), Vec::new());
+            let na = wheel.pop_batch_until(horizon, &mut va);
+            let nb = heap.pop_batch_until(horizon, &mut vb);
+            assert_eq!(na, nb);
+            assert_eq!(va, vb);
+            if let Some((at, _)) = va.last() {
+                *now = (*now).max(at.since(SimTime::ZERO).as_nanos());
+            }
+        }
+        // Recycle both (keeps capacity, must not disturb ordering state).
+        _ => {
+            wheel.recycle();
+            heap.recycle();
+        }
+    }
+}
+
+fn run_differential(seed: u64, ops: usize) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut wheel = EventQueue::with_core(EventCore::Wheel);
+    let mut heap = EventQueue::with_core(EventCore::Heap);
+    let mut now = 0u64;
+    let mut payload = 0u64;
+    for _ in 0..ops {
+        step(&mut rng, &mut wheel, &mut heap, &mut now, &mut payload);
+    }
+    // Full drain: remaining contents must agree exactly, ties included.
+    loop {
+        let (a, b) = (wheel.pop(), heap.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    assert!(wheel.is_empty() && heap.is_empty());
+}
+
+#[test]
+fn randomized_interleavings_agree_across_seeds() {
+    for seed in 0..12 {
+        run_differential(seed, 4_000);
+    }
+}
+
+#[test]
+fn monotone_drain_pattern_agrees() {
+    // The simulation's actual access pattern: time only moves forward,
+    // batches drained at poll-tick horizons, new events pushed relative to
+    // the just-popped time.
+    let mut rng = SimRng::seed_from_u64(99);
+    let mut wheel = EventQueue::with_core(EventCore::Wheel);
+    let mut heap = EventQueue::with_core(EventCore::Heap);
+    for i in 0..256u64 {
+        let at = t(rng.uniform_u64(0, 1 << 20));
+        wheel.push(at, i);
+        heap.push(at, i);
+    }
+    let mut horizon = 0u64;
+    let mut drained = 0usize;
+    let mut payload = 256u64;
+    while !heap.is_empty() {
+        horizon += rng.uniform_u64(1, 1 << 16);
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        wheel.pop_batch_until(t(horizon), &mut va);
+        heap.pop_batch_until(t(horizon), &mut vb);
+        assert_eq!(va, vb);
+        drained += va.len();
+        // Completion-style feedback: each drained event may schedule a
+        // successor a short distance ahead (often on the same tick).
+        for (at, _) in &va {
+            if rng.chance(0.25) && payload < 2_000 {
+                let next = *at + SimDuration::from_nanos(rng.uniform_u64(0, 4096));
+                wheel.push(next, payload);
+                heap.push(next, payload);
+                payload += 1;
+            }
+        }
+    }
+    assert!(wheel.is_empty());
+    assert!(drained >= 256);
+}
+
+#[test]
+fn same_tick_fifo_ties_preserved_at_scale() {
+    // Thousands of events on a handful of distinct instants: pop order must
+    // be exact insertion order within each instant, on both backends.
+    let mut wheel = EventQueue::with_core(EventCore::Wheel);
+    let mut heap = EventQueue::with_core(EventCore::Heap);
+    let instants: Vec<SimTime> = vec![t(0), t(1024), t(1 << 20), t(1 << 36), t(5)];
+    for i in 0..5_000u64 {
+        let at = instants[(i % 5) as usize];
+        wheel.push(at, i);
+        heap.push(at, i);
+    }
+    let mut last: Option<(SimTime, u64)> = None;
+    while let Some((at, p)) = wheel.pop() {
+        assert_eq!(heap.pop(), Some((at, p)));
+        if let Some((lat, lp)) = last {
+            assert!(at > lat || (at == lat && p > lp), "FIFO tie order broken");
+        }
+        last = Some((at, p));
+    }
+    assert!(heap.pop().is_none());
+}

@@ -227,57 +227,114 @@ impl IatSpec {
         // Markov burst state, advanced per arrival for MarkovBursty.
         let mut bursting = false;
         for i in 0..n {
-            let iat_ms = match self {
-                IatSpec::Poisson { mean_ms } => rng.exponential(*mean_ms),
-                IatSpec::Uniform { lo_ms, hi_ms } => rng.uniform(*lo_ms, *hi_ms),
-                IatSpec::Fixed { iat_ms } => *iat_ms,
-                IatSpec::Bursty {
-                    base_mean_ms,
-                    spikes,
-                } => {
-                    let in_spike = spikes
-                        .iter()
-                        .find(|s| i >= s.start_idx && i < s.start_idx + s.len);
-                    let mean = match in_spike {
-                        Some(s) => base_mean_ms / s.factor.max(1.0),
-                        None => *base_mean_ms,
-                    };
-                    rng.exponential(mean)
-                }
-                IatSpec::Diurnal {
-                    base_mean_ms,
-                    amplitude,
-                    cycles,
-                } => {
-                    let a = amplitude.clamp(0.0, 0.999);
-                    let rate = 1.0 + a * phase_sin(i, n, *cycles);
-                    rng.exponential(base_mean_ms / rate)
-                }
-                IatSpec::MarkovBursty {
-                    base_mean_ms,
-                    burst_factor,
-                    p_enter,
-                    p_exit,
-                } => {
-                    bursting = if bursting {
-                        !rng.chance(*p_exit)
-                    } else {
-                        rng.chance(*p_enter)
-                    };
-                    let mean = if bursting {
-                        base_mean_ms / burst_factor.max(1.0)
-                    } else {
-                        *base_mean_ms
-                    };
-                    rng.exponential(mean)
-                }
-            };
+            let iat_ms = self.next_iat_ms(i, n, &mut bursting, rng);
             t += SimDuration::from_millis_f64(iat_ms);
             out.push(t);
         }
         out
     }
+
+    /// Lazy equivalent of [`IatSpec::arrivals`]: an iterator yielding the
+    /// same `n` instants, bit-identical draw for draw, without allocating
+    /// the vector. The iterator owns `rng` — hand it the `"iat"`-derived
+    /// stream exactly as `arrivals` would have received it.
+    pub fn arrival_iter(&self, n: usize, rng: SimRng) -> ArrivalIter {
+        ArrivalIter {
+            spec: self.clone(),
+            rng,
+            n,
+            i: 0,
+            t: SimTime::ZERO,
+            bursting: false,
+        }
+    }
+
+    /// Draw the IAT (ms) for arrival `i` of `n`. The single sampling path
+    /// shared by [`IatSpec::arrivals`] and [`ArrivalIter`], so eager and
+    /// lazy generation cannot drift apart.
+    fn next_iat_ms(&self, i: usize, n: usize, bursting: &mut bool, rng: &mut SimRng) -> f64 {
+        match self {
+            IatSpec::Poisson { mean_ms } => rng.exponential(*mean_ms),
+            IatSpec::Uniform { lo_ms, hi_ms } => rng.uniform(*lo_ms, *hi_ms),
+            IatSpec::Fixed { iat_ms } => *iat_ms,
+            IatSpec::Bursty {
+                base_mean_ms,
+                spikes,
+            } => {
+                let in_spike = spikes
+                    .iter()
+                    .find(|s| i >= s.start_idx && i < s.start_idx + s.len);
+                let mean = match in_spike {
+                    Some(s) => base_mean_ms / s.factor.max(1.0),
+                    None => *base_mean_ms,
+                };
+                rng.exponential(mean)
+            }
+            IatSpec::Diurnal {
+                base_mean_ms,
+                amplitude,
+                cycles,
+            } => {
+                let a = amplitude.clamp(0.0, 0.999);
+                let rate = 1.0 + a * phase_sin(i, n, *cycles);
+                rng.exponential(base_mean_ms / rate)
+            }
+            IatSpec::MarkovBursty {
+                base_mean_ms,
+                burst_factor,
+                p_enter,
+                p_exit,
+            } => {
+                *bursting = if *bursting {
+                    !rng.chance(*p_exit)
+                } else {
+                    rng.chance(*p_enter)
+                };
+                let mean = if *bursting {
+                    base_mean_ms / burst_factor.max(1.0)
+                } else {
+                    *base_mean_ms
+                };
+                rng.exponential(mean)
+            }
+        }
+    }
 }
+
+/// Lazy arrival-instant stream (see [`IatSpec::arrival_iter`]). Arrivals
+/// are non-decreasing, so the stream is already in dispatch order.
+#[derive(Debug, Clone)]
+pub struct ArrivalIter {
+    spec: IatSpec,
+    rng: SimRng,
+    n: usize,
+    i: usize,
+    t: SimTime,
+    bursting: bool,
+}
+
+impl Iterator for ArrivalIter {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.i >= self.n {
+            return None;
+        }
+        let iat_ms = self
+            .spec
+            .next_iat_ms(self.i, self.n, &mut self.bursting, &mut self.rng);
+        self.i += 1;
+        self.t += SimDuration::from_millis_f64(iat_ms);
+        Some(self.t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.n - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ArrivalIter {}
 
 /// Sine of the diurnal phase for arrival `i` of `n` over `cycles` cycles.
 #[inline]
