@@ -81,7 +81,7 @@ fn main() {
                 cfs[i].turnaround.as_millis_f64() / sfs[i].turnaround.as_millis_f64().max(1e-9)
             })
             .collect();
-        speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        speedups.sort_by(f64::total_cmp);
         let median = speedups[speedups.len() / 2];
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
         let label = if hi >= 3500.0 {

@@ -14,6 +14,8 @@
 //! harness: trials fan out over N threads, but every number printed or
 //! saved is bit-identical for any N — parallelism buys wall-clock only.
 
+// lint: allow-file(D2, wall-clock here only stamps the per-harness timing lines on stderr-style progress output, never a result)
+
 use std::process::Command;
 use std::time::Instant;
 

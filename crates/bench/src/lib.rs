@@ -13,6 +13,8 @@
 //! `SFS_BENCH_REQUESTS` (default figure-specific), `SFS_BENCH_SEED`,
 //! `SFS_BENCH_THREADS` (wall-clock only — never the numbers).
 
+#![warn(missing_docs)]
+
 pub mod perf;
 pub mod sweep;
 pub mod timebench;

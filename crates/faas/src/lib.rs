@@ -11,6 +11,8 @@
 //! * [`platform`] — [`platform::OpenLambda`]: end-to-end dispatch + run under
 //!   SFS or a kernel baseline, with turnaround re-based to HTTP invocation.
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod containers;
 pub mod pipeline;

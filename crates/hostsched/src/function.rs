@@ -5,6 +5,9 @@
 //! to emulate an I/O operation. Used by the live demo scheduler and the
 //! Table-II overhead measurements.
 
+// lint: allow-file(D2, live backend: real threads burning real CPU are the measurement, so wall-clock reads are the point)
+// lint: allow-file(D3, live function processes are real OS threads, not simulated fan-out; determinism is out of scope here)
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;

@@ -8,6 +8,8 @@
 //! priorities (-10 for FILTER, +5 after demotion), which preserves the
 //! ordering on CFS even though it cannot fully stop preemption.
 
+// lint: allow-file(D2, live backend schedules real kernel threads; elapsed wall-clock is the measured quantity)
+
 use std::time::{Duration, Instant};
 
 use crate::function::{LiveFunction, LiveOutcome, LiveSpec};

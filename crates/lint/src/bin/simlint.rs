@@ -1,0 +1,108 @@
+//! `simlint` — run the workspace determinism/panic-safety lint.
+//!
+//! ```text
+//! simlint [--root DIR] [--json PATH] [--rules] [--verbose] [--quiet]
+//! ```
+//!
+//! Walks the workspace (default: the nearest ancestor of the current
+//! directory whose `Cargo.toml` declares `[workspace]`), prints a human
+//! findings table, optionally writes the machine-readable findings list
+//! as JSON, and exits 0 (clean), 1 (findings), or 2 (usage/IO error).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sfs_lint::{report, rules, walk};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--rules" => {
+                for r in rules::RULESET {
+                    println!("{:>3}  {}", r.id, r.summary);
+                    println!("     {}", r.rationale);
+                    if !r.allowed_paths.is_empty() {
+                        println!("     allowed in: {}", r.allowed_paths.join(", "));
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (pass --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let scan = match sfs_lint::scan_workspace(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simlint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, report::findings_json(&scan.findings)) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !scan.findings.is_empty() {
+        print!("{}", report::human_table(&scan.findings));
+    }
+    if verbose && !scan.suppressed.is_empty() {
+        println!("-- suppressed by reasoned allows --");
+        print!("{}", report::human_table(&scan.suppressed));
+    }
+    if !quiet {
+        println!(
+            "{}",
+            report::summary_line(scan.findings.len(), scan.suppressed.len(), scan.files)
+        );
+    }
+    if scan.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("simlint: {err}");
+    }
+    eprintln!("usage: simlint [--root DIR] [--json PATH] [--rules] [--verbose] [--quiet]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

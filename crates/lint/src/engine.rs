@@ -1,0 +1,340 @@
+//! The rule engine: runs the [ruleset](crate::rules::RULESET) over one
+//! lexed source file, applies suppressions, and reports findings.
+//!
+//! Test code (files under a `tests/` or `benches/` directory, plus
+//! `#[cfg(test)]` / `#[test]` item regions in any file) is exempt from
+//! rules with `skip_test_code` — a test may legitimately build a
+//! `HashSet` to check seed uniqueness, but the simulation core may not.
+//!
+//! Suppressions are themselves checked: a directive with no reason, an
+//! unknown rule id, or one that suppresses nothing is a finding. Allows
+//! must not rot.
+
+use crate::lexer::{lex, Directive, DirectiveScope, Token, TokenKind};
+use crate::rules::{rule_by_id, Matcher, Rule};
+
+/// One lint finding, pointing at a workspace-relative path and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D1`, …) or a meta id (`allow-syntax`, `unused-allow`).
+    pub rule: String,
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Findings that must be fixed or suppressed-with-reason.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a well-formed reasoned allow (kept for
+    /// `--verbose` reporting: suppressions stay visible, not buried).
+    pub suppressed: Vec<Finding>,
+}
+
+/// Scan one file's source text. `rel_path` must be workspace-relative with
+/// `/` separators — it drives per-rule allowed paths and test-tree checks.
+pub fn scan_source(rel_path: &str, source: &str, ruleset: &[Rule]) -> FileScan {
+    let lexed = lex(source);
+    let test_file = is_test_path(rel_path);
+    let test_lines = if test_file {
+        TestRegions::all()
+    } else {
+        TestRegions::from_tokens(&lexed.tokens)
+    };
+
+    let mut scan = FileScan::default();
+    let mut used_directive = vec![false; lexed.directives.len()];
+
+    for rule in ruleset {
+        if rule
+            .allowed_paths
+            .iter()
+            .any(|p| rel_path == *p || rel_path.ends_with(&format!("/{p}")))
+        {
+            continue;
+        }
+        for (line, detail) in match_rule(rule, &lexed.tokens) {
+            if rule.skip_test_code && test_lines.contains(line) {
+                continue;
+            }
+            let finding = Finding {
+                rule: rule.id.to_string(),
+                path: rel_path.to_string(),
+                line,
+                message: format!("{} — {}", rule.summary, detail),
+            };
+            match find_suppression(&lexed.directives, rule.id, line) {
+                Some(di) => {
+                    used_directive[di] = true;
+                    scan.suppressed.push(finding);
+                }
+                None => scan.findings.push(finding),
+            }
+        }
+    }
+
+    // Directive hygiene: malformed, unknown-rule, and unused allows are
+    // findings in their own right (and cannot themselves be suppressed).
+    for (i, d) in lexed.directives.iter().enumerate() {
+        if let Some(msg) = &d.malformed {
+            scan.findings.push(Finding {
+                rule: "allow-syntax".to_string(),
+                path: rel_path.to_string(),
+                line: d.line,
+                message: msg.clone(),
+            });
+            continue;
+        }
+        if rule_by_id(&d.rule).is_none() {
+            scan.findings.push(Finding {
+                rule: "allow-syntax".to_string(),
+                path: rel_path.to_string(),
+                line: d.line,
+                message: format!("lint allow names unknown rule `{}`", d.rule),
+            });
+            continue;
+        }
+        if !used_directive[i] {
+            scan.findings.push(Finding {
+                rule: "unused-allow".to_string(),
+                path: rel_path.to_string(),
+                line: d.line,
+                message: format!(
+                    "allow({}) suppresses nothing — remove it (stale allows hide future findings)",
+                    d.rule
+                ),
+            });
+        }
+    }
+
+    scan
+}
+
+/// Whole-path test check: anything under a `tests/` or `benches/` dir.
+fn is_test_path(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches")
+}
+
+/// Lines covered by `#[cfg(test)]` / `#[test]` items, as inclusive spans.
+struct TestRegions {
+    spans: Vec<(u32, u32)>,
+    all: bool,
+}
+
+impl TestRegions {
+    fn all() -> Self {
+        TestRegions {
+            spans: Vec::new(),
+            all: true,
+        }
+    }
+
+    fn contains(&self, line: u32) -> bool {
+        self.all || self.spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Find `#[cfg(test)] <item>` / `#[test] fn …` spans by scanning for
+    /// the attribute, then taking the following item's extent: up to a
+    /// top-level `;`, or the matching `}` of its first `{`.
+    fn from_tokens(tokens: &[Token]) -> Self {
+        let mut spans = Vec::new();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                let start_line = tokens[i].line;
+                let (attr_end, is_test_attr) = read_attribute(tokens, i + 1);
+                if is_test_attr {
+                    if let Some(end_line) = item_end_line(tokens, attr_end) {
+                        spans.push((start_line, end_line));
+                    }
+                }
+                i = attr_end;
+            } else {
+                i += 1;
+            }
+        }
+        TestRegions { spans, all: false }
+    }
+}
+
+/// Read the attribute starting at the `[` index; returns (index past `]`,
+/// whether it is `#[test]`-like or `#[cfg(… test …)]`).
+fn read_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident(s) => idents.push(s.as_str()),
+            TokenKind::Punct(_) => {}
+        }
+        i += 1;
+    }
+    // `#[test]` exactly, or `#[cfg(…)]` mentioning `test` not negated by
+    // an immediately preceding `not` (`#[cfg(not(test))]` is live code).
+    let is_test = match idents.split_first() {
+        Some((&"test", rest)) => rest.is_empty(),
+        Some((&"cfg", rest)) => rest
+            .iter()
+            .enumerate()
+            .any(|(k, s)| *s == "test" && (k == 0 || rest[k - 1] != "not")),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+/// The last line of the item starting at token index `i` (skipping any
+/// further attributes): the line of a top-level `;`, or of the `}`
+/// matching the item's first `{`.
+fn item_end_line(tokens: &[Token], mut i: usize) -> Option<u32> {
+    // Skip stacked attributes between #[cfg(test)] and the item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (next, _) = read_attribute(tokens, i + 1);
+        i = next;
+    }
+    let mut brace_depth = 0i32;
+    let mut entered = false;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct(';') if !entered => return Some(tokens[i].line),
+            TokenKind::Punct('{') => {
+                entered = true;
+                brace_depth += 1;
+            }
+            TokenKind::Punct('}') => {
+                brace_depth -= 1;
+                if entered && brace_depth == 0 {
+                    return Some(tokens[i].line);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Run one rule's matcher over the token stream, yielding (line, detail),
+/// at most one hit per (line, detail) pair — `HashMap<K, V> = HashMap::new()`
+/// is one finding, not two.
+fn match_rule(rule: &Rule, tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut hits = match_rule_raw(rule, tokens);
+    hits.dedup();
+    hits
+}
+
+fn match_rule_raw(rule: &Rule, tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    match rule.matcher {
+        Matcher::IdentAny(names) => {
+            for t in tokens {
+                if let Some(id) = t.ident() {
+                    if names.contains(&id) {
+                        hits.push((t.line, format!("`{id}`")));
+                    }
+                }
+            }
+        }
+        Matcher::PathSeq(paths) => {
+            for path in paths {
+                for i in 0..tokens.len() {
+                    if matches_path(tokens, i, path) {
+                        hits.push((tokens[i].line, format!("`{}`", path.join("::"))));
+                    }
+                }
+            }
+            hits.sort();
+        }
+        Matcher::CallThen { head, tails } => {
+            for i in 0..tokens.len() {
+                if tokens[i].ident() != Some(head) {
+                    continue;
+                }
+                if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                    continue;
+                }
+                let Some(close) = matching_paren(tokens, i + 1) else {
+                    continue;
+                };
+                if !tokens.get(close + 1).is_some_and(|t| t.is_punct('.')) {
+                    continue;
+                }
+                if let Some(tail) = tokens.get(close + 2).and_then(|t| t.ident()) {
+                    if tails.contains(&tail) {
+                        hits.push((tokens[i].line, format!("`{head}(..).{tail}()`")));
+                    }
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// `tokens[i..]` starts the ident path `segs[0]::segs[1]::…`?
+fn matches_path(tokens: &[Token], i: usize, segs: &[&str]) -> bool {
+    let mut idx = i;
+    for (k, seg) in segs.iter().enumerate() {
+        if tokens.get(idx).and_then(|t| t.ident()) != Some(seg) {
+            return false;
+        }
+        idx += 1;
+        if k + 1 < segs.len() {
+            if !(tokens.get(idx).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(idx + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            idx += 2;
+        }
+    }
+    true
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A well-formed directive that suppresses `rule` at `line`: same line or
+/// the line above (line scope), or anywhere in the file (file scope).
+fn find_suppression(directives: &[Directive], rule: &str, line: u32) -> Option<usize> {
+    directives.iter().position(|d| {
+        d.malformed.is_none()
+            && d.rule == rule
+            && match d.scope {
+                DirectiveScope::Line => d.line == line || d.line + 1 == line,
+                DirectiveScope::File => true,
+            }
+    })
+}

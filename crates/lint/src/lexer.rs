@@ -1,0 +1,479 @@
+//! A minimal hand-written Rust lexer for lint-grade pattern matching.
+//!
+//! The lexer's contract is deliberately narrow: it produces the stream of
+//! **identifiers and punctuation** a rule matcher needs, with comment and
+//! string-literal *contents* guaranteed never to appear as tokens (so a
+//! fixture string like `"partial_cmp(x).unwrap()"` or a comment mentioning
+//! `HashMap` can never fire a rule). It is not a full Rust lexer — numeric
+//! literal values, operator multi-chars, and token spans beyond the line
+//! number are all out of scope, because no rule needs them.
+//!
+//! Line comments are additionally scanned for suppression directives
+//! (`// lint: allow(RULE, reason)` / `// lint: allow-file(RULE, reason)`);
+//! see [`Directive`]. Directives inside block comments or strings are
+//! ignored — only a real `//` comment can suppress a finding.
+
+/// One lexed token: an identifier/keyword or a single punctuation char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `partial_cmp`, …).
+    Ident(String),
+    /// A single punctuation character (`:`, `(`, `.`, `#`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Scope of a suppression directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveScope {
+    /// `allow(...)`: suppresses findings on the directive's line or the
+    /// line immediately below it (the comment-above idiom).
+    Line,
+    /// `allow-file(...)`: suppresses the rule for the whole file.
+    File,
+}
+
+/// A parsed `// lint: ...` suppression directive.
+///
+/// The reason string is **required**: `allow(D1)` with no reason is a
+/// malformed directive, which the engine reports as a finding of its own
+/// rather than honouring it. A suppression that cannot say *why* it is
+/// safe is exactly the kind of entropy the linter exists to prevent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Line- or file-scoped.
+    pub scope: DirectiveScope,
+    /// The rule id being allowed (e.g. `D1`).
+    pub rule: String,
+    /// The human reason. Empty only when `malformed` is set.
+    pub reason: String,
+    /// If set, the directive could not be parsed; the message says why.
+    pub malformed: Option<String>,
+}
+
+/// Output of [`lex`]: the token stream plus any suppression directives.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Identifier/punctuation tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Suppression directives in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// Lex `source`, stripping comments, string/char literals, and numeric
+/// literals, and collecting `// lint:` directives from line comments.
+pub fn lex(source: &str) -> LexOutput {
+    let b = source.as_bytes();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = &source[start..j];
+                if let Some(d) = parse_directive(text, line) {
+                    out.directives.push(d);
+                }
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => i = skip_string(b, i + 1, &mut line),
+            b'\'' => i = skip_char_or_lifetime(b, i, &mut line),
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                i = skip_raw_or_byte_string(b, i, &mut line);
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..i].to_string()),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal, including suffixes (1_000u64, 1.5e-3).
+                // A '.' is part of the number only when followed by a
+                // digit, so `x.0.unwrap()`-style tuple access still lexes
+                // its '.' tokens.
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'_' || b[i].is_ascii_alphanumeric() {
+                        i += 1;
+                    } else if b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// After an opening `"`, skip to just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // An escape may hide a newline (`\` line continuation) —
+                // the line counter must still see it.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// `'` starts either a char literal or a lifetime; only the literal has a
+/// closing quote. Lifetimes are dropped entirely (no rule matches them).
+fn skip_char_or_lifetime(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let next = b.get(i + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: skip escape then scan to closing quote.
+            let mut j = i + 3;
+            while j < b.len() && b[j] != b'\'' {
+                if b[j] == b'\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+            j + 1
+        }
+        Some(c) if c != b'\'' => {
+            if b.get(i + 2).copied() == Some(b'\'') {
+                // 'x' char literal.
+                i + 3
+            } else {
+                // Lifetime: consume the quote, the ident chars get lexed
+                // next pass — but a lifetime name must not become an Ident
+                // token (it could collide with a rule ident), so consume
+                // them here and emit nothing.
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                j
+            }
+        }
+        _ => i + 1,
+    }
+}
+
+/// Does position `i` start a raw/byte string (`r"`, `r#"`, `br"`, `b"` …)?
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+/// Skip a raw/byte string starting at `i` (which satisfies
+/// [`is_raw_or_byte_string`]). Returns the index past the closing quote.
+fn skip_raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    if raw {
+        // Scan for `"` followed by `hashes` '#'s; no escapes in raw strings.
+        while j < b.len() {
+            if b[j] == b'\n' {
+                *line += 1;
+                j += 1;
+            } else if b[j] == b'"'
+                && b[j + 1..].len() >= hashes
+                && b[j + 1..j + 1 + hashes].iter().all(|&h| h == b'#')
+            {
+                return j + 1 + hashes;
+            } else {
+                j += 1;
+            }
+        }
+        j
+    } else {
+        // b"..." byte string: ordinary escape rules.
+        skip_string(b, j, line)
+    }
+}
+
+/// Parse a line-comment body for a `lint:` directive. Returns `None` for
+/// ordinary comments; returns a malformed [`Directive`] (with `malformed`
+/// set) when the comment clearly attempts a directive but gets it wrong.
+fn parse_directive(text: &str, line: u32) -> Option<Directive> {
+    let t = text.trim();
+    let rest = t.strip_prefix("lint:")?.trim_start();
+    let (scope, body) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (DirectiveScope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (DirectiveScope::Line, r)
+    } else {
+        return Some(malformed(
+            line,
+            "unknown lint directive (expected `allow` or `allow-file`)",
+        ));
+    };
+    let body = body.trim_start();
+    let inner = match body
+        .strip_prefix('(')
+        .and_then(|r| r.rfind(')').map(|p| &r[..p]))
+    {
+        Some(x) => x,
+        None => {
+            return Some(malformed(
+                line,
+                "malformed lint directive: expected `(<rule>, <reason>)`",
+            ))
+        }
+    };
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Some(malformed(line, "lint allow is missing a rule id"));
+    }
+    if reason.is_empty() {
+        return Some(Directive {
+            line,
+            scope,
+            rule: rule.to_string(),
+            reason: String::new(),
+            malformed: Some(format!(
+                "lint allow({rule}) carries no reason — a suppression must say why it is safe"
+            )),
+        });
+    }
+    Some(Directive {
+        line,
+        scope,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        malformed: None,
+    })
+}
+
+fn malformed(line: u32, msg: &str) -> Directive {
+    Directive {
+        line,
+        scope: DirectiveScope::Line,
+        rule: String::new(),
+        reason: String::new(),
+        malformed: Some(msg.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                TokenKind::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_yield_no_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let s = "HashMap::new()"; // trailing SystemTime note
+            let r = r#"partial_cmp(x).unwrap()"#;
+            let b = b"unsafe";
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_become_idents_but_char_literals_are_skipped() {
+        let ids = idents("fn f<'static_like>(x: &'static_like str, c: char) { let y = 'y'; }");
+        assert!(!ids.contains(&"static_like".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"y".to_string()) || ids.contains(&"y".to_string()));
+        // The binding ident `y` *is* lexed; the literal 'y' is not — so `y`
+        // appears exactly once.
+        assert_eq!(ids.iter().filter(|s| s.as_str() == "y").count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literal_does_not_derail() {
+        let ids = idents(r"let nl = '\n'; let q = '\''; after");
+        assert!(ids.contains(&"after".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn line_numbers_track_strings_and_comments() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].ident(), Some("b"));
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn line_numbers_track_backslash_continuations_in_strings() {
+        // `\` at end of line inside a string hides the newline from the
+        // escape handler; the line counter must still advance.
+        let src = "let u = \"line one\\\n   continued\";\nafter";
+        let toks = lex(src).tokens;
+        let after = toks.iter().find(|t| t.ident() == Some("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn numeric_literals_keep_method_dots() {
+        let toks = lex("x.0.foo(); 1.5e-3; 1_000u64.bar()");
+        let ids: Vec<_> = toks.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert!(ids.contains(&"foo"));
+        assert!(ids.contains(&"bar"));
+        assert!(!ids.contains(&"e"));
+        assert!(!ids.contains(&"u64"));
+    }
+
+    #[test]
+    fn directive_parses_with_reason() {
+        let out = lex("let x = 1; // lint: allow(D1, lookups only, never iterated)\n");
+        assert_eq!(out.directives.len(), 1);
+        let d = &out.directives[0];
+        assert_eq!(d.rule, "D1");
+        assert_eq!(d.scope, DirectiveScope::Line);
+        assert_eq!(d.reason, "lookups only, never iterated");
+        assert!(d.malformed.is_none());
+    }
+
+    #[test]
+    fn directive_file_scope() {
+        let out = lex("// lint: allow-file(D2, live backend reads wall-clock by design)\n");
+        assert_eq!(out.directives[0].scope, DirectiveScope::File);
+    }
+
+    #[test]
+    fn directive_without_reason_is_malformed() {
+        for src in [
+            "// lint: allow(D1)\n",
+            "// lint: allow(D1, )\n",
+            "// lint: allow()\n",
+        ] {
+            let out = lex(src);
+            assert_eq!(out.directives.len(), 1, "{src}");
+            assert!(out.directives[0].malformed.is_some(), "{src}");
+        }
+    }
+
+    #[test]
+    fn directive_in_string_or_block_comment_is_ignored() {
+        let out = lex("let s = \"// lint: allow(D1, nope)\"; /* lint: allow(D1, nope) */");
+        assert!(out.directives.is_empty());
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_directives() {
+        let out = lex("// just a note about lint rules\n// lints: nothing\n");
+        assert!(out.directives.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! # sfs-lint — determinism & panic-safety static analysis for this workspace
+//!
+//! Every PR since the seed stakes its correctness on one invariant:
+//! **bit-identical results at any thread count, any event-core backend,
+//! any scale**. The golden snapshots and determinism suites defend that
+//! invariant *dynamically* — but a hazard no golden happens to exercise
+//! (a NaN reaching a `partial_cmp().unwrap()` sort, a `HashMap` iteration
+//! order leaking into output) ships silently. `sfs-lint` rules the whole
+//! *class* of bug out at the source level.
+//!
+//! Fully dependency-free, like everything else in the workspace: a small
+//! hand-written [lexer] (comments and string contents can never match a
+//! rule) feeds a rule [engine] over the [ruleset](rules::RULESET):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `D1` | no `HashMap`/`HashSet` in non-test code (iteration order) |
+//! | `D2` | no `Instant`/`SystemTime` outside `timebench`/`perf` |
+//! | `D3` | no thread spawning outside `simcore::parallel` |
+//! | `P1` | no `partial_cmp(..).unwrap()` — `f64::total_cmp` instead |
+//! | `P2` | no `try_into().unwrap()` in non-test code |
+//! | `U1` | `unsafe` confined to `hostsched/src/sys.rs` |
+//!
+//! A finding is silenced only by a **reasoned** suppression:
+//!
+//! ```text
+//! // lint: allow(D1, lookups-only by construction; never iterated)
+//! // lint: allow-file(D2, live backend measures real wall-clock by design)
+//! ```
+//!
+//! `allow` covers its own line and the next; `allow-file` the whole file.
+//! A reasonless, unknown-rule, or unused allow is itself a finding.
+//!
+//! The pass runs three ways so it can never rot: the `simlint` binary
+//! (`cargo run --bin simlint`), a root-crate test (plain `cargo test`
+//! enforces it), and a dedicated CI step.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use engine::{scan_source, FileScan, Finding};
+pub use rules::{Rule, RULESET};
+
+use std::io;
+use std::path::Path;
+
+/// Result of scanning a whole workspace tree.
+#[derive(Debug, Default)]
+pub struct WorkspaceScan {
+    /// Unsuppressed findings (must be empty for the gate to pass).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by reasoned allows, kept visible for reporting.
+    pub suppressed: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+/// Scan every `.rs` file under `root` with the default
+/// [ruleset](rules::RULESET). Findings come back in sorted-path order, so
+/// output is byte-stable run to run.
+pub fn scan_workspace(root: &Path) -> io::Result<WorkspaceScan> {
+    let mut scan = WorkspaceScan::default();
+    for path in walk::workspace_sources(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = walk::relative_path(root, &path);
+        let file = scan_source(&rel, &source, rules::RULESET);
+        scan.findings.extend(file.findings);
+        scan.suppressed.extend(file.suppressed);
+        scan.files += 1;
+    }
+    Ok(scan)
+}

@@ -1,0 +1,123 @@
+//! Rendering: the human findings table and the machine-readable JSON
+//! findings list (hand-rolled writer — the workspace stays
+//! dependency-free, same as `sfs_bench::perf`'s BENCH_sim.json).
+
+use crate::engine::Finding;
+
+/// Render findings as an aligned `path:line  RULE  message` table, grouped
+/// in path order. Empty input renders an empty string.
+pub fn human_table(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return String::new();
+    }
+    let loc_w = findings
+        .iter()
+        .map(|f| f.path.len() + 1 + digits(f.line))
+        .max()
+        .unwrap_or(0);
+    let rule_w = findings.iter().map(|f| f.rule.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for f in findings {
+        let loc = format!("{}:{}", f.path, f.line);
+        out.push_str(&format!(
+            "{loc:<loc_w$}  {rule:<rule_w$}  {msg}\n",
+            rule = f.rule,
+            msg = f.message
+        ));
+    }
+    out
+}
+
+/// One summary line: `simlint: N findings, M suppressed, K files scanned`.
+pub fn summary_line(findings: usize, suppressed: usize, files: usize) -> String {
+    format!("simlint: {findings} finding(s), {suppressed} suppressed, {files} files scanned")
+}
+
+/// Machine-readable findings: a JSON array of
+/// `{"rule": …, "path": …, "line": …, "message": …}` objects, sorted the
+/// way the engine emitted them (path order).
+pub fn findings_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(&f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Minimal JSON string escape (quote, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, path: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn table_aligns_and_lists_every_finding() {
+        let fs = vec![
+            f("D1", "crates/a/src/lib.rs", 7, "x"),
+            f("P1", "crates/longer/path.rs", 123, "y"),
+        ];
+        let t = human_table(&fs);
+        assert!(t.contains("crates/a/src/lib.rs:7"));
+        assert!(t.contains("crates/longer/path.rs:123"));
+        assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_and_roundtrips_shape() {
+        let fs = vec![f("D1", "a.rs", 1, "said \"hi\"\\path")];
+        let j = findings_json(&fs);
+        assert!(j.contains(r#""rule": "D1""#));
+        assert!(j.contains(r#"\"hi\""#));
+        assert!(j.contains(r#"\\path"#));
+        assert!(j.starts_with('[') && j.trim_end().ends_with(']'));
+        assert_eq!(findings_json(&[]).trim(), "[]");
+    }
+}

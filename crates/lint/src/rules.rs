@@ -1,0 +1,133 @@
+//! The `simlint` ruleset: each rule encodes one invariant the repo's test
+//! suites defend dynamically, checked here at the source level so a hazard
+//! no golden snapshot happens to exercise cannot ship silently.
+//!
+//! Rule ids are stable and short (`D*` determinism, `P*` panic-safety,
+//! `U*` unsafe containment) — they are what `// lint: allow(<id>, <why>)`
+//! suppressions name. See ARCHITECTURE.md "Static analysis" for the
+//! rule-by-rule rationale and the contract for adding a rule.
+
+/// How a rule matches the token stream.
+#[derive(Debug, Clone, Copy)]
+pub enum Matcher {
+    /// Fires on any identifier token equal to one of these names.
+    IdentAny(&'static [&'static str]),
+    /// Fires on `a::b` path segments: each entry is a `::`-joined ident
+    /// sequence that must appear verbatim (e.g. `["thread", "spawn"]`).
+    PathSeq(&'static [&'static [&'static str]]),
+    /// Fires on `head(...).tail` call chains — `head`, an argument list,
+    /// then immediately `.tail` with `tail` in `tails` (e.g.
+    /// `partial_cmp(x).unwrap()`).
+    CallThen {
+        /// Method name opening the chain.
+        head: &'static str,
+        /// Method names that complete the banned chain.
+        tails: &'static [&'static str],
+    },
+}
+
+/// One lint rule: an id, what it matches, where it applies, and why.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id used by suppressions (`D1`, `P1`, …).
+    pub id: &'static str,
+    /// One-line human summary used in findings.
+    pub summary: &'static str,
+    /// The repo invariant the rule defends (shown by `--rules`).
+    pub rationale: &'static str,
+    /// Skip code in `tests/`/`benches/` trees and `#[cfg(test)]`/`#[test]`
+    /// regions.
+    pub skip_test_code: bool,
+    /// Files (workspace-relative, `/`-separated suffix match) where the
+    /// pattern is the file's purpose and findings are not raised.
+    pub allowed_paths: &'static [&'static str],
+    /// Token pattern.
+    pub matcher: Matcher,
+}
+
+/// The `simlint` ruleset, in presentation order.
+pub const RULESET: &[Rule] = &[
+    Rule {
+        id: "D1",
+        summary: "HashMap/HashSet in non-test code",
+        rationale: "iteration order is nondeterministic, so any iteration (now or added later) \
+                    can leak hash order into results; use BTreeMap/BTreeSet or a sorted Vec, or \
+                    prove the map is lookups-only and add a reasoned allow",
+        skip_test_code: true,
+        allowed_paths: &[],
+        matcher: Matcher::IdentAny(&["HashMap", "HashSet"]),
+    },
+    Rule {
+        id: "D2",
+        summary: "wall-clock read outside timebench/perf",
+        rationale: "Instant/SystemTime read real time; simulated components must take time from \
+                    SimTime so results are bit-identical across machines and runs",
+        skip_test_code: true,
+        allowed_paths: &["crates/bench/src/timebench.rs", "crates/bench/src/perf.rs"],
+        matcher: Matcher::IdentAny(&["Instant", "SystemTime"]),
+    },
+    Rule {
+        id: "D3",
+        summary: "thread spawn outside simcore::parallel",
+        rationale: "all fan-out goes through sfs_simcore::parallel, whose index-ordered slots \
+                    and pure seed sequencing are what make results thread-count-invariant",
+        skip_test_code: true,
+        allowed_paths: &["crates/simcore/src/parallel.rs"],
+        matcher: Matcher::PathSeq(&[&["thread", "spawn"], &["thread", "scope"]]),
+    },
+    Rule {
+        id: "P1",
+        summary: "partial_cmp().unwrap()/.expect() on floats",
+        rationale: "one NaN anywhere in the data panics the whole run (the PR 7 ensure_sorted \
+                    bug); use f64::total_cmp, which is total over NaN",
+        skip_test_code: false,
+        allowed_paths: &[],
+        matcher: Matcher::CallThen {
+            head: "partial_cmp",
+            tails: &["unwrap", "expect"],
+        },
+    },
+    Rule {
+        id: "P2",
+        summary: "try_into().unwrap()/.expect() in non-test code",
+        rationale: "unchecked narrowing conversions on sim-time quantities turn a scale-up \
+                    (10M-request runs, ns timestamps) into a panic; handle the Err or widen \
+                    the type",
+        skip_test_code: true,
+        allowed_paths: &[],
+        matcher: Matcher::CallThen {
+            head: "try_into",
+            tails: &["unwrap", "expect"],
+        },
+    },
+    Rule {
+        id: "U1",
+        summary: "unsafe outside hostsched/src/sys.rs",
+        rationale: "the workspace is dependency-free and fully safe except the hand-written \
+                    syscall FFI, which is quarantined in one reviewed file",
+        skip_test_code: false,
+        allowed_paths: &["crates/hostsched/src/sys.rs"],
+        matcher: Matcher::IdentAny(&["unsafe"]),
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULESET.iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_resolvable() {
+        for (i, r) in RULESET.iter().enumerate() {
+            assert!(rule_by_id(r.id).is_some());
+            for other in &RULESET[i + 1..] {
+                assert_ne!(r.id, other.id);
+            }
+        }
+        assert!(rule_by_id("nope").is_none());
+    }
+}

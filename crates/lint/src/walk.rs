@@ -1,0 +1,86 @@
+//! Workspace file walker: every `.rs` source under the repo root, in a
+//! deterministic (sorted) order, skipping build products and non-source
+//! trees. `std::fs` only — the walker must run on the same hermetic
+//! machine as the build.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results", "related"];
+
+/// Collect every `.rs` file under `root`, sorted by path so findings and
+/// reports are byte-stable run to run.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated form of `path` under `root`; falls
+/// back to the full path when `path` is not under `root`.
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    match path.strip_prefix(root) {
+        Ok(rel) => rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/"),
+        Err(_) => path.display().to_string(),
+    }
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` (inclusive)
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_path_is_slash_separated() {
+        let root = Path::new("/a/b");
+        assert_eq!(
+            relative_path(root, Path::new("/a/b/crates/x/src/lib.rs")),
+            "crates/x/src/lib.rs"
+        );
+        assert_eq!(
+            relative_path(root, Path::new("/elsewhere/f.rs")),
+            "/elsewhere/f.rs"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Fixture-snippet tests for every lint rule: each rule must fire on its
+//! bad pattern, stay silent on the good replacement, honour suppressions
+//! only when they carry a reason, and never match string or comment
+//! contents. Plus the test-code exemption, allowed-path, and
+//! directive-hygiene (`allow-syntax` / `unused-allow`) contracts.
+
+use sfs_lint::engine::scan_source;
+use sfs_lint::rules::RULESET;
+
+const SIM_PATH: &str = "crates/simcore/src/fixture.rs";
+
+fn findings(path: &str, src: &str) -> Vec<(String, u32)> {
+    scan_source(path, src, RULESET)
+        .findings
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn rules_fired(path: &str, src: &str) -> Vec<String> {
+    findings(path, src).into_iter().map(|(r, _)| r).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_hashmap_and_hashset_in_live_code() {
+    let bad = "use std::collections::HashMap;\nfn f() { let s: HashSet<u32> = HashSet::new(); }\n";
+    // Two `HashSet` hits on line 2 dedup into one finding per line.
+    assert_eq!(
+        findings(SIM_PATH, bad),
+        vec![("D1".into(), 1), ("D1".into(), 2)]
+    );
+}
+
+#[test]
+fn d1_silent_on_deterministic_containers() {
+    let good = "use std::collections::{BTreeMap, BTreeSet};\nfn f(m: &BTreeMap<u32, u32>) {}\n";
+    assert!(rules_fired(SIM_PATH, good).is_empty());
+}
+
+#[test]
+fn d1_exempts_cfg_test_modules_and_test_fns() {
+    let src = "\
+fn live() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashSet;\n\
+    #[test]\n\
+    fn seeds_unique() { let mut s = HashSet::new(); s.insert(1); }\n\
+}\n";
+    assert!(rules_fired(SIM_PATH, src).is_empty(), "cfg(test) is exempt");
+
+    let fn_only = "#[test]\nfn t() { let m = HashMap::new(); }\nfn live() { }\n";
+    assert!(
+        rules_fired(SIM_PATH, fn_only).is_empty(),
+        "#[test] fn is exempt"
+    );
+}
+
+#[test]
+fn d1_exempts_tests_and_benches_trees() {
+    let src = "use std::collections::HashMap;\n";
+    assert!(rules_fired("crates/faas/tests/prop.rs", src).is_empty());
+    assert!(rules_fired("crates/bench/benches/micro.rs", src).is_empty());
+    assert_eq!(rules_fired("crates/faas/src/prop.rs", src), vec!["D1"]);
+}
+
+#[test]
+fn d1_not_exempt_after_cfg_not_test() {
+    let src = "#[cfg(not(test))]\nfn live() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+    assert_eq!(
+        rules_fired(SIM_PATH, src),
+        vec!["D1"],
+        "cfg(not(test)) is live code"
+    );
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_wall_clock_reads() {
+    let bad = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+    let fired = rules_fired(SIM_PATH, bad);
+    assert_eq!(fired.iter().filter(|r| *r == "D2").count(), 2);
+    // Two `SystemTime` hits on one line dedup into a single finding.
+    assert_eq!(
+        rules_fired(SIM_PATH, "fn f() -> SystemTime { SystemTime::now() }\n").len(),
+        1
+    );
+}
+
+#[test]
+fn d2_silent_on_sim_time_and_duration() {
+    let good = "fn f(now: SimTime, d: SimDuration) -> SimTime { now + d }\n\
+                use std::time::Duration;\n";
+    assert!(rules_fired(SIM_PATH, good).is_empty());
+}
+
+#[test]
+fn d2_allowed_in_timebench_and_perf() {
+    let src = "use std::time::Instant;\n";
+    assert!(rules_fired("crates/bench/src/timebench.rs", src).is_empty());
+    assert!(rules_fired("crates/bench/src/perf.rs", src).is_empty());
+    assert_eq!(rules_fired("crates/bench/src/sweep.rs", src), vec!["D2"]);
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_fires_on_thread_spawn_and_scope() {
+    assert_eq!(
+        rules_fired(SIM_PATH, "fn f() { std::thread::spawn(|| {}); }\n"),
+        vec!["D3"]
+    );
+    assert_eq!(
+        rules_fired(SIM_PATH, "fn f() { thread::scope(|s| {}); }\n"),
+        vec!["D3"]
+    );
+}
+
+#[test]
+fn d3_silent_on_sleep_and_parallelism_queries() {
+    let good = "fn f() { std::thread::sleep(d); std::thread::available_parallelism(); }\n";
+    assert!(rules_fired(SIM_PATH, good).is_empty());
+}
+
+#[test]
+fn d3_allowed_in_parallel_module() {
+    let src = "fn fan_out() { std::thread::scope(|s| {}); }\n";
+    assert!(rules_fired("crates/simcore/src/parallel.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_fires_on_partial_cmp_unwrap_and_expect() {
+    assert_eq!(
+        rules_fired(
+            SIM_PATH,
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n"
+        ),
+        vec!["P1"]
+    );
+    assert_eq!(
+        rules_fired(
+            SIM_PATH,
+            "fn f() { x.partial_cmp(&y).expect(\"ordered\"); }\n"
+        ),
+        vec!["P1"]
+    );
+}
+
+#[test]
+fn p1_fires_even_in_test_code() {
+    // A NaN panic in a test is a flaky suite; the rule applies everywhere.
+    let src = "#[cfg(test)]\nmod tests {\n fn m(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}\n";
+    assert_eq!(rules_fired(SIM_PATH, src), vec!["P1"]);
+}
+
+#[test]
+fn p1_silent_on_total_cmp_and_on_handled_partial_cmp() {
+    let good = "fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n\
+                fn g(a: f64, b: f64) -> Ordering { a.partial_cmp(&b).unwrap_or(Ordering::Equal) }\n";
+    assert!(rules_fired(SIM_PATH, good).is_empty());
+}
+
+#[test]
+fn p1_silent_on_defining_partial_cmp() {
+    let good = "impl PartialOrd for T {\n fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) }\n}\n";
+    assert!(rules_fired(SIM_PATH, good).is_empty());
+}
+
+#[test]
+fn p1_matches_across_nested_argument_parens() {
+    let bad = "fn f() { a.partial_cmp(&key(b, c)).unwrap(); }\n";
+    assert_eq!(rules_fired(SIM_PATH, bad), vec!["P1"]);
+}
+
+// ---------------------------------------------------------------- P2
+
+#[test]
+fn p2_fires_on_try_into_unwrap_in_live_code_only() {
+    let bad = "fn f(t: u128) -> u64 { t.try_into().unwrap() }\n";
+    assert_eq!(rules_fired(SIM_PATH, bad), vec!["P2"]);
+    let in_test = format!("#[cfg(test)]\nmod tests {{\n {bad}\n}}\n");
+    assert!(rules_fired(SIM_PATH, &in_test).is_empty());
+}
+
+#[test]
+fn p2_silent_on_handled_conversion() {
+    let good = "fn f(t: u128) -> Option<u64> { t.try_into().ok() }\n";
+    assert!(rules_fired(SIM_PATH, good).is_empty());
+}
+
+// ---------------------------------------------------------------- U1
+
+#[test]
+fn u1_fires_on_unsafe_everywhere_but_sys() {
+    let src = "fn f() { unsafe { syscall() } }\n";
+    assert_eq!(rules_fired(SIM_PATH, src), vec!["U1"]);
+    // Even in test code: unsafe quarantine is absolute.
+    let in_test = "#[cfg(test)]\nmod tests { fn f() { unsafe { x() } } }\n";
+    assert_eq!(rules_fired(SIM_PATH, in_test), vec!["U1"]);
+    assert!(rules_fired("crates/hostsched/src/sys.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- suppressions
+
+#[test]
+fn reasoned_allow_suppresses_same_line_and_next_line() {
+    let same = "use std::collections::HashMap; // lint: allow(D1, keyed lookups only)\n";
+    let scan = scan_source(SIM_PATH, same, RULESET);
+    assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    assert_eq!(scan.suppressed.len(), 1);
+
+    let above = "// lint: allow(D1, keyed lookups only)\nuse std::collections::HashMap;\n";
+    let scan = scan_source(SIM_PATH, above, RULESET);
+    assert!(scan.findings.is_empty());
+    assert_eq!(scan.suppressed.len(), 1);
+}
+
+#[test]
+fn allow_does_not_reach_two_lines_down() {
+    let src = "// lint: allow(D1, keyed lookups only)\n\nuse std::collections::HashMap;\n";
+    let fired = rules_fired(SIM_PATH, src);
+    assert!(fired.contains(&"D1".to_string()), "{fired:?}");
+}
+
+#[test]
+fn allow_without_reason_is_rejected_and_does_not_suppress() {
+    let src = "use std::collections::HashMap; // lint: allow(D1)\n";
+    let fired = rules_fired(SIM_PATH, src);
+    assert!(
+        fired.contains(&"D1".to_string()),
+        "finding must survive: {fired:?}"
+    );
+    assert!(
+        fired.contains(&"allow-syntax".to_string()),
+        "reasonless allow reported: {fired:?}"
+    );
+}
+
+#[test]
+fn allow_file_suppresses_whole_file_for_that_rule_only() {
+    let src = "// lint: allow-file(D2, fixture measures real wall-clock)\n\
+               use std::time::Instant;\n\
+               fn f() { let t = Instant::now(); let m = HashMap::new(); }\n";
+    let fired = rules_fired(SIM_PATH, src);
+    assert!(!fired.contains(&"D2".to_string()), "{fired:?}");
+    assert!(
+        fired.contains(&"D1".to_string()),
+        "other rules unaffected: {fired:?}"
+    );
+}
+
+#[test]
+fn allow_for_wrong_rule_does_not_suppress() {
+    let src = "use std::collections::HashMap; // lint: allow(D2, wrong rule)\n";
+    let fired = rules_fired(SIM_PATH, src);
+    assert!(fired.contains(&"D1".to_string()), "{fired:?}");
+    // And the D2 allow is now unused — reported.
+    assert!(fired.contains(&"unused-allow".to_string()), "{fired:?}");
+}
+
+#[test]
+fn unknown_rule_in_allow_is_reported() {
+    let src = "// lint: allow(Z9, no such rule)\nfn f() {}\n";
+    let fired = rules_fired(SIM_PATH, src);
+    assert_eq!(fired, vec!["allow-syntax"]);
+}
+
+#[test]
+fn unused_allow_is_reported() {
+    let src = "// lint: allow(D1, nothing here uses a map)\nfn f() {}\n";
+    let fired = rules_fired(SIM_PATH, src);
+    assert_eq!(fired, vec!["unused-allow"]);
+}
+
+// ------------------------------------------- strings & comments inert
+
+#[test]
+fn string_and_comment_contents_never_match() {
+    let src = "\
+// HashMap, Instant, unsafe, thread::spawn — all just prose\n\
+/* and partial_cmp(x).unwrap() in a block comment */\n\
+fn f() -> &'static str {\n\
+    let a = \"HashMap::new() and Instant::now()\";\n\
+    let b = r#\"unsafe { thread::spawn }\"#;\n\
+    let c = b\"partial_cmp(q).unwrap()\";\n\
+    let d = 'u';\n\
+    a\n\
+}\n";
+    assert!(rules_fired(SIM_PATH, src).is_empty());
+}
+
+#[test]
+fn doc_comment_mentions_are_inert() {
+    let src = "/// Unlike a `HashMap`, iteration order here is stable.\nfn f() {}\n";
+    assert!(rules_fired(SIM_PATH, src).is_empty());
+}
+
+// ------------------------------------------------------------- misc
+
+#[test]
+fn findings_carry_path_line_and_rule_summary() {
+    let src = "fn f() {}\nuse std::collections::HashMap;\n";
+    let scan = scan_source("crates/x/src/y.rs", src, RULESET);
+    assert_eq!(scan.findings.len(), 1);
+    let f = &scan.findings[0];
+    assert_eq!(f.rule, "D1");
+    assert_eq!(f.path, "crates/x/src/y.rs");
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("HashMap"));
+}
+
+#[test]
+fn multiple_rules_fire_independently_in_one_file() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() { let t = Instant::now(); unsafe { x() } }\n";
+    let mut fired = rules_fired(SIM_PATH, src);
+    fired.sort();
+    fired.dedup();
+    assert_eq!(fired, vec!["D1", "D2", "U1"]);
+}

@@ -30,7 +30,10 @@ pub fn cdf_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> Stri
         if v.is_empty() {
             continue;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: a chart must never panic a run over a stray NaN
+        // sample (simlint P1); the `> 0.0` filter drops NaN today, but the
+        // sort must stay total regardless.
+        v.sort_by(f64::total_cmp);
         let g = glyphs[si % glyphs.len()];
         for (col, x) in
             (0..width).map(|c| (c, (llo + (lhi - llo) * c as f64 / (width - 1) as f64).exp()))
@@ -106,6 +109,18 @@ mod tests {
         assert!(chart.contains("fast"));
         assert!(chart.contains("slow"));
         assert!(chart.lines().count() > 10);
+    }
+
+    #[test]
+    fn cdf_chart_tolerates_nan_samples() {
+        // Regression (simlint P1, mirroring the PR 7 ensure_sorted fix):
+        // the per-series sort used partial_cmp().unwrap(). The positivity
+        // filter happens to drop NaN today, but the sort must stay total
+        // so a chart can never panic a run over a stray NaN sample.
+        let a = vec![1.0, f64::NAN, 10.0, 100.0];
+        let chart = cdf_chart(&[("nan-laced", &a)], 40, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("nan-laced"));
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub fn headline_claims(pairs: &[Paired], long_threshold_ms: f64) -> HeadlineClai
         if v.is_empty() {
             return 1.0;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: one NaN turnaround upstream must not panic the
+        // headline aggregation; NaN sorts after every number (simlint P1).
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     };
     let mut ss = short_speedups.clone();
@@ -165,5 +167,25 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn headline_requires_data() {
         headline_claims(&[], 1550.0);
+    }
+
+    #[test]
+    fn headline_nan_turnaround_does_not_panic_median() {
+        // Regression (simlint P1, mirroring the PR 7 ensure_sorted fix):
+        // the median sort used partial_cmp().unwrap(), so one NaN baseline
+        // turnaround (degenerate upstream telemetry) panicked the whole
+        // aggregation. total_cmp sorts NaN after every number, so the
+        // median of the remaining real speedups survives.
+        let pairs = vec![
+            mk(10.0, 10.0, f64::NAN), // NaN speedup
+            mk(10.0, 10.0, 100.0),    // 10x
+            mk(10.0, 20.0, 40.0),     // 2x
+        ];
+        let h = headline_claims(&pairs, 1550.0);
+        assert!(
+            (h.short_median_speedup - 10.0).abs() < 1e-12,
+            "median {}",
+            h.short_median_speedup
+        );
     }
 }

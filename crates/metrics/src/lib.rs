@@ -8,6 +8,8 @@
 //! * [`ascii`] — terminal charts so `cargo run -p sfs-bench --bin figXX`
 //!   shows the figure's shape without a plotting stack.
 
+#![warn(missing_docs)]
+
 pub mod ascii;
 pub mod compare;
 pub mod report;

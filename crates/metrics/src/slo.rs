@@ -109,7 +109,9 @@ pub fn tightest_bound(target_fraction: f64, grace_ms: f64, invocations: &[(f64, 
         .iter()
         .map(|&(ideal, turn)| ((turn - grace_ms) / ideal.max(1e-9)).max(1.0))
         .collect();
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: a NaN ratio (degenerate upstream turnaround) sorts after
+    // every number instead of panicking the whole report (simlint P1).
+    ratios.sort_by(f64::total_cmp);
     let idx = (((target_fraction * ratios.len() as f64).ceil() as usize).max(1) - 1)
         .min(ratios.len() - 1);
     ratios[idx]
@@ -165,6 +167,22 @@ mod tests {
         let r = evaluate_slo(SloRule::soft(), &[]);
         assert!(r.met);
         assert_eq!(r.evaluated, 0);
+    }
+
+    #[test]
+    fn tightest_bound_nan_turnaround_does_not_panic() {
+        // Regression (simlint P1, mirroring the PR 7 ensure_sorted fix):
+        // the ratio sort used partial_cmp().unwrap(), so a NaN reaching it
+        // panicked the whole report. With total_cmp a NaN-laced input
+        // still yields a usable bound.
+        let invocations = vec![
+            (10.0, f64::NAN),
+            (f64::NAN, 20.0),
+            (10.0, 20.0),
+            (10.0, 30.0),
+        ];
+        let b = tightest_bound(0.5, 0.0, &invocations);
+        assert!(b >= 1.0, "bound {b}");
     }
 
     #[test]

@@ -154,7 +154,7 @@ mod tests {
                 .filter(|o| o.cpu_demand < SimDuration::from_millis(100))
                 .map(|o| o.turnaround.as_millis_f64())
                 .collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.sort_by(f64::total_cmp);
             xs[xs.len() / 2]
         };
         assert!(

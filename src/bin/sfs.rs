@@ -27,7 +27,7 @@
 //!
 //! Argument parsing is deliberately dependency-free (flag pairs only).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::exit;
 
 use sfs_repro::faas::{Cluster, Placement};
@@ -75,8 +75,8 @@ fn usage_and_exit() -> ! {
     exit(2);
 }
 
-fn parse_flags(rest: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
+fn parse_flags(rest: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
     let mut it = rest.iter().peekable();
     while let Some(k) = it.next() {
         if let Some(name) = k.strip_prefix("--") {
@@ -93,14 +93,14 @@ fn parse_flags(rest: &[String]) -> HashMap<String, String> {
     flags
 }
 
-fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+fn get<T: std::str::FromStr>(flags: &BTreeMap<String, String>, key: &str, default: T) -> T {
     flags
         .get(key)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
 
-fn build_workload(flags: &HashMap<String, String>, cores: usize) -> Workload {
+fn build_workload(flags: &BTreeMap<String, String>, cores: usize) -> Workload {
     if let Some(path) = flags.get("trace") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
@@ -122,7 +122,7 @@ fn build_workload(flags: &HashMap<String, String>, cores: usize) -> Workload {
     spec.with_load(cores, load).generate()
 }
 
-fn cmd_gen(flags: &HashMap<String, String>) {
+fn cmd_gen(flags: &BTreeMap<String, String>) {
     let cores = get(flags, "cores", 16usize);
     let w = build_workload(flags, cores);
     let csv = workload::to_csv(&w);
@@ -287,7 +287,7 @@ fn parse_smp_spec(spec: &str) -> Option<SmpParams> {
     ))
 }
 
-fn cmd_run_cluster(flags: &HashMap<String, String>, spec: &str) {
+fn cmd_run_cluster(flags: &BTreeMap<String, String>, spec: &str) {
     let Some(ClusterSpec {
         hosts,
         cores,
@@ -336,7 +336,7 @@ fn cmd_run_cluster(flags: &HashMap<String, String>, spec: &str) {
     println!("        per-host requests: {:?}", run.per_host);
 }
 
-fn cmd_run(flags: &HashMap<String, String>) {
+fn cmd_run(flags: &BTreeMap<String, String>) {
     if let Some(spec) = flags.get("cluster") {
         return cmd_run_cluster(flags, spec);
     }
@@ -392,7 +392,7 @@ fn cmd_run(flags: &HashMap<String, String>) {
     }
 }
 
-fn cmd_compare(flags: &HashMap<String, String>) {
+fn cmd_compare(flags: &BTreeMap<String, String>) {
     let cores = get(flags, "cores", 16usize);
     let w = build_workload(flags, cores);
     let sfs = run_with(&SfsConfig::new(cores), cores, &w).outcomes;
@@ -422,7 +422,7 @@ fn cmd_compare(flags: &HashMap<String, String>) {
     );
 }
 
-fn cmd_slo(flags: &HashMap<String, String>) {
+fn cmd_slo(flags: &BTreeMap<String, String>) {
     let cores = get(flags, "cores", 16usize);
     let w = build_workload(flags, cores);
     let mut table = MarkdownTable::new(&["scheduler", "soft SLO", "hard SLO"]);
