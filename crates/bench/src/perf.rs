@@ -30,6 +30,8 @@
 //! ARCHITECTURE.md). The JSON reader is [`parse_json`], a minimal
 //! hand-rolled parser — the workspace builds with no external crates.
 
+// lint: allow-file(K1, the pick-path microbenchmarks construct a runqueue directly to time one operation in isolation)
+
 use std::time::Duration;
 
 use sfs_core::{
@@ -38,8 +40,8 @@ use sfs_core::{
 };
 use sfs_faas::{Cluster, Placement};
 use sfs_sched::{
-    CfsRunqueue, FinishedTask, Machine, MachineParams, Notification, Phase, Pid, Policy, SmpParams,
-    TaskSpec,
+    CfsRunqueue, FinishedTask, KernelPolicyKind, Machine, MachineParams, Notification, Phase, Pid,
+    Policy, SmpParams, TaskSpec,
 };
 use sfs_simcore::{SimDuration, SimTime};
 use sfs_workload::{AppKind, Request, WorkloadSpec};
@@ -214,6 +216,66 @@ pub fn suite(requests: usize, seed: u64) -> Vec<PerfScenario> {
             }),
         });
     }
+
+    // The EEVDF pick path in steady state: one core, a deep runqueue of
+    // equal-weight tasks with effectively infinite CPU demand, each timed
+    // operation advancing one minimum-granularity slice — so every
+    // operation is one charge + eligibility scan + deadline-ordered pick
+    // cycle at constant occupancy. Prices the virtual-deadline machinery
+    // against micro/cfs_pick_*.
+    let mut eevdf_machine = Machine::new(MachineParams {
+        cores: 1,
+        kpolicy: KernelPolicyKind::Eevdf,
+        ..Default::default()
+    });
+    for i in 0..256u64 {
+        eevdf_machine.spawn(TaskSpec {
+            phases: vec![Phase::Cpu(SimDuration::from_millis(1 << 30))],
+            policy: Policy::NORMAL,
+            label: i,
+        });
+    }
+    let eevdf_tick = SimDuration::from_micros(750);
+    let mut eevdf_now = SimTime::ZERO;
+    v.push(PerfScenario {
+        name: "micro/eevdf_pick",
+        items: 1,
+        cfg: MeasureConfig::default(),
+        body: Box::new(move || {
+            eevdf_now += eevdf_tick;
+            eevdf_machine.advance_to(eevdf_now);
+            std::hint::black_box(eevdf_machine.total_ctx_switches());
+        }),
+    });
+
+    // The deadline-class pick path: admitted CBS servers cycling through
+    // budget exhaustion and deadline postponement over a background band.
+    // Each timed operation advances one server runtime, so one operation
+    // is one budget-exhaust + postpone + earliest-deadline repick.
+    let mut dl_machine = Machine::new(MachineParams {
+        cores: 1,
+        kpolicy: KernelPolicyKind::Deadline,
+        ..Default::default()
+    });
+    for i in 0..64u64 {
+        dl_machine.spawn(TaskSpec {
+            phases: vec![Phase::Cpu(SimDuration::from_millis(1 << 30))],
+            policy: Policy::NORMAL,
+            label: i,
+        });
+    }
+    let dl_tick = SimDuration::from_millis(4);
+    let mut dl_now = SimTime::ZERO;
+    v.push(PerfScenario {
+        name: "micro/dl_pick",
+        items: 1,
+        cfg: MeasureConfig::default(),
+        body: Box::new(move || {
+            dl_now += dl_tick;
+            dl_machine.advance_to(dl_now);
+            std::hint::black_box(dl_machine.total_ctx_switches());
+        }),
+    });
 
     // The SfsScheduler dispatch path in isolation: one full request
     // lifecycle through the controller's hooks per operation — arrival
@@ -785,6 +847,8 @@ mod tests {
         assert!(names.contains(&"micro/sfs_dispatch"));
         assert!(names.contains(&"sim/cluster4_ll_sfs"));
         assert!(names.contains(&"micro/smp_balance_tick"));
+        assert!(names.contains(&"micro/eevdf_pick"));
+        assert!(names.contains(&"micro/dl_pick"));
         assert!(names.contains(&"sim/sfs_azure_smp4"));
         assert!(names.contains(&"sim/sfs_azure_10m"));
     }

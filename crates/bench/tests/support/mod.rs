@@ -43,6 +43,17 @@ pub const SCENARIOS: &[&str] = &[
     "smp8_cfs",
     "smp4_burst_sfs",
     "smp4_burst_cfs",
+    // Pluggable kernel policies (PR 9): each new policy locked under
+    // azure replay and under an SMP overload burst at 4 cores. The CFS
+    // and SRTF machines are *not* re-snapshotted — their bit-exactness
+    // against the pre-refactor machine is the refactor's acceptance
+    // gate, enforced by every scenario above staying byte-identical.
+    "eevdf4_replay",
+    "eevdf4_burst",
+    "dl4_replay",
+    "dl4_burst",
+    "srp4_replay",
+    "srp4_burst",
 ];
 
 /// The SMP-enabled scenario subset (SFS vs CFS at cores ∈ {2,4,8} under
@@ -56,6 +67,18 @@ pub const SMP_SCENARIOS: &[&str] = &[
     "smp8_cfs",
     "smp4_burst_sfs",
     "smp4_burst_cfs",
+];
+
+/// The kernel-policy scenario subset (EEVDF / deadline-class / SRP
+/// baselines, replay + SMP overload burst each).
+#[allow(dead_code)] // each test binary compiles its own copy of this module
+pub const KPOLICY_SCENARIOS: &[&str] = &[
+    "eevdf4_replay",
+    "eevdf4_burst",
+    "dl4_replay",
+    "dl4_burst",
+    "srp4_replay",
+    "srp4_burst",
 ];
 
 /// Request count: small enough for CI, large enough for stable shapes.
@@ -176,6 +199,12 @@ pub fn run_scenario(name: &str) -> Vec<RequestOutcome> {
         "smp8_cfs" => smp_scenario(8, Some(Baseline::Cfs), false),
         "smp4_burst_sfs" => smp_scenario(4, None, true),
         "smp4_burst_cfs" => smp_scenario(4, Some(Baseline::Cfs), true),
+        "eevdf4_replay" => kpolicy_scenario(Baseline::Eevdf, false),
+        "eevdf4_burst" => kpolicy_scenario(Baseline::Eevdf, true),
+        "dl4_replay" => kpolicy_scenario(Baseline::Deadline, false),
+        "dl4_burst" => kpolicy_scenario(Baseline::Deadline, true),
+        "srp4_replay" => kpolicy_scenario(Baseline::Srp, false),
+        "srp4_burst" => kpolicy_scenario(Baseline::Srp, true),
         other => panic!("unknown scenario {other:?}"),
     }
 }
@@ -212,6 +241,41 @@ fn smp_scenario(cores: usize, baseline: Option<Baseline>, burst: bool) -> Vec<Re
             .run(),
     };
     run.outcomes
+}
+
+/// A kernel-policy baseline on a 4-core machine: azure replay at 0.85
+/// load on the plain machine, or an overload burst (sampled traces at
+/// 1.5× capacity) on the balancing SMP machine when `burst` is set.
+///
+/// Policy selection normally flows through
+/// [`Baseline::configure_machine`]; with `SFS_KPOLICY_EXPLICIT` set in
+/// the environment it flows through the [`Sim::kernel_policy`] builder
+/// instead. CI runs the golden suite both ways — the snapshots must not
+/// care which plumbing path picked the policy.
+fn kpolicy_scenario(b: Baseline, burst: bool) -> Vec<RequestOutcome> {
+    let cores = 4;
+    let w = if burst {
+        WorkloadSpec::azure_sampled(N, SEED)
+            .with_load(cores, 1.5)
+            .generate()
+    } else {
+        WorkloadSpec::azure_replay(N, SEED)
+            .with_load(cores, 0.85)
+            .generate()
+    };
+    let mut params = MachineParams::linux(cores);
+    if burst {
+        params = params.with_smp(smp_on());
+    }
+    let explicit = std::env::var_os("SFS_KPOLICY_EXPLICIT").is_some_and(|v| !v.is_empty());
+    if !explicit {
+        b.configure_machine(&mut params);
+    }
+    let mut sim = Sim::on(params).workload(&w);
+    if explicit {
+        sim = sim.kernel_policy(b.kernel_policy());
+    }
+    sim.boxed_controller(b.build()).run().outcomes
 }
 
 /// A 4-host × 4-core cluster under the warm-container affinity model;

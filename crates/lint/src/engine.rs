@@ -51,11 +51,7 @@ pub fn scan_source(rel_path: &str, source: &str, ruleset: &[Rule]) -> FileScan {
     let mut used_directive = vec![false; lexed.directives.len()];
 
     for rule in ruleset {
-        if rule
-            .allowed_paths
-            .iter()
-            .any(|p| rel_path == *p || rel_path.ends_with(&format!("/{p}")))
-        {
+        if rule.allowed_paths.iter().any(|p| path_allows(rel_path, p)) {
             continue;
         }
         for (line, detail) in match_rule(rule, &lexed.tokens) {
@@ -113,6 +109,18 @@ pub fn scan_source(rel_path: &str, source: &str, ruleset: &[Rule]) -> FileScan {
     }
 
     scan
+}
+
+/// One `allowed_paths` entry against a workspace-relative path. A plain
+/// entry is a file suffix match; an entry ending in `/` is a directory
+/// prefix match covering every file beneath it (how K1 whitelists the
+/// whole `crates/sched/src/policy/` tree).
+fn path_allows(rel_path: &str, pattern: &str) -> bool {
+    if pattern.ends_with('/') {
+        rel_path.starts_with(pattern) || rel_path.contains(&format!("/{pattern}"))
+    } else {
+        rel_path == pattern || rel_path.ends_with(&format!("/{pattern}"))
+    }
 }
 
 /// Whole-path test check: anything under a `tests/` or `benches/` dir.

@@ -3,9 +3,10 @@
 //! no golden snapshot happens to exercise cannot ship silently.
 //!
 //! Rule ids are stable and short (`D*` determinism, `P*` panic-safety,
-//! `U*` unsafe containment) — they are what `// lint: allow(<id>, <why>)`
-//! suppressions name. See ARCHITECTURE.md "Static analysis" for the
-//! rule-by-rule rationale and the contract for adding a rule.
+//! `U*` unsafe containment, `K*` kernel-policy encapsulation) — they are
+//! what `// lint: allow(<id>, <why>)` suppressions name. See
+//! ARCHITECTURE.md "Static analysis" for the rule-by-rule rationale and
+//! the contract for adding a rule.
 
 /// How a rule matches the token stream.
 #[derive(Debug, Clone, Copy)]
@@ -38,8 +39,9 @@ pub struct Rule {
     /// Skip code in `tests/`/`benches/` trees and `#[cfg(test)]`/`#[test]`
     /// regions.
     pub skip_test_code: bool,
-    /// Files (workspace-relative, `/`-separated suffix match) where the
-    /// pattern is the file's purpose and findings are not raised.
+    /// Paths (workspace-relative, `/`-separated) where the pattern is the
+    /// file's purpose and findings are not raised: a plain entry is a file
+    /// suffix match, an entry ending in `/` exempts the whole directory.
     pub allowed_paths: &'static [&'static str],
     /// Token pattern.
     pub matcher: Matcher,
@@ -108,6 +110,24 @@ pub const RULESET: &[Rule] = &[
         skip_test_code: false,
         allowed_paths: &["crates/hostsched/src/sys.rs"],
         matcher: Matcher::IdentAny(&["unsafe"]),
+    },
+    Rule {
+        id: "K1",
+        summary: "runqueue internals touched outside the kernel-policy layer",
+        rationale: "the KernelPolicy refactor's bit-exactness guarantee holds because every \
+                    runqueue mutation flows through the policy hooks; code that reaches into \
+                    CfsRunqueue/RtRunqueue/EevdfRunqueue (or their tuning tables) from outside \
+                    crates/sched/src/policy/ recreates the pre-refactor coupling the golden \
+                    suite can no longer see",
+        skip_test_code: true,
+        allowed_paths: &["crates/sched/src/policy/"],
+        matcher: Matcher::IdentAny(&[
+            "CfsRunqueue",
+            "RtRunqueue",
+            "EevdfRunqueue",
+            "NICE_TO_WEIGHT",
+            "RR_TIMESLICE",
+        ]),
     },
 ];
 

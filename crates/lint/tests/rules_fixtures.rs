@@ -205,6 +205,56 @@ fn u1_fires_on_unsafe_everywhere_but_sys() {
     assert!(rules_fired("crates/hostsched/src/sys.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- K1
+
+#[test]
+fn k1_fires_on_runqueue_internals_outside_policy_layer() {
+    let bad = "use sfs_sched::CfsRunqueue;\nfn f(rt: &RtRunqueue) { let q = RR_TIMESLICE; }\n";
+    assert_eq!(
+        findings("crates/sfs/src/scheduler.rs", bad),
+        vec![("K1".into(), 1), ("K1".into(), 2), ("K1".into(), 2)]
+    );
+    assert_eq!(
+        rules_fired(SIM_PATH, "fn w(i: i8) -> u32 { NICE_TO_WEIGHT[idx(i)] }\n"),
+        vec!["K1"]
+    );
+    assert_eq!(
+        rules_fired(SIM_PATH, "fn f() { let rq = EevdfRunqueue::new(); }\n"),
+        vec!["K1"]
+    );
+}
+
+#[test]
+fn k1_allows_the_whole_policy_directory() {
+    let src = "fn f() { let rq = CfsRunqueue::new(); let t = RR_TIMESLICE; }\n";
+    assert!(rules_fired("crates/sched/src/policy/cfs.rs", src).is_empty());
+    assert!(rules_fired("crates/sched/src/policy/eevdf.rs", src).is_empty());
+    // The directory prefix does not leak to siblings of `policy/` —
+    // both identifiers on the line fire there.
+    assert_eq!(
+        rules_fired("crates/sched/src/machine.rs", src),
+        vec!["K1", "K1"]
+    );
+}
+
+#[test]
+fn k1_exempts_test_code() {
+    let src = "use sfs_sched::RtRunqueue;\n";
+    assert!(rules_fired("crates/sched/tests/kpolicy_diff.rs", src).is_empty());
+    assert!(rules_fired("crates/bench/benches/micro.rs", src).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests { fn f() { let q = CfsRunqueue::new(); } }\n";
+    assert!(rules_fired(SIM_PATH, in_test).is_empty());
+}
+
+#[test]
+fn k1_honours_reasoned_file_allow() {
+    let src = "// lint: allow-file(K1, root re-exports keep the public API stable)\n\
+               pub use policy::cfs::CfsRunqueue;\n";
+    let scan = scan_source("crates/sched/src/lib.rs", src, RULESET);
+    assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    assert_eq!(scan.suppressed.len(), 1);
+}
+
 // ------------------------------------------------------- suppressions
 
 #[test]

@@ -11,6 +11,12 @@
 //! * **SRTF** — the offline oracle (preemptive shortest-remaining-first);
 //! * **IDEAL** — infinite uncontended resources ([`TaskSpec::ideal_duration`]).
 //!
+//! All in-kernel disciplines are values behind the pluggable
+//! [`policy::KernelPolicy`] trait (selected via
+//! [`policy::KernelPolicyKind`] on [`MachineParams`]); the layer also
+//! ships **EEVDF**, a CBS **deadline class**, and a preemption-ceiling
+//! **SRP** policy — see [`policy`] for the hook contract.
+//!
 //! External controllers drive the machine only through the operations a real
 //! user-space scheduler has: spawn, `schedtool`-style policy switching, and
 //! `/proc` state polling. That restriction is what makes the SFS
@@ -31,16 +37,25 @@
 
 #![warn(missing_docs)]
 
-pub mod cfs;
+// lint: allow-file(K1, crate-root re-exports of the runqueue types keep the public API stable; no logic here touches their internals)
+
 pub mod machine;
-pub mod rt;
+pub mod policy;
 pub mod smp;
 pub mod task;
 pub mod trace;
 
-pub use cfs::{weight_of_nice, CfsParams, CfsRunqueue, NICE_0_WEIGHT};
-pub use machine::{Machine, MachineParams, Notification, SchedMode};
-pub use rt::{RtRunqueue, RR_TIMESLICE};
+/// The CFS runqueue/weight module (lives under [`policy`]; re-exported at
+/// the crate root for API compatibility).
+pub use policy::cfs;
+/// The RT runqueue module (lives under [`policy`]; re-exported at the
+/// crate root for API compatibility).
+pub use policy::rt;
+
+pub use machine::{Machine, MachineParams, Notification};
+pub use policy::cfs::{weight_of_nice, CfsParams, CfsRunqueue, NICE_0_WEIGHT};
+pub use policy::rt::{RtRunqueue, RR_TIMESLICE};
+pub use policy::{KernelCtx, KernelPolicy, KernelPolicyKind, Placed, PreemptKind};
 pub use smp::SmpParams;
 pub use task::{FinishedTask, Phase, Pid, Policy, ProcState, TaskSpec};
 pub use trace::{ScheduleTrace, Segment};
@@ -80,11 +95,11 @@ mod tests {
     }
 
     /// Zero switch cost makes hand-computed schedules exact.
-    fn exact_params(cores: usize, mode: SchedMode) -> MachineParams {
+    fn exact_params(cores: usize, kpolicy: KernelPolicyKind) -> MachineParams {
         MachineParams {
             cores,
             ctx_switch_cost: SimDuration::ZERO,
-            mode,
+            kpolicy,
             ..Default::default()
         }
     }
@@ -92,7 +107,7 @@ mod tests {
     #[test]
     fn single_task_runs_to_completion_uninterrupted() {
         let done = run_open_loop(
-            exact_params(1, SchedMode::Linux),
+            exact_params(1, KernelPolicyKind::Cfs),
             [(at(0), TaskSpec::cpu(0, ms(50)))],
         );
         assert_eq!(done.len(), 1);
@@ -108,7 +123,7 @@ mod tests {
         // Two 48ms nice-0 tasks on one core: both finish near 96ms, each is
         // context-switched repeatedly, combined CPU time is exactly 96ms.
         let done = run_open_loop(
-            exact_params(1, SchedMode::Linux),
+            exact_params(1, KernelPolicyKind::Cfs),
             [
                 (at(0), TaskSpec::cpu(0, ms(48))),
                 (at(0), TaskSpec::cpu(1, ms(48))),
@@ -137,7 +152,7 @@ mod tests {
         for i in 0..15 {
             arrivals.push((at(0), TaskSpec::cpu(i, ms(500))));
         }
-        let done = run_open_loop(exact_params(1, SchedMode::Linux), arrivals);
+        let done = run_open_loop(exact_params(1, KernelPolicyKind::Cfs), arrivals);
         let short = done.iter().find(|t| t.label == 999).unwrap();
         // With 16 runnable tasks the short one's RTE collapses.
         assert!(
@@ -163,7 +178,7 @@ mod tests {
             label: 1,
         };
         let done = run_open_loop(
-            exact_params(1, SchedMode::Linux),
+            exact_params(1, KernelPolicyKind::Cfs),
             [(at(0), long), (at(1), short)],
         );
         let s = done.iter().find(|t| t.label == 1).unwrap();
@@ -186,7 +201,7 @@ mod tests {
             label: 1,
         };
         let done = run_open_loop(
-            exact_params(1, SchedMode::Linux),
+            exact_params(1, KernelPolicyKind::Cfs),
             [(at(0), low), (at(20), high)],
         );
         let h = done.iter().find(|t| t.label == 1).unwrap();
@@ -206,7 +221,7 @@ mod tests {
             label,
         };
         let done = run_open_loop(
-            exact_params(1, SchedMode::Linux),
+            exact_params(1, KernelPolicyKind::Cfs),
             [(at(0), mk(0)), (at(0), mk(1))],
         );
         let t0 = done.iter().find(|t| t.label == 0).unwrap();
@@ -226,7 +241,7 @@ mod tests {
             label: 1,
         };
         let done = run_open_loop(
-            exact_params(1, SchedMode::Linux),
+            exact_params(1, KernelPolicyKind::Cfs),
             [(at(0), cfs_task), (at(30), rt_task)],
         );
         let rt = done.iter().find(|t| t.label == 1).unwrap();
@@ -240,7 +255,7 @@ mod tests {
         // One core; long task arrives first, then two shorter ones. SRTF
         // preempts for the shortest remaining work.
         let done = run_open_loop(
-            exact_params(1, SchedMode::Srtf),
+            exact_params(1, KernelPolicyKind::Srtf),
             [
                 (at(0), TaskSpec::cpu(0, ms(100))),
                 (at(10), TaskSpec::cpu(1, ms(20))),
@@ -258,7 +273,7 @@ mod tests {
     #[test]
     fn srtf_does_not_preempt_for_longer_work() {
         let done = run_open_loop(
-            exact_params(1, SchedMode::Srtf),
+            exact_params(1, KernelPolicyKind::Srtf),
             [
                 (at(0), TaskSpec::cpu(0, ms(30))),
                 (at(10), TaskSpec::cpu(1, ms(25))),
@@ -276,7 +291,7 @@ mod tests {
     fn multicore_spreads_load() {
         // 4 equal tasks on 4 cores: all run in parallel, all finish at 50ms.
         let arrivals: Vec<_> = (0..4).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
-        let done = run_open_loop(exact_params(4, SchedMode::Linux), arrivals);
+        let done = run_open_loop(exact_params(4, KernelPolicyKind::Cfs), arrivals);
         for t in &done {
             assert_eq!(t.turnaround(), ms(50));
             assert_eq!(t.ctx_switches, 0);
@@ -288,7 +303,7 @@ mod tests {
         // Four 50ms tasks on 2 cores: when the first two finish, the queued
         // ones run immediately; makespan is ~100ms, not 200ms.
         let arrivals: Vec<_> = (0..4).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
-        let done = run_open_loop(exact_params(2, SchedMode::Linux), arrivals);
+        let done = run_open_loop(exact_params(2, KernelPolicyKind::Cfs), arrivals);
         let makespan = done.iter().map(|t| t.finished).max().unwrap();
         assert!(
             makespan <= at(101),
@@ -299,7 +314,7 @@ mod tests {
     #[test]
     fn io_task_sleeps_then_resumes() {
         let spec = TaskSpec::io_then_cpu(0, ms(40), ms(10));
-        let done = run_open_loop(exact_params(1, SchedMode::Linux), [(at(0), spec)]);
+        let done = run_open_loop(exact_params(1, KernelPolicyKind::Cfs), [(at(0), spec)]);
         let t = &done[0];
         assert_eq!(t.io_time, ms(40));
         assert_eq!(t.cpu_time, ms(10));
@@ -319,7 +334,10 @@ mod tests {
             label: 0,
         };
         let b = TaskSpec::cpu(1, ms(30));
-        let done = run_open_loop(exact_params(1, SchedMode::Linux), [(at(0), a), (at(0), b)]);
+        let done = run_open_loop(
+            exact_params(1, KernelPolicyKind::Cfs),
+            [(at(0), a), (at(0), b)],
+        );
         let fa = done.iter().find(|t| t.label == 0).unwrap();
         assert_eq!(
             fa.finished,
@@ -336,7 +354,7 @@ mod tests {
     fn policy_switch_promotes_running_cfs_task() {
         // A long CFS task contending with another gets promoted to FIFO and
         // then runs without further slicing.
-        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let mut m = Machine::new(exact_params(1, KernelPolicyKind::Cfs));
         let a = m.spawn(TaskSpec::cpu(0, ms(100)));
         let _b = m.spawn(TaskSpec::cpu(1, ms(100)));
         m.advance_to(at(5));
@@ -356,7 +374,7 @@ mod tests {
     #[test]
     fn policy_switch_demotes_running_fifo_task() {
         // FIFO task demoted to CFS mid-run starts sharing with a CFS peer.
-        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let mut m = Machine::new(exact_params(1, KernelPolicyKind::Cfs));
         let a = m.spawn(TaskSpec {
             phases: vec![Phase::Cpu(ms(100))],
             policy: Policy::Fifo { prio: 50 },
@@ -380,7 +398,7 @@ mod tests {
 
     #[test]
     fn proc_state_reflects_lifecycle() {
-        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let mut m = Machine::new(exact_params(1, KernelPolicyKind::Cfs));
         let a = m.spawn(TaskSpec {
             phases: vec![Phase::Cpu(ms(10)), Phase::Io(ms(20)), Phase::Cpu(ms(10))],
             policy: Policy::NORMAL,
@@ -398,7 +416,7 @@ mod tests {
 
     #[test]
     fn cpu_time_includes_inflight_run() {
-        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let mut m = Machine::new(exact_params(1, KernelPolicyKind::Cfs));
         let a = m.spawn(TaskSpec::cpu(0, ms(100)));
         m.advance_to(at(30));
         assert_eq!(m.cpu_time(a), ms(30));
@@ -407,7 +425,7 @@ mod tests {
 
     #[test]
     fn notifications_cover_lifecycle() {
-        let mut m = Machine::new(exact_params(1, SchedMode::Linux));
+        let mut m = Machine::new(exact_params(1, KernelPolicyKind::Cfs));
         let a = m.spawn(TaskSpec {
             phases: vec![Phase::Cpu(ms(5)), Phase::Io(ms(5)), Phase::Cpu(ms(5))],
             policy: Policy::NORMAL,
@@ -434,7 +452,7 @@ mod tests {
         let params = MachineParams {
             cores: 1,
             ctx_switch_cost: SimDuration::from_micros(100),
-            mode: SchedMode::Linux,
+            kpolicy: KernelPolicyKind::Cfs,
             ..Default::default()
         };
         let done = run_open_loop(
@@ -456,7 +474,7 @@ mod tests {
             let arrivals: Vec<_> = (0..200)
                 .map(|i| (at(i * 3), TaskSpec::cpu(i, ms(1 + (i * 7) % 40))))
                 .collect();
-            run_open_loop(exact_params(4, SchedMode::Linux), arrivals)
+            run_open_loop(exact_params(4, KernelPolicyKind::Cfs), arrivals)
         };
         let a = mk();
         let b = mk();
@@ -487,7 +505,7 @@ mod tests {
             };
             arrivals.push((at(i), spec));
         }
-        let done = run_open_loop(exact_params(3, SchedMode::Linux), arrivals);
+        let done = run_open_loop(exact_params(3, KernelPolicyKind::Cfs), arrivals);
         let total: SimDuration = done.iter().map(|t| t.cpu_time).sum();
         assert_eq!(total, demand);
         for t in &done {
@@ -504,7 +522,7 @@ mod tests {
         // 8 equal CFS tasks on 1 core with contention on: the makespan must
         // exceed the raw demand, and every task's charged CPU time must
         // exceed its demand (utime ticks at wall rate while progress slows).
-        let mut params = exact_params(1, SchedMode::Linux);
+        let mut params = exact_params(1, KernelPolicyKind::Cfs);
         params.contention_beta = 0.5;
         let arrivals: Vec<_> = (0..8).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
         let done = run_open_loop(params, arrivals);
@@ -518,7 +536,7 @@ mod tests {
         }
         // Without contention the same workload takes exactly 400ms.
         let arrivals: Vec<_> = (0..8).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
-        let base = run_open_loop(exact_params(1, SchedMode::Linux), arrivals);
+        let base = run_open_loop(exact_params(1, KernelPolicyKind::Cfs), arrivals);
         assert_eq!(base.iter().map(|t| t.finished).max().unwrap(), at(400));
     }
 
@@ -530,7 +548,7 @@ mod tests {
         // of 8 is inflated early but the factor decays as tasks finish,
         // while CFS keeps all 8 live to the end. FIFO must therefore beat
         // CFS on total makespan under contention.
-        let mut params = exact_params(1, SchedMode::Linux);
+        let mut params = exact_params(1, KernelPolicyKind::Cfs);
         params.contention_beta = 0.5;
         let cfs: Vec<_> = (0..8).map(|i| (at(0), TaskSpec::cpu(i, ms(50)))).collect();
         let cfs_done = run_open_loop(params, cfs);
@@ -568,8 +586,8 @@ mod tests {
             }
             v
         };
-        let cfs = run_open_loop(exact_params(1, SchedMode::Linux), arrivals());
-        let srtf = run_open_loop(exact_params(1, SchedMode::Srtf), arrivals());
+        let cfs = run_open_loop(exact_params(1, KernelPolicyKind::Cfs), arrivals());
+        let srtf = run_open_loop(exact_params(1, KernelPolicyKind::Srtf), arrivals());
         let mean = |v: &[FinishedTask]| {
             v.iter()
                 .map(|t| t.turnaround().as_millis_f64())
@@ -615,7 +633,7 @@ mod tests {
     #[test]
     fn balance_tick_migrates_busiest_to_idlest() {
         let smp = SmpParams::balanced(ms(1), SimDuration::ZERO, SimDuration::ZERO);
-        let mut m = Machine::new(exact_params(2, SchedMode::Linux).with_smp(smp));
+        let mut m = Machine::new(exact_params(2, KernelPolicyKind::Cfs).with_smp(smp));
         for (t, spec) in imbalanced_arrivals() {
             m.advance_to(t);
             m.spawn(spec);
@@ -644,7 +662,7 @@ mod tests {
         // Six identical CFS tasks spread 3/3 across two cores: every tick
         // scans, none migrates.
         let smp = SmpParams::balanced(ms(1), ms(1), SimDuration::ZERO);
-        let mut m = Machine::new(exact_params(2, SchedMode::Linux).with_smp(smp));
+        let mut m = Machine::new(exact_params(2, KernelPolicyKind::Cfs).with_smp(smp));
         for i in 0..6 {
             m.spawn(TaskSpec::cpu(i, ms(30)));
         }
@@ -658,7 +676,7 @@ mod tests {
         let run = |mig: SimDuration| {
             let smp = SmpParams::balanced(ms(1), mig, SimDuration::ZERO);
             run_open_loop(
-                exact_params(2, SchedMode::Linux).with_smp(smp),
+                exact_params(2, KernelPolicyKind::Cfs).with_smp(smp),
                 imbalanced_arrivals(),
             )
         };
@@ -700,7 +718,10 @@ mod tests {
                 affinity_cost: aff,
                 ..SmpParams::default()
             };
-            run_open_loop(exact_params(2, SchedMode::Linux).with_smp(smp), arrivals())
+            run_open_loop(
+                exact_params(2, KernelPolicyKind::Cfs).with_smp(smp),
+                arrivals(),
+            )
         };
         let base = run(SimDuration::ZERO);
         let charged = run(ms(1));
@@ -732,9 +753,9 @@ mod tests {
             }
             v
         };
-        let plain = run_open_loop(exact_params(1, SchedMode::Linux), arrivals());
+        let plain = run_open_loop(exact_params(1, KernelPolicyKind::Cfs), arrivals());
         let smp_on = run_open_loop(
-            exact_params(1, SchedMode::Linux).with_smp(SmpParams::balanced(
+            exact_params(1, KernelPolicyKind::Cfs).with_smp(SmpParams::balanced(
                 SimDuration::from_micros(500),
                 ms(1),
                 ms(1),

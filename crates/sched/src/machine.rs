@@ -1,8 +1,10 @@
 //! The simulated multicore machine.
 //!
 //! An event-driven engine that schedules tasks (see [`crate::TaskSpec`]) over `c` cores under
-//! Linux semantics (global RT runqueue over per-core CFS runqueues with idle
-//! pull-balancing) or an SRTF oracle. External controllers (the SFS
+//! a pluggable kernel discipline ([`crate::policy::KernelPolicy`]): the
+//! faithful Linux model (global RT runqueue over per-core CFS runqueues
+//! with idle pull-balancing), an SRTF oracle, EEVDF, a CBS deadline class,
+//! or a preemption-ceiling policy. External controllers (the SFS
 //! scheduler, bench harnesses) drive it through four operations, mirroring
 //! what a user-space scheduler can actually do on Linux:
 //!
@@ -14,28 +16,21 @@
 //! * [`Machine::advance_to`] — advance virtual time, collecting
 //!   notifications (task blocked / woke / finished) the controller reacts to.
 //!
+//! The split of responsibilities: the machine owns time, cores, task
+//! lifecycle, accounting, and event delivery; *which task runs where, for
+//! how long* is the policy's. Hooks return [`Placed`] decisions the
+//! machine executes, so a policy never re-enters the event loop.
+//!
 //! Determinism: all ties break on event insertion order ([`sfs_simcore::EventQueue`])
 //! and core index, so identical inputs give bit-identical schedules.
 
-use std::collections::BTreeSet;
-
 use sfs_simcore::{EventQueue, SimDuration, SimTime};
 
-use crate::cfs::{weight_of_nice, CfsParams, CfsRunqueue};
-use crate::rt::{RtRunqueue, RR_TIMESLICE};
-use crate::smp::{pick_imbalance, SmpParams};
+use crate::policy::cfs::CfsParams;
+use crate::policy::{KernelCtx, KernelPolicy, KernelPolicyKind, Placed, PreemptKind};
+use crate::smp::SmpParams;
 use crate::task::{FinishedTask, Phase, Pid, Policy, ProcState, Task, TaskSpec};
 use crate::trace::{ScheduleTrace, Segment};
-
-/// Scheduling regime for the whole machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedMode {
-    /// Linux: SCHED_FIFO/SCHED_RR over CFS, as configured per task.
-    Linux,
-    /// Offline oracle: preemptive Shortest Remaining (CPU) Time First.
-    /// Task policies are ignored.
-    Srtf,
-}
 
 /// Machine construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -60,8 +55,9 @@ pub struct MachineParams {
     pub contention_beta: f64,
     /// Upper bound on the contention inflation factor.
     pub contention_cap: f64,
-    /// Scheduling regime.
-    pub mode: SchedMode,
+    /// Kernel scheduling discipline (built at machine construction; use
+    /// [`Machine::with_kernel_policy`] to supply a custom policy value).
+    pub kpolicy: KernelPolicyKind,
     /// SMP behaviour: periodic load balancing, migration penalty, and
     /// cache-affinity cost. The all-zero default disables every mechanism,
     /// making the machine bit-exact with the pre-SMP model.
@@ -76,18 +72,19 @@ impl Default for MachineParams {
             ctx_switch_cost: SimDuration::from_micros(5),
             contention_beta: 0.0,
             contention_cap: 6.0,
-            mode: SchedMode::Linux,
+            kpolicy: KernelPolicyKind::Cfs,
             smp: SmpParams::default(),
         }
     }
 }
 
 impl MachineParams {
-    /// Linux-mode machine with `cores` cores and default tunables.
+    /// Linux-model machine (RT over per-core CFS) with `cores` cores and
+    /// default tunables.
     pub fn linux(cores: usize) -> Self {
         MachineParams {
             cores,
-            mode: SchedMode::Linux,
+            kpolicy: KernelPolicyKind::Cfs,
             ..Default::default()
         }
     }
@@ -96,7 +93,7 @@ impl MachineParams {
     pub fn srtf(cores: usize) -> Self {
         MachineParams {
             cores,
-            mode: SchedMode::Srtf,
+            kpolicy: KernelPolicyKind::Srtf,
             ..Default::default()
         }
     }
@@ -104,6 +101,12 @@ impl MachineParams {
     /// The same machine with the given SMP behaviour knobs.
     pub fn with_smp(mut self, smp: SmpParams) -> Self {
         self.smp = smp;
+        self
+    }
+
+    /// The same machine under the given kernel policy.
+    pub fn with_kpolicy(mut self, kpolicy: KernelPolicyKind) -> Self {
+        self.kpolicy = kpolicy;
         self
     }
 }
@@ -129,20 +132,24 @@ enum Ev {
     /// I/O completion for a sleeping task.
     Wake { pid: Pid, io: SimDuration },
     /// Periodic SMP load-balance tick (only scheduled when
-    /// [`SmpParams::balance_interval`] is non-zero in Linux mode).
+    /// [`SmpParams::balance_interval`] is non-zero and the kernel policy
+    /// participates in balancing).
     Balance,
 }
 
+/// Per-core dispatch state: what runs, since when, until when. Runqueues
+/// live in the kernel policy; this is the machine-owned remainder a
+/// [`KernelCtx`] exposes to hooks.
 #[derive(Debug, Clone)]
-struct Core {
-    current: Option<Pid>,
+pub(crate) struct CoreSched {
+    pub(crate) current: Option<Pid>,
     /// Invalidates in-flight CoreFire events when the assignment changes.
     gen: u64,
     /// Task the core last executed (context-switch cost bookkeeping).
     last_ran: Option<Pid>,
     /// When the current task started consuming CPU (after switch cost).
     /// Reset at every accounting boundary (`charge`).
-    run_start: SimTime,
+    pub(crate) run_start: SimTime,
     /// When the current slice began (dispatch or slice renewal) — the base
     /// for recomputing `slice_end` when runqueue membership changes.
     slice_start: SimTime,
@@ -151,12 +158,11 @@ struct Core {
     /// advanced (dispatch or charge). Monotone per core; lags the machine
     /// clock while the core idles.
     clock: SimTime,
-    cfs: CfsRunqueue,
 }
 
-impl Core {
-    fn new() -> Core {
-        Core {
+impl CoreSched {
+    fn new() -> CoreSched {
+        CoreSched {
             current: None,
             gen: 0,
             last_ran: None,
@@ -164,13 +170,7 @@ impl Core {
             slice_start: SimTime::ZERO,
             slice_end: SimTime::MAX,
             clock: SimTime::ZERO,
-            cfs: CfsRunqueue::new(),
         }
-    }
-
-    /// Runnable CFS load on this core including a running CFS task.
-    fn cfs_nr(&self, running_is_cfs: bool) -> u64 {
-        self.cfs.len() as u64 + u64::from(running_is_cfs)
     }
 }
 
@@ -180,10 +180,9 @@ pub struct Machine {
     params: MachineParams,
     now: SimTime,
     tasks: Vec<Task>,
-    cores: Vec<Core>,
-    rt: RtRunqueue,
-    /// SRTF waiting pool keyed by (remaining CPU ns, pid).
-    srtf_pool: BTreeSet<(u64, Pid)>,
+    cores: Vec<CoreSched>,
+    /// The pluggable kernel discipline (owns every runqueue).
+    kpolicy: Box<dyn KernelPolicy>,
     events: EventQueue<Ev>,
     out: Vec<Notification>,
     finished: Vec<FinishedTask>,
@@ -208,16 +207,24 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// A machine at t = 0 with the given parameters.
+    /// A machine at t = 0 with the given parameters; the kernel policy is
+    /// built from [`MachineParams::kpolicy`].
     pub fn new(params: MachineParams) -> Machine {
+        let kpolicy = params.kpolicy.build(params.cores);
+        Machine::with_kernel_policy(params, kpolicy)
+    }
+
+    /// A machine at t = 0 driven by a caller-supplied kernel-policy value —
+    /// the extension point for disciplines not in
+    /// [`KernelPolicyKind`]. `params.kpolicy` is ignored.
+    pub fn with_kernel_policy(params: MachineParams, kpolicy: Box<dyn KernelPolicy>) -> Machine {
         assert!(params.cores >= 1, "machine needs at least one core");
         Machine {
-            cores: (0..params.cores).map(|_| Core::new()).collect(),
+            cores: (0..params.cores).map(|_| CoreSched::new()).collect(),
             params,
             now: SimTime::ZERO,
             tasks: Vec::new(),
-            rt: RtRunqueue::new(),
-            srtf_pool: BTreeSet::new(),
+            kpolicy,
             events: EventQueue::new(),
             out: Vec::new(),
             finished: Vec::new(),
@@ -228,6 +235,48 @@ impl Machine {
             active_tasks: 0,
             retain_finished: true,
             trace: None,
+        }
+    }
+
+    /// The kernel policy's display name (`cfs`, `srtf`, `eevdf`, ...).
+    pub fn kernel_policy_name(&self) -> &'static str {
+        self.kpolicy.name()
+    }
+
+    /// Split borrow: the policy value and the capability context it runs
+    /// against (disjoint fields of `self`).
+    fn policy_ctx(&mut self) -> (&mut dyn KernelPolicy, KernelCtx<'_>) {
+        let Machine {
+            kpolicy,
+            tasks,
+            cores,
+            params,
+            now,
+            ..
+        } = self;
+        (
+            kpolicy.as_mut(),
+            KernelCtx {
+                now: *now,
+                cfs: &params.cfs,
+                smp: &params.smp,
+                tasks,
+                cores: cores.as_mut_slice(),
+            },
+        )
+    }
+
+    /// Execute a policy placement decision.
+    fn apply_placed(&mut self, placed: Placed) {
+        match placed {
+            Placed::Queued => {}
+            Placed::RescheduleIdle(core_id) => self.reschedule(core_id),
+            Placed::Preempt(core_id) => {
+                self.charge(core_id);
+                self.preempt_current(core_id, PreemptKind::Preempted);
+                self.reschedule(core_id);
+            }
+            Placed::RefreshSlice(core_id) => self.refresh_current_slice(core_id),
         }
     }
 
@@ -346,11 +395,11 @@ impl Machine {
         self.params.cores
     }
 
-    /// Queued (runnable, not running) CFS tasks on `core`'s runqueue — the
-    /// per-CPU depth `/proc/schedstat` exposes. RT tasks wait in the
-    /// machine-global RT queue and are not counted here.
+    /// Queued (runnable, not running) fair-class tasks on `core`'s local
+    /// runqueue — the per-CPU depth `/proc/schedstat` exposes. Tasks in a
+    /// machine-global band (RT queue, SRTF pool, ...) are not counted here.
     pub fn core_depth(&self, core: usize) -> usize {
-        self.cores[core].cfs.len()
+        self.kpolicy.queue_depth(core)
     }
 
     /// The task currently running on `core`, if any.
@@ -371,9 +420,10 @@ impl Machine {
         self.task(pid).last_core
     }
 
-    /// Number of queued machine-global RT tasks.
+    /// Number of tasks queued in the policy's machine-global priority band
+    /// (the RT queue under the Linux model).
     pub fn rt_depth(&self) -> usize {
-        self.rt.len()
+        self.kpolicy.rt_depth()
     }
 
     /// Tasks migrated by the periodic balance tick so far (a subset of the
@@ -404,15 +454,13 @@ impl Machine {
             }
         }
         for t in &self.tasks {
-            let queued_cfs = self.cores.iter().filter(|c| c.cfs.contains(t.pid)).count();
-            let queued_rt = usize::from(self.rt.contains(t.pid));
-            let queued_srtf = self.srtf_pool.iter().filter(|&&(_, p)| p == t.pid).count();
+            let queued = self.kpolicy.queued_places(t.pid);
             let running = self
                 .cores
                 .iter()
                 .filter(|c| c.current == Some(t.pid))
                 .count();
-            let places = queued_cfs + queued_rt + queued_srtf + running;
+            let places = queued + running;
             match t.state {
                 ProcState::Running => assert_eq!(
                     (running, places),
@@ -450,7 +498,7 @@ impl Machine {
         // itself until the machine quiesces, so `run_until_quiescent`
         // still terminates.
         if self.params.smp.balancing()
-            && self.params.mode == SchedMode::Linux
+            && self.kpolicy.participates_in_balance()
             && !self.balance_armed
         {
             self.balance_armed = true;
@@ -471,13 +519,14 @@ impl Machine {
     }
 
     /// `schedtool`: change a live task's scheduling policy. No-op on dead
-    /// tasks. In SRTF mode the policy field is updated but has no effect.
+    /// tasks. Under policies that ignore the class field (the SRTF oracle)
+    /// only the bookkeeping is updated.
     pub fn set_policy(&mut self, pid: Pid, policy: Policy) {
         if self.task(pid).state == ProcState::Dead || self.task(pid).policy == policy {
             self.task_mut(pid).policy = policy;
             return;
         }
-        if self.params.mode == SchedMode::Srtf {
+        if self.kpolicy.policy_change_inert() {
             self.task_mut(pid).policy = policy;
             return;
         }
@@ -497,27 +546,20 @@ impl Machine {
                 self.charge(core_id);
                 let old = self.task(pid).policy;
                 self.task_mut(pid).policy = policy;
-                if old.is_realtime() && !policy.is_realtime() {
-                    // Demotion RT → CFS (SFS FILTER expiry): deliberate
-                    // preemption; task goes to this core's CFS queue and the
-                    // core repicks (possibly the same task if nothing waits).
-                    self.preempt_current(core_id);
+                if self.kpolicy.demotes_on_change(old, policy) {
+                    // Demotion (Linux's RT → CFS, SFS FILTER expiry):
+                    // deliberate preemption; the task is requeued and the
+                    // core repicks (possibly the same task if nothing
+                    // waits).
+                    self.preempt_current(core_id, PreemptKind::Preempted);
                     self.reschedule(core_id);
                 } else {
-                    // Promotion CFS → RT (FILTER entry) or same-class change:
-                    // keep the core, recompute the slice from now.
+                    // Promotion or same-class change: keep the core,
+                    // recompute the slice from now.
                     self.cores[core_id].slice_start = self.now;
-                    self.cores[core_id].slice_end = match policy {
-                        Policy::Fifo { .. } => SimTime::MAX,
-                        Policy::Rr { .. } => self.now + RR_TIMESLICE,
-                        Policy::Normal { nice } => {
-                            let c = &self.cores[core_id];
-                            let w = weight_of_nice(nice);
-                            let nr = c.cfs_nr(true);
-                            let total = c.cfs.total_weight() + w as u64;
-                            self.now + self.params.cfs.slice(nr, w, total)
-                        }
-                    };
+                    let (kp, mut ctx) = self.policy_ctx();
+                    let dur = kp.slice_for(&mut ctx, core_id, pid);
+                    self.cores[core_id].slice_end = self.now.saturating_add(dur);
                     self.cores[core_id].gen += 1;
                     self.arm_core_event(core_id);
                 }
@@ -629,15 +671,6 @@ impl Machine {
             .filter(|&c| self.cores[c].current == Some(pid))
     }
 
-    fn weight(&self, pid: Pid) -> u32 {
-        match self.task(pid).policy {
-            Policy::Normal { nice } => weight_of_nice(nice),
-            // RT tasks do not participate in CFS weight accounting; the
-            // value is only used if one is (incorrectly) queued on CFS.
-            _ => weight_of_nice(0),
-        }
-    }
-
     /// Charge the running task on `core` for CPU consumed up to `self.now`.
     fn charge(&mut self, core_id: usize) {
         let Some(pid) = self.cores[core_id].current else {
@@ -659,8 +692,6 @@ impl Machine {
                 policy: self.tasks[pid.0 as usize].policy,
             });
         }
-        let weight = self.weight(pid);
-        let is_cfs = !self.task(pid).policy.is_realtime();
         // Under consolidation contention, wall time on the core advances the
         // task's work more slowly (cache/memory interference); utime still
         // ticks at wall rate, exactly like a thrashing real process.
@@ -668,182 +699,38 @@ impl Machine {
         let t = self.task_mut(pid);
         t.cpu_time += ran;
         t.phase_rem = t.phase_rem.saturating_sub(progress);
-        if is_cfs {
-            t.vruntime += CfsParams::vruntime_delta(ran, weight);
-            let v = t.vruntime;
-            let leftmost = self.cores[core_id].cfs.peek().map(|(lv, _)| lv);
-            let floor = leftmost.map_or(v, |lv| lv.min(v));
-            self.cores[core_id].cfs.advance_min_vruntime(floor);
-        }
+        // Policy-side accounting (vruntime, deadline budgets, ...).
+        let (kp, mut ctx) = self.policy_ctx();
+        kp.task_tick(&mut ctx, core_id, pid, ran);
     }
 
     /// Make a runnable task eligible for dispatch, with preemption checks.
     fn make_runnable(&mut self, pid: Pid) {
         self.set_state(pid, ProcState::Runnable);
-        match self.params.mode {
-            SchedMode::Srtf => self.enqueue_srtf(pid),
-            SchedMode::Linux => match self.task(pid).policy {
-                Policy::Fifo { prio } | Policy::Rr { prio } => self.enqueue_rt(pid, prio, false),
-                Policy::Normal { .. } => self.enqueue_cfs(pid),
-            },
-        }
+        let (kp, mut ctx) = self.policy_ctx();
+        let placed = kp.enqueue(&mut ctx, pid);
+        self.apply_placed(placed);
     }
 
     /// Remove a Runnable (queued) task from whatever structure holds it.
     fn dequeue_runnable(&mut self, pid: Pid) {
         debug_assert_eq!(self.task(pid).state, ProcState::Runnable);
-        if self.params.mode == SchedMode::Srtf {
-            let key = (self.task(pid).remaining_cpu().as_nanos(), pid);
-            self.srtf_pool.remove(&key);
-            return;
-        }
-        if self.task(pid).policy.is_realtime() {
-            self.rt.remove(pid);
-        } else if let Some(core_id) = self.task(pid).home_core {
-            let v = self.task(pid).vruntime;
-            self.cores[core_id].cfs.remove(pid, v);
-        }
+        let (kp, mut ctx) = self.policy_ctx();
+        kp.dequeue(&mut ctx, pid);
     }
 
-    fn enqueue_srtf(&mut self, pid: Pid) {
-        let rem = self.task(pid).remaining_cpu().as_nanos();
-        self.srtf_pool.insert((rem, pid));
-        // Dispatch to an idle core, else preempt the core running the
-        // largest-remaining task if we beat it.
-        if let Some(idle) = self.cores.iter().position(|c| c.current.is_none()) {
-            self.reschedule(idle);
-            return;
-        }
-        let victim = (0..self.cores.len()).max_by_key(|&i| {
-            let vpid = self.cores[i].current.expect("no idle cores");
-            self.remaining_running(i, vpid)
-        });
-        if let Some(vc) = victim {
-            let vpid = self.cores[vc].current.expect("no idle cores");
-            if self.remaining_running(vc, vpid) > self.task(pid).remaining_cpu().as_nanos() {
-                self.charge(vc);
-                self.preempt_current(vc);
-                self.reschedule(vc);
-            }
-        }
-    }
-
-    /// Remaining CPU of the task running on core `i`, accounting for the
-    /// in-flight (uncharged) run.
-    fn remaining_running(&self, core_id: usize, pid: Pid) -> u64 {
-        let t = self.task(pid);
-        let c = &self.cores[core_id];
-        let inflight = if self.now > c.run_start {
-            (self.now - c.run_start).as_nanos()
-        } else {
-            0
-        };
-        t.remaining_cpu().as_nanos().saturating_sub(inflight)
-    }
-
-    fn enqueue_rt(&mut self, pid: Pid, prio: u8, resumed: bool) {
-        if resumed {
-            self.rt.push_front(pid, prio);
-        } else {
-            self.rt.push_back(pid, prio);
-        }
-        // 1. Idle core grabs it.
-        if let Some(idle) = self.cores.iter().position(|c| c.current.is_none()) {
-            self.reschedule(idle);
-            return;
-        }
-        // 2. Preempt a core running CFS (RT always beats CFS).
-        let cfs_victim = (0..self.cores.len()).find(|&i| {
-            let vpid = self.cores[i].current.expect("no idle cores");
-            !self.task(vpid).policy.is_realtime()
-        });
-        if let Some(vc) = cfs_victim {
-            self.charge(vc);
-            self.preempt_current(vc);
-            self.reschedule(vc);
-            return;
-        }
-        // 3. Preempt the lowest-priority RT core if strictly lower.
-        let (vc, vprio) = (0..self.cores.len())
-            .map(|i| {
-                let vpid = self.cores[i].current.expect("no idle cores");
-                (i, self.task(vpid).policy.rt_prio().unwrap_or(0))
-            })
-            .min_by_key(|&(_, p)| p)
-            .expect("at least one core");
-        if self.rt.would_preempt(vprio) {
-            let _ = vc;
-            self.charge(vc);
-            self.preempt_current(vc);
-            self.reschedule(vc);
-        }
-    }
-
-    fn enqueue_cfs(&mut self, pid: Pid) {
-        // Place on the least-loaded core (by CFS runnable count, counting a
-        // running CFS task; cores busy with RT count their queue only).
-        let core_id = (0..self.cores.len())
-            .min_by_key(|&i| {
-                let c = &self.cores[i];
-                let running_cfs = c
-                    .current
-                    .is_some_and(|p| !self.task(p).policy.is_realtime());
-                c.cfs_nr(running_cfs)
-            })
-            .expect("at least one core");
-        let floor = self.cores[core_id]
-            .cfs
-            .place_vruntime(self.task(pid).vruntime);
-        self.task_mut(pid).vruntime = floor;
-        if self.task(pid).home_core != Some(core_id) && self.task(pid).first_run.is_some() {
-            self.task_mut(pid).migrations += 1;
-        }
-        self.task_mut(pid).home_core = Some(core_id);
-        let w = self.weight(pid);
-        self.cores[core_id].cfs.enqueue(pid, floor, w);
-
-        let core = &self.cores[core_id];
-        match core.current {
-            None => self.reschedule(core_id),
-            Some(curr) if !self.task(curr).policy.is_realtime() => {
-                // Wakeup preemption: preempt if the waking task's vruntime
-                // lags the current one by more than wakeup_granularity.
-                let curr_v = self.running_vruntime(core_id, curr);
-                let gran = self.params.cfs.wakeup_granularity.as_nanos();
-                if floor + gran < curr_v {
-                    self.charge(core_id);
-                    self.preempt_current(core_id);
-                    self.reschedule(core_id);
-                } else {
-                    // The runqueue grew: the current task's fair slice
-                    // shrank (the kernel's per-tick check_preempt_tick).
-                    self.refresh_current_slice(core_id);
-                }
-            }
-            Some(_) => {} // RT running: CFS task waits.
-        }
-    }
-
-    /// Recompute the running CFS task's slice after its core's runqueue
-    /// membership changed; preempt immediately if the new slice is already
-    /// exhausted.
+    /// Recompute the running task's slice after its core's runqueue
+    /// membership changed, if the policy slices it; preempt immediately if
+    /// the new slice is already exhausted.
     fn refresh_current_slice(&mut self, core_id: usize) {
         let Some(pid) = self.cores[core_id].current else {
             return;
         };
-        let Policy::Normal { nice } = self.task(pid).policy else {
+        let (kp, mut ctx) = self.policy_ctx();
+        let Some(slice) = kp.refresh_slice(&mut ctx, core_id, pid) else {
             return;
         };
-        if self.params.mode == SchedMode::Srtf {
-            return;
-        }
-        let w = weight_of_nice(nice);
-        let (nr, total) = {
-            let c = &self.cores[core_id];
-            (c.cfs_nr(true), c.cfs.total_weight() + w as u64)
-        };
-        let slice = self.params.cfs.slice(nr, w, total);
-        let new_end = self.cores[core_id].slice_start + slice;
+        let new_end = self.cores[core_id].slice_start.saturating_add(slice);
         self.cores[core_id].slice_end = new_end;
         self.cores[core_id].gen += 1;
         if new_end <= self.now {
@@ -858,70 +745,33 @@ impl Machine {
         }
     }
 
-    /// vruntime of the running task on `core` including the in-flight run.
-    fn running_vruntime(&self, core_id: usize, pid: Pid) -> u64 {
-        let t = self.task(pid);
-        let c = &self.cores[core_id];
-        let inflight = if self.now > c.run_start {
-            CfsParams::vruntime_delta(self.now - c.run_start, self.weight(pid))
-        } else {
-            0
-        };
-        t.vruntime + inflight
-    }
-
     /// Stop the current task on `core` (already charged) and put it back on
     /// its runqueue as Runnable. Counts an involuntary context switch if
     /// some other task is waiting to use a core.
-    fn preempt_current(&mut self, core_id: usize) {
+    fn preempt_current(&mut self, core_id: usize, why: PreemptKind) {
         let Some(pid) = self.cores[core_id].current.take() else {
             return;
         };
         self.cores[core_id].gen += 1;
         self.set_state(pid, ProcState::Runnable);
-        let others_waiting = !self.rt.is_empty()
-            || !self.srtf_pool.is_empty()
-            || self.cores.iter().any(|c| !c.cfs.is_empty());
+        let others_waiting = {
+            let (kp, ctx) = self.policy_ctx();
+            kp.has_waiters(&ctx)
+        };
         if others_waiting {
             self.task_mut(pid).ctx_switches += 1;
             self.total_ctx_switches += 1;
         }
-        match self.params.mode {
-            SchedMode::Srtf => {
-                let rem = self.task(pid).remaining_cpu().as_nanos();
-                self.srtf_pool.insert((rem, pid));
-            }
-            SchedMode::Linux => match self.task(pid).policy {
-                // A preempted FIFO task resumes at the head of its level.
-                Policy::Fifo { prio } => self.rt.push_front(pid, prio),
-                Policy::Rr { prio } => self.rt.push_front(pid, prio),
-                Policy::Normal { .. } => {
-                    let floor = self.cores[core_id]
-                        .cfs
-                        .place_vruntime(self.task(pid).vruntime);
-                    self.task_mut(pid).vruntime = floor;
-                    self.task_mut(pid).home_core = Some(core_id);
-                    let w = self.weight(pid);
-                    self.cores[core_id].cfs.enqueue(pid, floor, w);
-                }
-            },
-        }
+        let (kp, mut ctx) = self.policy_ctx();
+        kp.requeue_preempted(&mut ctx, core_id, pid, why);
     }
 
     /// Pick and dispatch the next task for an empty core.
     fn reschedule(&mut self, core_id: usize) {
         debug_assert!(self.cores[core_id].current.is_none());
-        let next = match self.params.mode {
-            SchedMode::Srtf => self.srtf_pool.pop_first().map(|(_, p)| p),
-            SchedMode::Linux => {
-                if let Some((pid, _)) = self.rt.pop() {
-                    Some(pid)
-                } else if let Some((_, pid)) = self.cores[core_id].cfs.pop() {
-                    Some(pid)
-                } else {
-                    self.steal_for(core_id)
-                }
-            }
+        let next = {
+            let (kp, mut ctx) = self.policy_ctx();
+            kp.pick_next(&mut ctx, core_id)
         };
         match next {
             Some(pid) => self.dispatch(core_id, pid),
@@ -929,21 +779,6 @@ impl Machine {
                 self.cores[core_id].gen += 1; // invalidate stale fires
             }
         }
-    }
-
-    /// Idle pull-balancing: take the largest-vruntime task from the most
-    /// loaded CFS runqueue.
-    fn steal_for(&mut self, core_id: usize) -> Option<Pid> {
-        let victim = (0..self.cores.len())
-            .filter(|&i| i != core_id && !self.cores[i].cfs.is_empty())
-            .max_by_key(|&i| self.cores[i].cfs.len())?;
-        let (v, pid) = self.cores[victim].cfs.pop_last()?;
-        self.task_mut(pid).migrations += 1;
-        self.task_mut(pid).home_core = Some(core_id);
-        // Renormalise vruntime onto the thief's queue.
-        let placed = self.cores[core_id].cfs.place_vruntime(v);
-        self.task_mut(pid).vruntime = placed;
-        Some(pid)
     }
 
     /// Put `pid` on `core` and arm its boundary event.
@@ -989,22 +824,13 @@ impl Machine {
             self.task_mut(pid).first_run = Some(self.now);
             self.out.push(Notification::FirstRun(pid, self.now));
         }
-        // Slice.
-        let slice_end = match self.params.mode {
-            SchedMode::Srtf => SimTime::MAX,
-            SchedMode::Linux => match self.task(pid).policy {
-                Policy::Fifo { .. } => SimTime::MAX,
-                Policy::Rr { .. } => start + RR_TIMESLICE,
-                Policy::Normal { nice } => {
-                    let c = &self.cores[core_id];
-                    let w = weight_of_nice(nice);
-                    let nr = c.cfs_nr(true);
-                    let total = c.cfs.total_weight() + w as u64;
-                    start + self.params.cfs.slice(nr, w, total)
-                }
-            },
+        // Slice: the policy decides the quantum; `SimDuration::MAX`
+        // saturates to an unsliced (run-to-block) assignment.
+        let dur = {
+            let (kp, mut ctx) = self.policy_ctx();
+            kp.slice_for(&mut ctx, core_id, pid)
         };
-        self.cores[core_id].slice_end = slice_end;
+        self.cores[core_id].slice_end = start.saturating_add(dur);
         self.arm_core_event(core_id);
     }
 
@@ -1043,8 +869,8 @@ impl Machine {
         }
     }
 
-    /// Periodic load balance: migrate one task from the busiest to the
-    /// idlest CFS runqueue when the queued-depth gap reaches the threshold
+    /// Periodic load balance: ask the policy to migrate (at most) one task
+    /// between its queues when their depths diverge past the threshold
     /// (the kernel's conservative `load_balance` envelope: one pull per
     /// tick, never across a trivial imbalance). The migrated task is
     /// charged [`SmpParams::migration_cost`] at its next dispatch.
@@ -1055,36 +881,18 @@ impl Machine {
             self.events
                 .push(self.now + self.params.smp.balance_interval, Ev::Balance);
         }
-        let depths: Vec<u64> = self.cores.iter().map(|c| c.cfs.len() as u64).collect();
-        let Some((src, dst)) = pick_imbalance(&depths, self.params.smp.balance_threshold) else {
+        if !self.kpolicy.participates_in_balance() {
             return;
-        };
-        // Pull from the tail: the task that would run last on the busy
-        // core loses the least cache state by moving (same choice as the
-        // idle-steal path).
-        let Some((v, pid)) = self.cores[src].cfs.pop_last() else {
-            return;
-        };
-        self.task_mut(pid).migrations += 1;
-        self.balance_migrations += 1;
-        let mig_cost = self.params.smp.migration_cost;
-        self.task_mut(pid).pending_migration_cost += mig_cost;
-        let placed = self.cores[dst].cfs.place_vruntime(v);
-        self.task_mut(pid).vruntime = placed;
-        self.task_mut(pid).home_core = Some(dst);
-        let w = self.weight(pid);
-        self.cores[dst].cfs.enqueue(pid, placed, w);
-        match self.cores[dst].current {
-            // An idle destination (only possible transiently, e.g. a tick
-            // coinciding with a completion) starts the migrant at once.
-            None => self.reschedule(dst),
-            // The destination queue grew: its running CFS task's fair
-            // slice shrank, exactly as on a wakeup enqueue.
-            Some(curr) if !self.task(curr).policy.is_realtime() => {
-                self.refresh_current_slice(dst);
-            }
-            Some(_) => {}
         }
+        let placed = {
+            let (kp, mut ctx) = self.policy_ctx();
+            kp.balance(&mut ctx)
+        };
+        let Some(placed) = placed else {
+            return;
+        };
+        self.balance_migrations += 1;
+        self.apply_placed(placed);
     }
 
     /// The running task finished its current CPU phase.
@@ -1104,6 +912,10 @@ impl Machine {
                     self.finished.push(rec.clone());
                 }
                 self.out.push(Notification::Finished(Box::new(rec)));
+                {
+                    let (kp, mut ctx) = self.policy_ctx();
+                    kp.on_task_exit(&mut ctx, pid);
+                }
                 self.reschedule(core_id);
             }
             Some(Phase::Io(d)) => {
@@ -1125,42 +937,27 @@ impl Machine {
         }
     }
 
-    /// The running task exhausted its slice (CFS or RR).
+    /// The running task exhausted its slice.
     fn slice_expired(&mut self, core_id: usize, pid: Pid) {
-        // Unsliced tasks (FIFO, or anything under SRTF) can only get here
-        // via a stale phase-end projection (contention rose after arming):
-        // re-arm with the current factor instead of preempting.
-        let unsliced = self.params.mode == SchedMode::Srtf
-            || matches!(self.task(pid).policy, Policy::Fifo { .. });
-        if unsliced && self.cores[core_id].slice_end == SimTime::MAX {
+        // Unsliced assignments (FIFO, the SRTF oracle, ...) can only get
+        // here via a stale phase-end projection (contention rose after
+        // arming): re-arm with the current factor instead of preempting.
+        if self.cores[core_id].slice_end == SimTime::MAX {
             self.cores[core_id].gen += 1;
             self.arm_core_event(core_id);
             return;
         }
-        let has_competition = match self.params.mode {
-            SchedMode::Srtf => false, // SRTF never slices
-            SchedMode::Linux => {
-                !self.rt.is_empty()
-                    || !self.cores[core_id].cfs.is_empty()
-                    // Another queue could be stolen from if we vacate.
-                    || self
-                        .cores
-                        .iter()
-                        .enumerate()
-                        .any(|(i, c)| i != core_id && c.cfs.len() > 1)
-            }
+        let has_competition = {
+            let (kp, ctx) = self.policy_ctx();
+            kp.has_competition(&ctx, core_id)
         };
         if !has_competition {
             // Nothing else would run; extend the slice in place without a
             // context switch (the kernel's check_preempt_tick finds no
             // competitor).
-            let renew = match self.task(pid).policy {
-                Policy::Rr { .. } => RR_TIMESLICE,
-                Policy::Normal { nice } => {
-                    let w = weight_of_nice(nice);
-                    self.params.cfs.slice(1, w, w as u64)
-                }
-                Policy::Fifo { .. } => SimDuration::MAX,
+            let renew = {
+                let (kp, mut ctx) = self.policy_ctx();
+                kp.slice_for(&mut ctx, core_id, pid)
             };
             self.cores[core_id].slice_start = self.now;
             self.cores[core_id].slice_end = self.now.saturating_add(renew);
@@ -1168,22 +965,8 @@ impl Machine {
             self.arm_core_event(core_id);
             return;
         }
-        match self.task(pid).policy {
-            Policy::Rr { prio } => {
-                // Round-robin: go to the *tail* of the priority level.
-                self.cores[core_id].current = None;
-                self.cores[core_id].gen += 1;
-                self.set_state(pid, ProcState::Runnable);
-                self.task_mut(pid).ctx_switches += 1;
-                self.total_ctx_switches += 1;
-                self.rt.push_back(pid, prio);
-                self.reschedule(core_id);
-            }
-            _ => {
-                self.preempt_current(core_id);
-                self.reschedule(core_id);
-            }
-        }
+        self.preempt_current(core_id, PreemptKind::SliceExpired);
+        self.reschedule(core_id);
     }
 
     /// I/O completed: account sleep time and requeue.
@@ -1203,6 +986,8 @@ impl Machine {
                     self.finished.push(rec.clone());
                 }
                 self.out.push(Notification::Finished(Box::new(rec)));
+                let (kp, mut ctx) = self.policy_ctx();
+                kp.on_task_exit(&mut ctx, pid);
             }
             Some(Phase::Cpu(d)) => {
                 self.task_mut(pid).phase_rem = d;

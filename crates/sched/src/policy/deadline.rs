@@ -1,0 +1,255 @@
+//! Deadline class — CBS runtime/period reservations with admission
+//! control, as a [`KernelPolicy`].
+//!
+//! Each admitted task gets a Constant Bandwidth Server: a budget of
+//! `runtime` CPU per `period`, with an absolute deadline one period out.
+//! Earliest deadline runs first; when a server exhausts its budget the
+//! deadline is postponed one period and the budget refilled (CBS
+//! throttling — the task keeps competing, just with a later deadline, so
+//! it can never starve others past its reserved bandwidth). On wakeup the
+//! classic CBS rule applies: if the leftover budget-to-deadline ratio
+//! would exceed the reserved bandwidth, the server is re-initialised
+//! (deadline = now + period, budget = runtime) instead of letting the
+//! task hoard an early deadline it slept through.
+//!
+//! Admission control caps the number of servers at `4 × cores` (each
+//! server reserves `runtime/period = 1/4` of a core). Non-admitted tasks
+//! run in a background FIFO band that only sees idle cores and is
+//! preempted the instant an admitted task arrives; when a server exits,
+//! the longest-waiting background task is promoted into the freed
+//! reservation.
+//!
+//! Scheduling-policy classes (`SCHED_FIFO` / nice levels) are ignored:
+//! like the SRTF oracle, the deadline class imposes its own discipline on
+//! every task, so `set_policy` is inert bookkeeping.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sfs_simcore::SimDuration;
+
+use crate::policy::{KernelCtx, KernelPolicy, Placed, PreemptKind};
+use crate::task::Pid;
+
+/// Per-server CPU reservation: 4 ms of budget…
+const DL_RUNTIME: SimDuration = SimDuration::from_millis(4);
+/// …every 16 ms (bandwidth 1/4 core per server).
+const DL_PERIOD: SimDuration = SimDuration::from_millis(16);
+/// Admitted servers per core (4 servers × 1/4 core = full utilisation).
+const SERVERS_PER_CORE: usize = 4;
+
+/// One task's Constant Bandwidth Server.
+#[derive(Debug, Clone, Copy)]
+struct Server {
+    /// Absolute deadline (ns since sim start) — the EDF sort key.
+    deadline: u64,
+    /// Remaining budget in the current period.
+    budget: SimDuration,
+}
+
+/// CBS deadline class with admission control and a background FIFO band.
+#[derive(Debug)]
+pub struct DeadlinePolicy {
+    /// Queued admitted tasks in EDF order: `(deadline ns, pid)`.
+    dl: BTreeSet<(u64, Pid)>,
+    /// Queued non-admitted tasks, FIFO.
+    bg: VecDeque<Pid>,
+    /// Reservation state for every admitted task (queued or running).
+    servers: BTreeMap<Pid, Server>,
+    /// Admission cap: `SERVERS_PER_CORE × cores`.
+    cap: usize,
+}
+
+impl DeadlinePolicy {
+    /// A deadline-class policy for a machine with `cores` cores.
+    pub fn new(cores: usize) -> DeadlinePolicy {
+        DeadlinePolicy {
+            dl: BTreeSet::new(),
+            bg: VecDeque::new(),
+            servers: BTreeMap::new(),
+            cap: SERVERS_PER_CORE * cores.max(1),
+        }
+    }
+
+    /// First idle core, if any.
+    fn idle_core(ctx: &KernelCtx<'_>) -> Option<usize> {
+        (0..ctx.nr_cores()).find(|&i| ctx.current(i).is_none())
+    }
+
+    /// Placement decision for an admitted task that just joined the EDF
+    /// queue with deadline `d`: idle core first, then any core running a
+    /// background task, then the latest-deadline running server if its
+    /// deadline is strictly later than `d`.
+    fn place_admitted(&self, ctx: &KernelCtx<'_>, d: u64) -> Placed {
+        if let Some(idle) = Self::idle_core(ctx) {
+            return Placed::RescheduleIdle(idle);
+        }
+        let bg_victim = (0..ctx.nr_cores()).find(|&i| {
+            let vpid = ctx.current(i).expect("no idle cores");
+            !self.servers.contains_key(&vpid)
+        });
+        if let Some(vc) = bg_victim {
+            return Placed::Preempt(vc);
+        }
+        // All cores run servers: preempt the latest deadline if strictly
+        // later than ours (lowest core index among ties).
+        let mut victim: Option<(usize, u64)> = None;
+        for i in 0..ctx.nr_cores() {
+            let vpid = ctx.current(i).expect("no idle cores");
+            let vd = self.servers[&vpid].deadline;
+            if victim.map_or(true, |(_, best)| vd > best) {
+                victim = Some((i, vd));
+            }
+        }
+        match victim {
+            Some((vc, vd)) if vd > d => Placed::Preempt(vc),
+            _ => Placed::Queued,
+        }
+    }
+}
+
+impl KernelPolicy for DeadlinePolicy {
+    fn name(&self) -> &'static str {
+        "dl"
+    }
+
+    fn enqueue(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid) -> Placed {
+        let now_ns = ctx.now().as_nanos();
+        if let Some(s) = self.servers.get_mut(&pid) {
+            // CBS wakeup rule: re-initialise the server if the deadline
+            // passed, or if leftover budget over remaining time exceeds
+            // the reserved bandwidth (budget/(d-now) > runtime/period ⇔
+            // budget·period > (d-now)·runtime, in u128 to avoid overflow).
+            let reset = s.deadline <= now_ns || {
+                let remaining = s.deadline - now_ns;
+                u128::from(s.budget.as_nanos()) * u128::from(DL_PERIOD.as_nanos())
+                    > u128::from(remaining) * u128::from(DL_RUNTIME.as_nanos())
+            };
+            if reset {
+                s.deadline = now_ns + DL_PERIOD.as_nanos();
+                s.budget = DL_RUNTIME;
+            }
+            let d = s.deadline;
+            self.dl.insert((d, pid));
+            return self.place_admitted(ctx, d);
+        }
+        if self.servers.len() < self.cap {
+            // Admit: fresh reservation, deadline one period out.
+            let d = now_ns + DL_PERIOD.as_nanos();
+            self.servers.insert(
+                pid,
+                Server {
+                    deadline: d,
+                    budget: DL_RUNTIME,
+                },
+            );
+            self.dl.insert((d, pid));
+            return self.place_admitted(ctx, d);
+        }
+        // Over capacity: background band, idle cores only.
+        self.bg.push_back(pid);
+        match Self::idle_core(ctx) {
+            Some(idle) => Placed::RescheduleIdle(idle),
+            None => Placed::Queued,
+        }
+    }
+
+    fn dequeue(&mut self, _ctx: &mut KernelCtx<'_>, pid: Pid) {
+        if let Some(s) = self.servers.get(&pid) {
+            self.dl.remove(&(s.deadline, pid));
+        } else {
+            self.bg.retain(|&p| p != pid);
+        }
+    }
+
+    fn pick_next(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize) -> Option<Pid> {
+        if let Some(&(d, pid)) = self.dl.iter().next() {
+            self.dl.remove(&(d, pid));
+            return Some(pid);
+        }
+        self.bg.pop_front()
+    }
+
+    fn requeue_preempted(
+        &mut self,
+        _ctx: &mut KernelCtx<'_>,
+        _core: usize,
+        pid: Pid,
+        _why: PreemptKind,
+    ) {
+        match self.servers.get(&pid) {
+            Some(s) => {
+                self.dl.insert((s.deadline, pid));
+            }
+            // A preempted background task resumes before its peers (it
+            // lost the core involuntarily, not by yielding).
+            None => self.bg.push_front(pid),
+        }
+    }
+
+    fn slice_for(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize, pid: Pid) -> SimDuration {
+        match self.servers.get(&pid) {
+            // The slice is exactly the remaining budget: the slice-expiry
+            // event is the CBS throttle point. task_tick refills an
+            // exhausted budget immediately, so this is never zero.
+            Some(s) => s.budget,
+            None => SimDuration::MAX,
+        }
+    }
+
+    fn task_tick(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize, pid: Pid, ran: SimDuration) {
+        if let Some(s) = self.servers.get_mut(&pid) {
+            s.budget = s.budget.saturating_sub(ran);
+            if s.budget.is_zero() {
+                // CBS deadline postponement: next period's reservation.
+                s.deadline += DL_PERIOD.as_nanos();
+                s.budget = DL_RUNTIME;
+            }
+        }
+    }
+
+    fn on_task_exit(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid) {
+        if self.servers.remove(&pid).is_some() {
+            // A reservation freed up: promote the longest-waiting
+            // background task into it.
+            if let Some(promoted) = self.bg.pop_front() {
+                let d = ctx.now().as_nanos() + DL_PERIOD.as_nanos();
+                self.servers.insert(
+                    promoted,
+                    Server {
+                        deadline: d,
+                        budget: DL_RUNTIME,
+                    },
+                );
+                self.dl.insert((d, promoted));
+            }
+        }
+    }
+
+    fn has_competition(&self, _ctx: &KernelCtx<'_>, _core: usize) -> bool {
+        !self.dl.is_empty() || !self.bg.is_empty()
+    }
+
+    fn has_waiters(&self, _ctx: &KernelCtx<'_>) -> bool {
+        !self.dl.is_empty() || !self.bg.is_empty()
+    }
+
+    fn policy_change_inert(&self) -> bool {
+        true
+    }
+
+    fn queue_depth(&self, _core: usize) -> usize {
+        0
+    }
+
+    fn rt_depth(&self) -> usize {
+        self.dl.len() + self.bg.len()
+    }
+
+    fn queued_places(&self, pid: Pid) -> usize {
+        let in_dl = self
+            .servers
+            .get(&pid)
+            .is_some_and(|s| self.dl.contains(&(s.deadline, pid)));
+        usize::from(in_dl) + self.bg.iter().filter(|&&p| p == pid).count()
+    }
+}

@@ -1,0 +1,121 @@
+//! Preemption-ceiling (SRP-flavored) static-priority discipline, as a
+//! [`KernelPolicy`].
+//!
+//! Every task maps to an *effective priority band*: real-time tasks land
+//! at `100 + rt_prio` (100..=199), normal tasks at `20 − nice`
+//! (1..=40). A single machine-global priority queue serves the highest
+//! band first; dispatched tasks run **to block** (no timeslice), and an
+//! arriving task preempts only when its band exceeds both the victim's
+//! band *and* the system ceiling — the top of the normal band (40). The
+//! ceiling is the Stack Resource Policy idea collapsed to a static
+//! system-wide value: the whole normal band is one non-preemptible
+//! resource group, so normal tasks never preempt each other (bounding
+//! context switches like SRP bounds blocking), while the RT bands sit
+//! above the ceiling and preempt freely. A preempted task resumes ahead
+//! of its band peers (stack discipline: last preempted, first resumed).
+
+use sfs_simcore::SimDuration;
+
+use crate::policy::rt::RtRunqueue;
+use crate::policy::{KernelCtx, KernelPolicy, Placed, PreemptKind};
+use crate::task::{Pid, Policy};
+
+/// The system ceiling: the top of the normal band. Only tasks strictly
+/// above it (the RT bands) ever preempt a running task.
+const CEILING: u8 = 40;
+
+/// Effective priority band of a task under SRP.
+fn eff_prio(policy: Policy) -> u8 {
+    match policy {
+        Policy::Fifo { prio } | Policy::Rr { prio } => 100 + prio.min(99),
+        // nice −20..=19 → band 40..=1: lower nice, higher band.
+        Policy::Normal { nice } => (20 - i16::from(nice)) as u8,
+    }
+}
+
+/// Ceiling-gated static-priority policy over one global band queue.
+#[derive(Debug, Default)]
+pub struct SrpPolicy {
+    rq: RtRunqueue,
+}
+
+impl SrpPolicy {
+    /// An SRP policy (core count is irrelevant: one global queue).
+    pub fn new() -> SrpPolicy {
+        SrpPolicy::default()
+    }
+}
+
+impl KernelPolicy for SrpPolicy {
+    fn name(&self) -> &'static str {
+        "srp"
+    }
+
+    fn enqueue(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid) -> Placed {
+        let eff = eff_prio(ctx.policy_of(pid));
+        self.rq.push_back(pid, eff);
+        if let Some(idle) = (0..ctx.nr_cores()).find(|&i| ctx.current(i).is_none()) {
+            return Placed::RescheduleIdle(idle);
+        }
+        // Victim: the lowest-band running task (lowest core index among
+        // ties). Preempt only above both its band and the ceiling.
+        let (vc, veff) = (0..ctx.nr_cores())
+            .map(|i| {
+                let vpid = ctx.current(i).expect("no idle cores");
+                (i, eff_prio(ctx.policy_of(vpid)))
+            })
+            .min_by_key(|&(_, e)| e)
+            .expect("at least one core");
+        if eff > veff.max(CEILING) {
+            Placed::Preempt(vc)
+        } else {
+            Placed::Queued
+        }
+    }
+
+    fn dequeue(&mut self, _ctx: &mut KernelCtx<'_>, pid: Pid) {
+        self.rq.remove(pid);
+    }
+
+    fn pick_next(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize) -> Option<Pid> {
+        self.rq.pop().map(|(pid, _)| pid)
+    }
+
+    fn requeue_preempted(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        _core: usize,
+        pid: Pid,
+        _why: PreemptKind,
+    ) {
+        // Stack discipline: the preempted task resumes before its peers.
+        self.rq.push_front(pid, eff_prio(ctx.policy_of(pid)));
+    }
+
+    fn slice_for(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize, _pid: Pid) -> SimDuration {
+        SimDuration::MAX // run to block
+    }
+
+    fn task_tick(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize, _pid: Pid, _ran: SimDuration) {}
+
+    fn has_competition(&self, _ctx: &KernelCtx<'_>, _core: usize) -> bool {
+        // Unreachable: run-to-block slices never expire.
+        false
+    }
+
+    fn has_waiters(&self, _ctx: &KernelCtx<'_>) -> bool {
+        !self.rq.is_empty()
+    }
+
+    fn queue_depth(&self, _core: usize) -> usize {
+        0
+    }
+
+    fn rt_depth(&self) -> usize {
+        self.rq.len()
+    }
+
+    fn queued_places(&self, pid: Pid) -> usize {
+        usize::from(self.rq.contains(pid))
+    }
+}

@@ -1,0 +1,101 @@
+//! The offline oracle as a [`KernelPolicy`] value: preemptive Shortest
+//! Remaining (CPU) Time First over one machine-global pool. Task policy
+//! classes are ignored. Bit-for-bit the pre-refactor `SchedMode::Srtf`.
+
+use std::collections::BTreeSet;
+
+use sfs_simcore::SimDuration;
+
+use crate::policy::{KernelCtx, KernelPolicy, Placed, PreemptKind};
+use crate::task::Pid;
+
+/// Preemptive SRTF (see module docs).
+#[derive(Debug, Default)]
+pub struct SrtfPolicy {
+    /// Waiting pool keyed by (remaining CPU ns, pid).
+    pool: BTreeSet<(u64, Pid)>,
+}
+
+impl SrtfPolicy {
+    /// An empty SRTF oracle.
+    pub fn new() -> SrtfPolicy {
+        SrtfPolicy::default()
+    }
+}
+
+impl KernelPolicy for SrtfPolicy {
+    fn name(&self) -> &'static str {
+        "srtf"
+    }
+
+    fn enqueue(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid) -> Placed {
+        let rem = ctx.remaining_cpu(pid).as_nanos();
+        self.pool.insert((rem, pid));
+        // Dispatch to an idle core, else preempt the core running the
+        // largest-remaining task if we beat it.
+        if let Some(idle) = (0..ctx.nr_cores()).find(|&i| ctx.current(i).is_none()) {
+            return Placed::RescheduleIdle(idle);
+        }
+        let remaining_running = |i: usize| {
+            let vpid = ctx.current(i).expect("no idle cores");
+            ctx.remaining_cpu(vpid)
+                .as_nanos()
+                .saturating_sub(ctx.inflight(i).as_nanos())
+        };
+        let victim = (0..ctx.nr_cores()).max_by_key(|&i| remaining_running(i));
+        if let Some(vc) = victim {
+            if remaining_running(vc) > rem {
+                return Placed::Preempt(vc);
+            }
+        }
+        Placed::Queued
+    }
+
+    fn dequeue(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid) {
+        let key = (ctx.remaining_cpu(pid).as_nanos(), pid);
+        self.pool.remove(&key);
+    }
+
+    fn pick_next(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize) -> Option<Pid> {
+        self.pool.pop_first().map(|(_, p)| p)
+    }
+
+    fn requeue_preempted(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        _core: usize,
+        pid: Pid,
+        _why: PreemptKind,
+    ) {
+        let rem = ctx.remaining_cpu(pid).as_nanos();
+        self.pool.insert((rem, pid));
+    }
+
+    fn slice_for(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize, _pid: Pid) -> SimDuration {
+        SimDuration::MAX // run to block; SRTF never slices
+    }
+
+    fn task_tick(&mut self, _ctx: &mut KernelCtx<'_>, _core: usize, _pid: Pid, _ran: SimDuration) {}
+
+    fn has_competition(&self, _ctx: &KernelCtx<'_>, _core: usize) -> bool {
+        // Unsliced policies never reach slice-expiry arbitration (the
+        // machine re-arms unsliced boundaries in place).
+        false
+    }
+
+    fn has_waiters(&self, _ctx: &KernelCtx<'_>) -> bool {
+        !self.pool.is_empty()
+    }
+
+    fn policy_change_inert(&self) -> bool {
+        true // the oracle ignores policy classes
+    }
+
+    fn queue_depth(&self, _core: usize) -> usize {
+        0 // no per-core fair queues
+    }
+
+    fn queued_places(&self, pid: Pid) -> usize {
+        self.pool.iter().filter(|&&(_, p)| p == pid).count()
+    }
+}

@@ -3,8 +3,8 @@
 //! external-control (schedtool/procfs) surface under adversarial timing.
 
 use sfs_sched::{
-    run_open_loop, Machine, MachineParams, Notification, Phase, Policy, ProcState, SchedMode,
-    TaskSpec,
+    run_open_loop, KernelPolicyKind, Machine, MachineParams, Notification, Phase, Policy,
+    ProcState, TaskSpec,
 };
 use sfs_simcore::{SimDuration, SimTime};
 
@@ -20,7 +20,7 @@ fn exact(cores: usize) -> MachineParams {
     MachineParams {
         cores,
         ctx_switch_cost: SimDuration::ZERO,
-        mode: SchedMode::Linux,
+        kpolicy: KernelPolicyKind::Cfs,
         ..Default::default()
     }
 }
@@ -100,7 +100,7 @@ fn srtf_accounts_remaining_after_io() {
         MachineParams {
             cores: 1,
             ctx_switch_cost: SimDuration::ZERO,
-            mode: SchedMode::Srtf,
+            kpolicy: KernelPolicyKind::Srtf,
             ..Default::default()
         },
         [(at(0), phased), (at(100), fresh)],

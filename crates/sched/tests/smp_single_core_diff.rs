@@ -18,7 +18,7 @@
 //! every step, not merely at the end.
 
 use sfs_sched::{
-    Machine, MachineParams, Notification, Phase, Policy, SchedMode, SmpParams, TaskSpec,
+    KernelPolicyKind, Machine, MachineParams, Notification, Phase, Policy, SmpParams, TaskSpec,
 };
 use sfs_simcore::{SimDuration, SimRng, SimTime};
 
@@ -65,7 +65,7 @@ fn random_spec(rng: &mut SimRng, label: u64) -> TaskSpec {
 fn lockstep_case(mut rng: SimRng, steps: usize) {
     let base = MachineParams {
         cores: 1,
-        mode: SchedMode::Linux,
+        kpolicy: KernelPolicyKind::Cfs,
         ..Default::default()
     };
     // Every SMP mechanism enabled, aggressively: a 200µs balance tick and

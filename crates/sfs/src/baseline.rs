@@ -4,10 +4,12 @@
 //! every evaluation figure: the FaaS server dispatches each request straight
 //! to the OS and the kernel scheduler does everything. Under the
 //! policy-driven API a baseline is just [`KernelOnly`] with the right
-//! dispatch policy (plus the SRTF machine mode for the oracle);
-//! [`Baseline`] packages that mapping as a [`ControllerFactory`].
+//! dispatch policy (plus the right kernel policy on the machine);
+//! [`Baseline`] packages that mapping as a [`ControllerFactory`]. The
+//! kernel-policy baselines (EEVDF / DL / SRP) exercise the pluggable
+//! [`sfs_sched::policy`] layer the same way.
 
-use sfs_sched::{MachineParams, Policy, SchedMode};
+use sfs_sched::{KernelPolicyKind, MachineParams, Policy};
 
 use crate::policies::KernelOnly;
 use crate::sim::{Controller, ControllerFactory};
@@ -23,6 +25,12 @@ pub enum Baseline {
     Rr,
     /// The offline oracle.
     Srtf,
+    /// Every request under the EEVDF kernel policy (nice 0).
+    Eevdf,
+    /// Every request under the CBS deadline-class kernel policy.
+    Deadline,
+    /// Every request under the preemption-ceiling (SRP) kernel policy.
+    Srp,
 }
 
 impl Baseline {
@@ -33,23 +41,33 @@ impl Baseline {
             Baseline::Fifo => "FIFO",
             Baseline::Rr => "RR",
             Baseline::Srtf => "SRTF",
+            Baseline::Eevdf => "EEVDF",
+            Baseline::Deadline => "DL",
+            Baseline::Srp => "SRP",
         }
     }
 
     /// The dispatch policy this baseline runs every request under.
     pub fn policy(self) -> Policy {
         match self {
-            Baseline::Cfs | Baseline::Srtf => Policy::NORMAL,
+            Baseline::Cfs
+            | Baseline::Srtf
+            | Baseline::Eevdf
+            | Baseline::Deadline
+            | Baseline::Srp => Policy::NORMAL,
             Baseline::Fifo => Policy::Fifo { prio: 50 },
             Baseline::Rr => Policy::Rr { prio: 50 },
         }
     }
 
-    /// The machine scheduling regime this baseline needs.
-    pub fn mode(self) -> SchedMode {
+    /// The kernel scheduling policy this baseline needs on the machine.
+    pub fn kernel_policy(self) -> KernelPolicyKind {
         match self {
-            Baseline::Srtf => SchedMode::Srtf,
-            _ => SchedMode::Linux,
+            Baseline::Srtf => KernelPolicyKind::Srtf,
+            Baseline::Eevdf => KernelPolicyKind::Eevdf,
+            Baseline::Deadline => KernelPolicyKind::Deadline,
+            Baseline::Srp => KernelPolicyKind::Srp,
+            Baseline::Cfs | Baseline::Fifo | Baseline::Rr => KernelPolicyKind::Cfs,
         }
     }
 }
@@ -64,7 +82,7 @@ impl ControllerFactory for Baseline {
     }
 
     fn configure_machine(&self, params: &mut MachineParams) {
-        params.mode = self.mode();
+        params.kpolicy = self.kernel_policy();
     }
 }
 

@@ -27,7 +27,7 @@ use crate::stats::RequestOutcome;
 /// again: the pure-kernel comparators of Fig. 2 and the "CFS" series of
 /// every evaluation figure.
 ///
-/// `KernelOnly(Policy::NORMAL)` on a [`sfs_sched::SchedMode::Srtf`] machine
+/// `KernelOnly(Policy::NORMAL)` on a [`sfs_sched::KernelPolicyKind::Srtf`] machine
 /// is the offline SRTF oracle (the machine ignores policies in that mode).
 #[derive(Debug, Clone, Copy)]
 pub struct KernelOnly(pub Policy);

@@ -39,7 +39,8 @@
 //! controller timers.
 
 use sfs_sched::{
-    FinishedTask, Machine, MachineParams, Notification, Pid, Policy, ProcState, ScheduleTrace,
+    FinishedTask, KernelPolicyKind, Machine, MachineParams, Notification, Pid, Policy, ProcState,
+    ScheduleTrace,
 };
 use sfs_simcore::{SimDuration, SimTime, TimeSeries};
 use sfs_workload::{Request, Workload};
@@ -421,6 +422,13 @@ impl<'a> Sim<'a> {
     /// only at dispatch time).
     pub fn workload(mut self, w: &'a Workload) -> Sim<'a> {
         self.workload = Some(w);
+        self
+    }
+
+    /// Select the machine's kernel scheduling policy, overriding whatever
+    /// the [`MachineParams`] carried (the `--kpolicy` plumbing point).
+    pub fn kernel_policy(mut self, kpolicy: KernelPolicyKind) -> Sim<'a> {
+        self.params.kpolicy = kpolicy;
         self
     }
 

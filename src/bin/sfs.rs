@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! sfs gen      --requests 5000 --cores 16 --load 0.9 [--mix openlambda] [--seed N] [--out trace.csv]
-//! sfs run      --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace trace.csv | --requests N --load X] [--gantt]
+//! sfs run      --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|eevdf|dl|srp|ideal [--trace trace.csv | --requests N --load X] [--gantt]
 //! sfs run      --sched ... --smp balance=MS[,migration=US][,affinity=US]   # SMP load balancer + costs
+//! sfs run      --sched ... --kpolicy cfs|srtf|eevdf|dl|srp                 # kernel policy on the machine
 //! sfs run      --cluster hosts=8,cores=8,placement=jsq[,affinity=10000:50] [--sched sfs] [--threads T]
 //! sfs compare  [--requests N --cores C --load X]         # SFS vs CFS headline
 //! sfs slo      [--requests N --cores C --load X]         # paper-SLO attainment
@@ -17,6 +18,13 @@
 //! optional `affinity=KEEPMS:COLDMS` key enables the warm-container
 //! cold-start model, and hosts run in parallel with bit-identical output
 //! at any `--threads` value.
+//!
+//! `--kpolicy` swaps the kernel scheduling policy on the simulated
+//! machine (`sfs_sched::KernelPolicyKind`): the stock Linux CFS+RT model
+//! (default), the SRTF oracle, EEVDF, the CBS deadline class, or the
+//! preemption-ceiling (SRP) discipline. The `eevdf`/`dl`/`srp` `--sched`
+//! values are shorthand for `--sched cfs --kpolicy <p>`: a kernel-only
+//! baseline on that kernel policy.
 //!
 //! `--smp` turns on the machine's SMP model (periodic load-balance tick
 //! plus migration/affinity costs — `sfs_sched::SmpParams`): `balance` is
@@ -32,7 +40,7 @@ use std::process::exit;
 
 use sfs_repro::faas::{Cluster, Placement};
 use sfs_repro::metrics::{evaluate_slo, headline_claims, MarkdownTable, Paired, SloRule};
-use sfs_repro::sched::{MachineParams, SmpParams};
+use sfs_repro::sched::{KernelPolicyKind, MachineParams, SmpParams};
 use sfs_repro::sfs::{
     Baseline, Controller, ControllerFactory, FnFactory, HistoryPriority, Ideal, RequestOutcome,
     RunOutcome, SfsConfig, SfsController, Sim, UserMlfq,
@@ -66,8 +74,8 @@ fn usage_and_exit() -> ! {
          \n\
          USAGE:\n\
            sfs gen     --requests N --cores C --load X [--mix fib|openlambda] [--seed S] [--out FILE]\n\
-           sfs run     --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|ideal [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
-                       [--smp balance=MS[,migration=US][,affinity=US]]\n\
+           sfs run     --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|eevdf|dl|srp|ideal [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
+                       [--smp balance=MS[,migration=US][,affinity=US]] [--kpolicy cfs|srtf|eevdf|dl|srp]\n\
            sfs run     --cluster hosts=N,cores=M,placement=P[,affinity=KEEPMS:COLDMS] [--sched S] [--threads T] [--requests N --load X]\n\
            sfs compare [--requests N] [--cores C] [--load X] [--seed S]\n\
            sfs slo     [--requests N] [--cores C] [--load X] [--seed S]"
@@ -181,11 +189,14 @@ fn controller_for(
         "history" => ("HIST", Box::new(HistoryPriority::new())),
         "mlfq" => ("MLFQ", Box::new(UserMlfq::default())),
         "ideal" => ("IDEAL", Box::new(Ideal)),
-        "cfs" | "fifo" | "rr" | "srtf" => {
+        "cfs" | "fifo" | "rr" | "srtf" | "eevdf" | "dl" | "srp" => {
             let b = match sched {
                 "cfs" => Baseline::Cfs,
                 "fifo" => Baseline::Fifo,
                 "rr" => Baseline::Rr,
+                "eevdf" => Baseline::Eevdf,
+                "dl" => Baseline::Deadline,
+                "srp" => Baseline::Srp,
                 _ => Baseline::Srtf,
             };
             b.configure_machine(&mut params);
@@ -220,6 +231,9 @@ fn factory_for(sched: &str, cores: usize) -> Option<Box<dyn ControllerFactory + 
         "fifo" => Box::new(Baseline::Fifo),
         "rr" => Box::new(Baseline::Rr),
         "srtf" => Box::new(Baseline::Srtf),
+        "eevdf" => Box::new(Baseline::Eevdf),
+        "dl" => Box::new(Baseline::Deadline),
+        "srp" => Box::new(Baseline::Srp),
         _ => return None,
     })
 }
@@ -356,6 +370,13 @@ fn cmd_run(flags: &BTreeMap<String, String>) {
     });
     if let Some(smp) = smp {
         params = params.with_smp(smp);
+    }
+    if let Some(spec) = flags.get("kpolicy") {
+        let Some(kind) = KernelPolicyKind::parse(spec) else {
+            eprintln!("bad --kpolicy value {spec:?} (expected cfs|srtf|eevdf|dl|srp)");
+            usage_and_exit();
+        };
+        params = params.with_kpolicy(kind);
     }
     let mut sim = Sim::on(params).workload(&w).boxed_controller(ctl);
     if gantt {

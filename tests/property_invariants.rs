@@ -6,7 +6,7 @@
 //! dependency): each test runs a fixed number of cases from a fixed seed,
 //! so failures are exactly reproducible.
 
-use sfs_repro::sched::{run_open_loop, MachineParams, Phase, Policy, SchedMode, TaskSpec};
+use sfs_repro::sched::{run_open_loop, KernelPolicyKind, MachineParams, Phase, Policy, TaskSpec};
 use sfs_repro::sfs::{Baseline, ControllerFactory, RequestOutcome, SfsConfig, SfsController, Sim};
 use sfs_repro::simcore::{SimDuration, SimRng, SimTime};
 use sfs_repro::workload::{DurationDist, IatSpec, Workload, WorkloadSpec};
@@ -64,10 +64,10 @@ fn machine_conserves_work_and_loses_nothing() {
         let params = MachineParams {
             cores,
             ctx_switch_cost: SimDuration::ZERO,
-            mode: if srtf {
-                SchedMode::Srtf
+            kpolicy: if srtf {
+                KernelPolicyKind::Srtf
             } else {
-                SchedMode::Linux
+                KernelPolicyKind::Cfs
             },
             ..Default::default()
         };

@@ -1,0 +1,193 @@
+//! Property-style invariants for every registered kernel policy.
+//!
+//! The [`KernelPolicy`] contract promises that any policy — the ported
+//! CFS/SRTF pair and the new EEVDF/deadline/SRP disciplines alike — keeps
+//! the machine's bookkeeping sound: no task is lost or duplicated, CPU
+//! time charged equals CPU demand (with contention off), timestamps are
+//! causally ordered, and the conservation walk (each live task in exactly
+//! one place) holds at arbitrary mid-run instants, including across
+//! `set_policy` churn. Each case is seeded through `SimRng`, so failures
+//! reproduce exactly.
+
+use std::collections::BTreeSet;
+
+use sfs_repro::sched::{
+    KernelPolicyKind, Machine, MachineParams, Phase, Policy, ProcState, SmpParams, TaskSpec,
+};
+use sfs_repro::simcore::{SimDuration, SimRng, SimTime};
+
+const CORES: [usize; 4] = [1, 2, 4, 8];
+const SEEDS: [u64; 3] = [2, 13, 777];
+
+fn case_rng(kind: KernelPolicyKind, cores: usize, seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+        .derive(kind.name())
+        .derive(&cores.to_string())
+}
+
+fn random_policy(rng: &mut SimRng) -> Policy {
+    match rng.uniform_u64(0, 3) {
+        0 => Policy::Normal {
+            nice: rng.uniform_u64(0, 10) as i8 - 5,
+        },
+        1 => Policy::NORMAL,
+        2 => Policy::Fifo {
+            prio: rng.uniform_u64(1, 99) as u8,
+        },
+        _ => Policy::Rr {
+            prio: rng.uniform_u64(1, 99) as u8,
+        },
+    }
+}
+
+fn random_spec(rng: &mut SimRng, label: u64) -> TaskSpec {
+    let mut phases = Vec::new();
+    if rng.chance(0.25) {
+        phases.push(Phase::Io(SimDuration::from_micros(
+            rng.uniform_u64(100, 8_000),
+        )));
+    }
+    phases.push(Phase::Cpu(SimDuration::from_micros(
+        rng.uniform_u64(100, 12_000),
+    )));
+    if rng.chance(0.3) {
+        phases.push(Phase::Io(SimDuration::from_micros(
+            rng.uniform_u64(100, 4_000),
+        )));
+        phases.push(Phase::Cpu(SimDuration::from_micros(
+            rng.uniform_u64(100, 6_000),
+        )));
+    }
+    TaskSpec {
+        phases,
+        policy: random_policy(rng),
+        label,
+    }
+}
+
+/// Drive one machine through a randomized spawn/set_policy timeline with
+/// conservation checks at every step, then verify the terminal invariants.
+fn check_kind(kind: KernelPolicyKind, cores: usize, seed: u64, smp: SmpParams) {
+    let mut rng = case_rng(kind, cores, seed);
+    let params = MachineParams {
+        cores,
+        kpolicy: kind,
+        ..Default::default()
+    }
+    .with_smp(smp);
+    let mut m = Machine::new(params);
+    let n_tasks = rng.uniform_u64(20, 60);
+    let mut pids = Vec::new();
+    let mut demand = Vec::new();
+    let mut t = SimTime::ZERO;
+    let mut last_cpu_seen = Vec::new();
+    for i in 0..n_tasks {
+        t += SimDuration::from_micros(rng.uniform_u64(0, 3_000));
+        m.advance_to(t);
+        let spec = random_spec(&mut rng, i);
+        demand.push(spec.cpu_demand());
+        pids.push(m.spawn(spec));
+        last_cpu_seen.push(SimDuration::ZERO);
+        // Mid-run churn: flip a random live task's policy, then verify the
+        // machine is still internally consistent and utime never rewinds.
+        if rng.chance(0.3) {
+            let target = pids[rng.uniform_u64(0, pids.len() as u64 - 1) as usize];
+            m.set_policy(target, random_policy(&mut rng));
+        }
+        m.assert_conservation();
+        for (idx, &pid) in pids.iter().enumerate() {
+            let now_cpu = m.cpu_time(pid);
+            assert!(
+                now_cpu >= last_cpu_seen[idx],
+                "{kind} cores={cores} seed={seed}: utime of {pid} went backwards"
+            );
+            last_cpu_seen[idx] = now_cpu;
+        }
+    }
+    let notes = m.run_until_quiescent();
+    m.assert_conservation();
+
+    let ctx = format!("{kind} cores={cores} seed={seed}");
+    assert_eq!(
+        m.finished().len(),
+        pids.len(),
+        "{ctx}: every spawned task must finish"
+    );
+    assert_eq!(m.live_tasks(), 0, "{ctx}: machine must quiesce empty");
+    let unique: BTreeSet<_> = m.finished().iter().map(|f| f.pid).collect();
+    assert_eq!(unique.len(), pids.len(), "{ctx}: duplicate completions");
+    for f in m.finished() {
+        assert_eq!(
+            f.cpu_time, demand[f.pid.0 as usize],
+            "{ctx}: {} charged {} for demand {}",
+            f.pid, f.cpu_time, f.cpu_demand
+        );
+        let first = f.first_run.expect("every task has a CPU phase");
+        assert!(first >= f.arrival, "{ctx}: {} ran before arrival", f.pid);
+        assert!(
+            f.finished >= first,
+            "{ctx}: {} finished before first run",
+            f.pid
+        );
+        assert_eq!(m.proc_state(f.pid), ProcState::Dead, "{ctx}: zombie state");
+    }
+    // Every completion surfaced exactly once as a notification too.
+    let note_finishes = notes
+        .iter()
+        .filter(|n| matches!(n, sfs_repro::sched::Notification::Finished(_)))
+        .count();
+    assert!(
+        note_finishes <= pids.len(),
+        "{ctx}: more Finished notifications than tasks"
+    );
+}
+
+#[test]
+fn every_policy_conserves_tasks_and_time() {
+    for kind in KernelPolicyKind::ALL {
+        for cores in CORES {
+            for seed in SEEDS {
+                check_kind(kind, cores, seed, SmpParams::default());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_policy_survives_smp_balancing() {
+    let smp = SmpParams::balanced(
+        SimDuration::from_millis(1),
+        SimDuration::from_micros(300),
+        SimDuration::from_micros(100),
+    );
+    for kind in KernelPolicyKind::ALL {
+        for cores in [2, 8] {
+            check_kind(kind, cores, 99, smp);
+        }
+    }
+}
+
+#[test]
+fn every_policy_is_deterministic() {
+    // Same seed, same schedule — byte-identical completion records.
+    for kind in KernelPolicyKind::ALL {
+        let run = || {
+            let params = MachineParams {
+                cores: 4,
+                kpolicy: kind,
+                ..Default::default()
+            };
+            let mut m = Machine::new(params);
+            let mut rng = case_rng(kind, 4, 5150);
+            let mut t = SimTime::ZERO;
+            for i in 0..40 {
+                t += SimDuration::from_micros(rng.uniform_u64(0, 2_500));
+                m.advance_to(t);
+                m.spawn(random_spec(&mut rng, i));
+            }
+            m.run_until_quiescent();
+            format!("{:?}", m.finished())
+        };
+        assert_eq!(run(), run(), "{kind}: nondeterministic schedule");
+    }
+}

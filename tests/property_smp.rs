@@ -17,7 +17,9 @@
 //!   spawned task finishes exactly once with `cpu_time == cpu_demand`,
 //!   whatever the balancer did to it.
 
-use sfs_repro::sched::{Machine, MachineParams, Phase, Policy, SchedMode, SmpParams, TaskSpec};
+use sfs_repro::sched::{
+    KernelPolicyKind, Machine, MachineParams, Phase, Policy, SmpParams, TaskSpec,
+};
 use sfs_repro::simcore::{SimDuration, SimRng, SimTime};
 
 const CORE_COUNTS: [usize; 4] = [2, 3, 4, 8];
@@ -91,7 +93,7 @@ fn audited_run(mut rng: SimRng, cores: usize, affinity: bool) -> (Machine, u64) 
     let smp = smp_params(&mut rng, affinity);
     let params = MachineParams {
         cores,
-        mode: SchedMode::Linux,
+        kpolicy: KernelPolicyKind::Cfs,
         ..Default::default()
     }
     .with_smp(smp);
@@ -169,7 +171,7 @@ fn perfectly_balanced_load_never_migrates() {
             let smp = smp_params(&mut rng, affinity);
             let params = MachineParams {
                 cores,
-                mode: SchedMode::Linux,
+                kpolicy: KernelPolicyKind::Cfs,
                 ..Default::default()
             }
             .with_smp(smp);
@@ -206,7 +208,7 @@ fn affinity_cost_never_changes_what_completes() {
                 let smp = SmpParams::balanced(us(700), us(100), aff);
                 let params = MachineParams {
                     cores,
-                    mode: SchedMode::Linux,
+                    kpolicy: KernelPolicyKind::Cfs,
                     ..Default::default()
                 }
                 .with_smp(smp);
