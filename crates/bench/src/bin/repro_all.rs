@@ -33,7 +33,7 @@ const HARNESSES: [&str; 11] = [
     "headline_claims",
 ];
 
-const EXTRAS: [&str; 7] = [
+const EXTRAS: [&str; 8] = [
     "ablation_queues",
     "sensitivity_window",
     "breakdown_buckets",
@@ -41,6 +41,7 @@ const EXTRAS: [&str; 7] = [
     "extension_slo",
     "extension_cluster",
     "cluster_scale",
+    "fleet_scale",
 ];
 
 fn main() {

@@ -38,7 +38,7 @@ use sfs_core::{
     Baseline, Controller, ControllerFactory, MachineView, OutcomeSummary, RequestOutcome,
     SfsConfig, SfsController, Sim,
 };
-use sfs_faas::{Cluster, Placement};
+use sfs_faas::{Cluster, FaultSpec, Fleet, Placement};
 use sfs_sched::{
     CfsRunqueue, FinishedTask, KernelPolicyKind, Machine, MachineParams, Notification, Phase, Pid,
     Policy, SmpParams, TaskSpec,
@@ -188,6 +188,30 @@ pub fn suite(requests: usize, seed: u64) -> Vec<PerfScenario> {
             // the host fan-out (which the cluster-matrix CI job covers).
             let run = cluster.run_with_threads(Placement::LeastLoaded, &cluster.sfs, &w_cluster, 1);
             std::hint::black_box(run.outcomes.len());
+        }),
+    });
+
+    // The multi-region fleet end to end — front door, autoscaler, and
+    // fault injector over 2 regions x 4 hosts — priced per *offered*
+    // request (shed/lost requests still cost routing work).
+    let w_fleet = WorkloadSpec::azure_sampled(requests, seed)
+        .with_load(2 * 4 * SIM_CORES, 0.9)
+        .generate();
+    let fleet = Fleet::new(2, 4, SIM_CORES)
+        .with_affinity(
+            SimDuration::from_millis(10_000),
+            SimDuration::from_millis(50),
+        )
+        .with_faults(FaultSpec::parse("crash:2+straggler:2+outage:1").expect("literal fault spec"));
+    v.push(PerfScenario {
+        name: "sim/fleet2x4_jsq_sfs",
+        items: requests as u64,
+        cfg: sim_cfg(),
+        body: Box::new(move || {
+            // One worker thread, same rationale as the cluster scenario
+            // (the fleet-matrix CI job covers the fan-out).
+            let run = fleet.run_with_threads(Placement::JoinShortestQueue, &fleet.sfs, &w_fleet, 1);
+            std::hint::black_box(run.outcomes.len() + run.shed.len() + run.lost.len());
         }),
     });
 

@@ -78,6 +78,32 @@ fn smp_scenarios_are_thread_count_invariant() {
     }
 }
 
+/// The fleet scenarios, explicitly — and at every *internal* thread count:
+/// the front door routes and injects faults sequentially, so the unit
+/// fan-out must not leak into routing, autoscaling, or fault attribution.
+/// (The `SCENARIOS` members above run the fleet on one worker; this test
+/// re-runs each fleet scenario with the fleet's own `--threads` at 1, 2,
+/// and 8 and demands the same per-request fingerprint.)
+#[test]
+fn fleet_scenarios_are_thread_count_invariant() {
+    let run_all = |threads: usize| -> Vec<(&str, u64)> {
+        support::FLEET_SCENARIOS
+            .iter()
+            .map(|&name| {
+                (
+                    name,
+                    support::fingerprint(&support::run_fleet_scenario_threads(name, threads)),
+                )
+            })
+            .collect()
+    };
+    let single = run_all(1);
+    assert_eq!(single.len(), support::FLEET_SCENARIOS.len());
+    for threads in [2, 8] {
+        assert_eq!(single, run_all(threads), "threads={threads}");
+    }
+}
+
 /// The seed sequencer hands every trial the same stream no matter which
 /// worker claims it (work-stealing order is timing-dependent; seeds must
 /// not be).

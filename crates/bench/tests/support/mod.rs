@@ -6,7 +6,7 @@ use sfs_core::{
     Baseline, ControllerFactory, HistoryPriority, RequestOutcome, SfsConfig, SfsController, Sim,
     UserMlfq,
 };
-use sfs_faas::{Cluster, HostScheduler, OpenLambda, OpenLambdaParams, Placement};
+use sfs_faas::{Cluster, FaultSpec, Fleet, HostScheduler, OpenLambda, OpenLambdaParams, Placement};
 use sfs_sched::{MachineParams, SmpParams};
 use sfs_simcore::{Samples, SimDuration};
 use sfs_workload::WorkloadSpec;
@@ -54,7 +54,19 @@ pub const SCENARIOS: &[&str] = &[
     "dl4_burst",
     "srp4_replay",
     "srp4_burst",
+    // Multi-region fleet behind the global front door (PR 10): fault-free
+    // autoscaled baseline, the full fault mix (crashes + stragglers +
+    // correlated outage, attributably conserved), and consistent-hash
+    // placement over a CFS fleet. Units run on one worker here, same
+    // rationale as the cluster scenarios.
+    "fleet2_jsq_sfs",
+    "fleet2_faults_sfs",
+    "fleet2_hash_cfs",
 ];
+
+/// The fleet scenario subset (front door + autoscaler + fault injection).
+#[allow(dead_code)] // each test binary compiles its own copy of this module
+pub const FLEET_SCENARIOS: &[&str] = &["fleet2_jsq_sfs", "fleet2_faults_sfs", "fleet2_hash_cfs"];
 
 /// The SMP-enabled scenario subset (SFS vs CFS at cores ∈ {2,4,8} under
 /// azure replay, plus an overload burst pair at 4 cores).
@@ -205,6 +217,9 @@ pub fn run_scenario(name: &str) -> Vec<RequestOutcome> {
         "dl4_burst" => kpolicy_scenario(Baseline::Deadline, true),
         "srp4_replay" => kpolicy_scenario(Baseline::Srp, false),
         "srp4_burst" => kpolicy_scenario(Baseline::Srp, true),
+        "fleet2_jsq_sfs" | "fleet2_faults_sfs" | "fleet2_hash_cfs" => {
+            run_fleet_scenario_threads(name, 1)
+        }
         other => panic!("unknown scenario {other:?}"),
     }
 }
@@ -276,6 +291,53 @@ fn kpolicy_scenario(b: Baseline, burst: bool) -> Vec<RequestOutcome> {
         sim = sim.kernel_policy(b.kernel_policy());
     }
     sim.boxed_controller(b.build()).run().outcomes
+}
+
+/// A 2-region × 4-host × 4-core fleet under the warm-container affinity
+/// model with the default front door and autoscaler; `faulted` adds the
+/// full fault mix (crashes + stragglers + a correlated AZ outage) and the
+/// run must still conserve every request. Only completed outcomes feed
+/// the fingerprint/metrics lock — shed or lost requests shift the
+/// completed count, so conservation drift still trips the snapshot.
+#[allow(dead_code)] // each test binary compiles its own copy of this module
+pub fn run_fleet_scenario_threads(name: &str, threads: usize) -> Vec<RequestOutcome> {
+    match name {
+        "fleet2_jsq_sfs" => fleet_scenario(Placement::JoinShortestQueue, None, false, threads),
+        "fleet2_faults_sfs" => fleet_scenario(Placement::JoinShortestQueue, None, true, threads),
+        "fleet2_hash_cfs" => fleet_scenario(
+            Placement::ConsistentHash,
+            Some(Baseline::Cfs),
+            false,
+            threads,
+        ),
+        other => panic!("unknown fleet scenario {other:?}"),
+    }
+}
+
+fn fleet_scenario(
+    placement: Placement,
+    baseline: Option<Baseline>,
+    faulted: bool,
+    threads: usize,
+) -> Vec<RequestOutcome> {
+    let w = WorkloadSpec::azure_sampled(N, SEED)
+        .with_load(32, 0.9)
+        .generate();
+    let mut fleet = Fleet::new(2, 4, 4).with_affinity(
+        SimDuration::from_millis(5_000),
+        SimDuration::from_millis(40),
+    );
+    if faulted {
+        fleet = fleet.with_faults(
+            FaultSpec::parse("crash:3+straggler:2+outage:1").expect("literal fault spec"),
+        );
+    }
+    let run = match baseline {
+        Some(b) => fleet.run_with_threads(placement, &b, &w, threads),
+        None => fleet.run_with_threads(placement, &fleet.sfs, &w, threads),
+    };
+    assert!(run.conservation_holds(), "fleet scenario lost requests");
+    run.outcomes
 }
 
 /// A 4-host × 4-core cluster under the warm-container affinity model;

@@ -141,13 +141,24 @@ pub struct HostLoad {
 }
 
 impl HostLoad {
-    fn new(cores: usize) -> HostLoad {
+    pub(crate) fn new(cores: usize) -> HostLoad {
         HostLoad {
             depth: 0,
             outstanding_long_ms: 0.0,
             ewma_turnaround_ms: None,
             core_free: vec![SimTime::ZERO; cores],
         }
+    }
+
+    /// Crash / re-provision hook for the fleet layer: wipe the modelled
+    /// state back to an empty host whose cores free up at `now` (a crashed
+    /// host loses its queue; a re-provisioned one starts fresh). The EWMA
+    /// is dropped too — turnaround history died with the old instance.
+    pub(crate) fn reset(&mut self, now: SimTime) {
+        self.depth = 0;
+        self.outstanding_long_ms = 0.0;
+        self.ewma_turnaround_ms = None;
+        self.core_free.fill(now);
     }
 
     /// Remaining modelled backlog (ms) at `now`: how much already-placed
@@ -167,7 +178,7 @@ impl HostLoad {
 
     /// Dispatch `service_ms` of work at `now`; returns the predicted
     /// completion instant under the c-server FIFO model.
-    fn admit(&mut self, now: SimTime, service_ms: f64) -> SimTime {
+    pub(crate) fn admit(&mut self, now: SimTime, service_ms: f64) -> SimTime {
         let core = (0..self.core_free.len())
             .min_by_key(|&c| self.core_free[c])
             .expect("hosts have at least one core");
@@ -444,14 +455,7 @@ impl Cluster {
     /// the cluster seed by a pure function (bit-identical across runs and
     /// thread counts).
     fn build_ring(&self) -> Vec<(u64, usize)> {
-        let seq = SeedSequencer::new(self.seed);
-        let mut ring: Vec<(u64, usize)> = (0..self.hosts)
-            .flat_map(|h| {
-                (0..self.vnodes).map(move |v| (seq.seed_for((h * self.vnodes + v) as u64), h))
-            })
-            .collect();
-        ring.sort_unstable();
-        ring
+        build_ring(self.hosts, self.vnodes, self.seed)
     }
 
     /// Bounded-load consistent hashing: walk clockwise from the key's ring
@@ -464,49 +468,115 @@ impl Cluster {
         key: u64,
         total_depth: usize,
     ) -> usize {
-        let cap = (((total_depth + 1) as f64 / self.hosts as f64) * 1.25).ceil() as usize;
-        let cap = cap.max(1);
-        let h = SeedSequencer::new(key).seed_for(0);
-        let start = ring.partition_point(|&(pos, _)| pos < h);
-        for i in 0..ring.len() {
-            let (_, host) = ring[(start + i) % ring.len()];
-            if hosts[host].depth < cap {
-                return host;
-            }
-        }
-        // Every host at the bound (can only happen for degenerate rings):
-        // fall back to the shallowest queue.
-        argmin_f64(hosts, |h| h.depth as f64)
+        let cap = bounded_load_cap(total_depth, self.hosts);
+        ring_walk(ring, hosts, key, cap, |_| true)
+            // Every host at the bound (can only happen for degenerate
+            // rings): fall back to the shallowest queue.
+            .unwrap_or_else(|| argmin_f64(hosts, |h| h.depth as f64))
     }
 }
 
-/// Index of the host minimising `f`, ties to the lowest index.
-fn argmin_f64(hosts: &[HostLoad], f: impl Fn(&HostLoad) -> f64) -> usize {
-    let mut best = 0usize;
-    let mut best_v = f64::INFINITY;
-    for (i, h) in hosts.iter().enumerate() {
-        let v = f(h);
-        if v < best_v {
-            best = i;
-            best_v = v;
+/// The consistent-hash ring shared by [`Cluster`] and the fleet layer:
+/// `vnodes` positions per host, derived from `seed` by a pure function.
+pub(crate) fn build_ring(hosts: usize, vnodes: usize, seed: u64) -> Vec<(u64, usize)> {
+    let seq = SeedSequencer::new(seed);
+    let mut ring: Vec<(u64, usize)> = (0..hosts)
+        .flat_map(|h| (0..vnodes).map(move |v| (seq.seed_for((h * vnodes + v) as u64), h)))
+        .collect();
+    ring.sort_unstable();
+    ring
+}
+
+/// Google-style bounded-load cap: 25% above the mean outstanding depth,
+/// counting the request being placed, never below 1.
+pub(crate) fn bounded_load_cap(total_depth: usize, hosts: usize) -> usize {
+    let cap = (((total_depth + 1) as f64 / hosts as f64) * 1.25).ceil() as usize;
+    cap.max(1)
+}
+
+/// The bounded-load clockwise walk: first host at the key's ring position
+/// (or after it) that `eligible` admits and whose depth is under `cap`.
+/// `None` when no eligible host is under the cap — the caller owns the
+/// degenerate fallback (the cluster falls back to the shallowest queue;
+/// the fleet must also skip crashed / parked hosts).
+pub(crate) fn ring_walk(
+    ring: &[(u64, usize)],
+    hosts: &[HostLoad],
+    key: u64,
+    cap: usize,
+    eligible: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let h = SeedSequencer::new(key).seed_for(0);
+    let start = ring.partition_point(|&(pos, _)| pos < h);
+    for i in 0..ring.len() {
+        let (_, host) = ring[(start + i) % ring.len()];
+        if eligible(host) && hosts[host].depth < cap {
+            return Some(host);
         }
     }
-    best
+    None
+}
+
+/// Index of the host minimising `f`, ties to the lowest index.
+///
+/// Selection runs over [`f64::total_cmp`], which is total over NaN, so no
+/// score value can be silently skipped: the old `v < best_v` scan was
+/// NaN-blind (a NaN never beats `INFINITY`, so a NaN-scored host vanished
+/// from consideration and an all-NaN slate fell through to host 0 by
+/// accident rather than by rule). Under `total_cmp` every input — NaN
+/// included — has one deterministic winner: ordinary scores behave exactly
+/// as before (bit-identical placements for NaN-free inputs, which is every
+/// shipped scoring function), and degenerate slates resolve by the total
+/// order with ties to the lowest index.
+fn argmin_f64(hosts: &[HostLoad], f: impl Fn(&HostLoad) -> f64) -> usize {
+    argmin_f64_over(hosts.iter().enumerate(), f).expect("clusters have at least one host")
+}
+
+/// [`argmin_f64`] over an arbitrary `(index, host)` subset — the form the
+/// fleet dispatcher needs (placement must skip crashed / parked / booting
+/// hosts). Returns `None` for an empty slate.
+pub(crate) fn argmin_f64_over<'a>(
+    hosts: impl Iterator<Item = (usize, &'a HostLoad)>,
+    f: impl Fn(&HostLoad) -> f64,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, h) in hosts {
+        let v = f(h);
+        best = match best {
+            Some((_, bv)) if v.total_cmp(&bv).is_lt() => Some((i, v)),
+            Some(b) => Some(b),
+            None => Some((i, v)),
+        };
+    }
+    best.map(|(i, _)| i)
 }
 
 /// Join-shortest-queue host choice: lexicographic min over (outstanding
 /// depth, EWMA of recent turnarounds), ties to the lowest index.
 fn argmin_jsq(hosts: &[HostLoad]) -> usize {
-    let mut best = 0usize;
-    for (i, h) in hosts.iter().enumerate().skip(1) {
-        let b = &hosts[best];
-        let (hd, bd) = (h.depth, b.depth);
+    argmin_jsq_over(hosts, hosts.iter().enumerate().map(|(i, _)| i))
+        .expect("clusters have at least one host")
+}
+
+/// [`argmin_jsq`] over an arbitrary index subset of `hosts` — the form the
+/// fleet dispatcher needs. Returns `None` for an empty slate.
+pub(crate) fn argmin_jsq_over(
+    hosts: &[HostLoad],
+    candidates: impl Iterator<Item = usize>,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for i in candidates {
+        let Some(b) = best else {
+            best = Some(i);
+            continue;
+        };
+        let (h, b_load) = (&hosts[i], &hosts[b]);
         let (he, be) = (
             h.ewma_turnaround_ms.unwrap_or(0.0),
-            b.ewma_turnaround_ms.unwrap_or(0.0),
+            b_load.ewma_turnaround_ms.unwrap_or(0.0),
         );
-        if hd < bd || (hd == bd && he < be) {
-            best = i;
+        if h.depth < b_load.depth || (h.depth == b_load.depth && he.total_cmp(&be).is_lt()) {
+            best = Some(i);
         }
     }
     best
@@ -515,13 +585,30 @@ fn argmin_jsq(hosts: &[HostLoad]) -> usize {
 /// FaaSBench's function identity: the deployed `(app, fib-N)` pair
 /// (`fib-35`, `md-28`, ...), recovered from the request's app kind and its
 /// Table-I fib mapping.
-fn func_key(t1: &Table1Sampler, r: &Request) -> u64 {
+pub(crate) fn func_key(t1: &Table1Sampler, r: &Request) -> u64 {
     let app = match r.app {
         AppKind::Fib => 0u64,
         AppKind::Md => 1,
         AppKind::Sa => 2,
     };
-    (app << 8) | t1.fib_n_for(r.duration_ms) as u64
+    pack_func_key(app, t1.fib_n_for(r.duration_ms))
+}
+
+/// Pack an `(app id, fib N)` pair into one ring key: `app` in the high
+/// bits, N in the low 8. The low field holds every N Table I can currently
+/// emit (max 35), but the packing is only injective while N < 256 — a
+/// future Table-1 change emitting a wider N would silently alias two
+/// functions' ring positions and warm pools, so the bound is asserted here
+/// rather than trusted. (Widening the shift would renumber every existing
+/// key and shift the consistent-hash goldens; the guard keeps current keys
+/// bit-stable while making the failure loud.)
+fn pack_func_key(app: u64, fib_n: u32) -> u64 {
+    assert!(
+        fib_n < 256,
+        "func_key packing overflow: fib N {fib_n} needs more than 8 bits; \
+         widen the packing (and regenerate the consistent-hash goldens)"
+    );
+    (app << 8) | fib_n as u64
 }
 
 impl ClusterRun {
@@ -777,6 +864,175 @@ mod tests {
         let run = Cluster::new(2, 2).run(Placement::RoundRobin, &w);
         assert_eq!(run.long_mean_ms(), None);
         assert!(run.short_mean_ms().is_some());
+    }
+
+    #[test]
+    fn argmin_prefers_smaller_scores_and_lowest_index_ties() {
+        let mut hosts: Vec<HostLoad> = (0..4).map(|_| HostLoad::new(2)).collect();
+        hosts[2].outstanding_long_ms = -1.0;
+        assert_eq!(argmin_f64(&hosts, |h| h.outstanding_long_ms), 2);
+        hosts[2].outstanding_long_ms = 0.0;
+        assert_eq!(
+            argmin_f64(&hosts, |h| h.outstanding_long_ms),
+            0,
+            "ties resolve to the lowest index"
+        );
+    }
+
+    #[test]
+    fn argmin_is_nan_total() {
+        // The regression the old `v < best_v` scan failed: a NaN-scored
+        // host must not silently vanish from consideration, and an all-NaN
+        // slate must resolve by rule, not by sentinel accident. Under
+        // total_cmp, NaN orders *above* every finite value, so a finite
+        // score always beats NaN, and an all-NaN slate ties to index 0.
+        let hosts: Vec<HostLoad> = (0..3).map(|_| HostLoad::new(2)).collect();
+        let scores = [f64::NAN, 7.0, 9.0];
+        // Score by identity map via core_free trickery is awkward — score
+        // through an index lookup instead.
+        let by = |s: [f64; 3]| {
+            argmin_f64_over(hosts.iter().enumerate(), |h| {
+                s[hosts
+                    .iter()
+                    .position(|x| std::ptr::eq(x, h))
+                    .expect("host from this slate")]
+            })
+        };
+        assert_eq!(by(scores), Some(1), "finite beats NaN");
+        assert_eq!(by([f64::NAN; 3]), Some(0), "all-NaN ties to index 0");
+        assert_eq!(by([f64::NAN, f64::INFINITY, 2.0]), Some(2));
+        assert_eq!(
+            argmin_f64_over(hosts.iter().enumerate().filter(|_| false), |_| 0.0),
+            None,
+            "empty slate is None, not a panic"
+        );
+    }
+
+    #[test]
+    fn argmin_jsq_over_subset_skips_excluded_hosts() {
+        let mut hosts: Vec<HostLoad> = (0..4).map(|_| HostLoad::new(2)).collect();
+        hosts[0].depth = 0; // globally best, but excluded below
+        hosts[1].depth = 3;
+        hosts[2].depth = 1;
+        hosts[3].depth = 1;
+        hosts[3].ewma_turnaround_ms = Some(5.0);
+        hosts[2].ewma_turnaround_ms = Some(9.0);
+        assert_eq!(argmin_jsq(&hosts), 0);
+        assert_eq!(
+            argmin_jsq_over(&hosts, [1, 2, 3].into_iter()),
+            Some(3),
+            "depth tie breaks on the lower EWMA"
+        );
+        assert_eq!(argmin_jsq_over(&hosts, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn func_key_packs_table1_range_unchanged() {
+        // The packing is pinned by the consistent-hash goldens: app id in
+        // the high bits, fib N in the low 8. Table I's widest N today is
+        // 35 — comfortably inside the 8-bit field the guard defends.
+        assert_eq!(pack_func_key(2, 35), (2 << 8) | 35);
+        assert_eq!(pack_func_key(0, 20), 20);
+        assert_eq!(pack_func_key(1, 255), (1 << 8) | 255, "boundary N=255 fits");
+        let t1 = Table1Sampler::new();
+        for ms in [1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
+            assert!(
+                t1.fib_n_for(ms) < 256,
+                "Table I emits an N the packing cannot hold at {ms}ms"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "func_key packing overflow")]
+    fn func_key_overflow_is_loud_not_aliased() {
+        // Regression for the silent-aliasing hazard: N = 256 would collide
+        // with (app+1, 0)'s key. The pack must abort instead.
+        let _ = pack_func_key(0, 256);
+    }
+
+    #[test]
+    fn bounded_load_ring_respects_cap_while_alternatives_exist() {
+        // Seeded property sweep over ring shapes, load vectors, and keys:
+        // the clockwise walk must never land on a host at/over the cap
+        // while any under-cap host exists anywhere on the ring.
+        let mut rng = sfs_simcore::SimRng::seed_from_u64(0x51A6_1D0C);
+        for case in 0..400 {
+            let hosts_n = rng.uniform_u64(2, 9) as usize;
+            let vnodes = rng.uniform_u64(1, 32) as usize;
+            let ring = build_ring(hosts_n, vnodes, rng.next_u64());
+            let mut hosts: Vec<HostLoad> = (0..hosts_n).map(|_| HostLoad::new(2)).collect();
+            for h in &mut hosts {
+                h.depth = rng.uniform_u64(0, 12) as usize;
+            }
+            let total: usize = hosts.iter().map(|h| h.depth).sum();
+            let cap = bounded_load_cap(total, hosts_n);
+            let key = rng.next_u64();
+            match ring_walk(&ring, &hosts, key, cap, |_| true) {
+                Some(host) => assert!(
+                    hosts[host].depth < cap,
+                    "case {case}: placed on host {host} at depth {} >= cap {cap}",
+                    hosts[host].depth
+                ),
+                None => assert!(
+                    hosts.iter().all(|h| h.depth >= cap),
+                    "case {case}: walk gave up while an under-cap host existed"
+                ),
+            }
+            // With the real cluster cap (mean×1.25 counting the newcomer),
+            // at least one host sits below the cap, so the walk never
+            // falls through when every host is eligible.
+            assert!(
+                ring_walk(&ring, &hosts, key, cap, |_| true).is_some(),
+                "case {case}: the mean-based cap always leaves headroom"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_load_all_at_cap_fallback_is_reachable_and_deterministic() {
+        // The degenerate branch: force every host to the cap (the fleet
+        // reaches this state when eligibility shrinks the slate — e.g.
+        // every active host saturated during an AZ outage) and check the
+        // walk reports it, twice, identically; the cluster's fallback then
+        // picks the shallowest queue deterministically.
+        let ring = build_ring(4, 8, 0xDEAD_BEEF);
+        let mut hosts: Vec<HostLoad> = (0..4).map(|_| HostLoad::new(2)).collect();
+        for h in &mut hosts {
+            h.depth = 5;
+        }
+        assert_eq!(ring_walk(&ring, &hosts, 42, 5, |_| true), None);
+        assert_eq!(ring_walk(&ring, &hosts, 42, 5, |_| true), None);
+        hosts[2].depth = 4; // still >= nothing: under this cap now
+        assert_eq!(ring_walk(&ring, &hosts, 42, 5, |_| true), Some(2));
+        // Eligibility shrinks the slate the same way: only saturated hosts
+        // eligible -> None, even though host 2 has headroom.
+        assert_eq!(ring_walk(&ring, &hosts, 42, 5, |h| h != 2), None);
+        // The cluster-level fallback (shallowest queue) is deterministic.
+        let fb = argmin_f64(&hosts, |h| h.depth as f64);
+        assert_eq!(fb, 2);
+        assert_eq!(argmin_f64(&hosts, |h| h.depth as f64), fb);
+    }
+
+    #[test]
+    fn host_reset_clears_modelled_state() {
+        let mut h = HostLoad::new(2);
+        let t0 = SimTime::ZERO;
+        h.admit(t0, 100.0);
+        h.admit(t0, 50.0);
+        h.depth = 2;
+        h.outstanding_long_ms = 100.0;
+        h.ewma_turnaround_ms = Some(75.0);
+        assert!(h.backlog_ms(t0) > 0.0);
+        let crash_at = t0 + SimDuration::from_millis(30);
+        h.reset(crash_at);
+        assert_eq!(h.depth, 0);
+        assert_eq!(h.outstanding_long_ms, 0.0);
+        assert_eq!(h.ewma_turnaround_ms, None);
+        assert_eq!(h.backlog_ms(crash_at), 0.0, "cores free up at the reset");
+        // And the host admits again from the reset instant.
+        let f = h.admit(crash_at, 10.0);
+        assert_eq!(f, crash_at + SimDuration::from_millis(10));
     }
 
     #[test]

@@ -9,16 +9,20 @@
 //! * [`containers`] — the pre-warmed container pool (acquire/release, FIFO
 //!   hand-off, occupancy stats);
 //! * [`platform`] — [`platform::OpenLambda`]: end-to-end dispatch + run under
-//!   SFS or a kernel baseline, with turnaround re-based to HTTP invocation.
+//!   SFS or a kernel baseline, with turnaround re-based to HTTP invocation;
+//! * [`fleet`] — [`fleet::Fleet`]: multi-region composition of [`Cluster`]
+//!   pools behind a global front door, with autoscaling and fault injection.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod containers;
+pub mod fleet;
 pub mod pipeline;
 pub mod platform;
 
 pub use cluster::{Affinity, Cluster, ClusterRun, HostLoad, Placement};
 pub use containers::{Acquire, ContainerPool};
+pub use fleet::{Autoscaler, FaultSpec, Fleet, FleetRun, FrontDoor, RegionConfig, RegionStats};
 pub use pipeline::{Pipeline, Stage};
 pub use platform::{Dispatched, HostScheduler, OpenLambda, OpenLambdaParams};

@@ -6,6 +6,7 @@
 //! sfs run      --sched ... --smp balance=MS[,migration=US][,affinity=US]   # SMP load balancer + costs
 //! sfs run      --sched ... --kpolicy cfs|srtf|eevdf|dl|srp                 # kernel policy on the machine
 //! sfs run      --cluster hosts=8,cores=8,placement=jsq[,affinity=10000:50] [--sched sfs] [--threads T]
+//! sfs run      --fleet regions=2,hosts=8,placement=jsq[,faults=crash:2+outage:1] [--sched sfs] [--threads T]
 //! sfs compare  [--requests N --cores C --load X]         # SFS vs CFS headline
 //! sfs slo      [--requests N --cores C --load X]         # paper-SLO attainment
 //! ```
@@ -17,7 +18,13 @@
 //! join-shortest-queue|consistent-hash (or rr|ll|l2l|jsq|hash), the
 //! optional `affinity=KEEPMS:COLDMS` key enables the warm-container
 //! cold-start model, and hosts run in parallel with bit-identical output
-//! at any `--threads` value.
+//! at any `--threads` value. `--fleet` lifts the cluster one more level:
+//! regions behind a latency-aware front door with autoscaling and
+//! deterministic fault injection (`sfs_faas::Fleet`); outcomes are
+//! attributed completed / shed / lost and the run stays bit-identical at
+//! any `--threads` value. Sub-arg parsing is strict: a malformed value
+//! aborts naming the flag, the key, and the offending value
+//! (`sfs_repro::cli`).
 //!
 //! `--kpolicy` swaps the kernel scheduling policy on the simulated
 //! machine (`sfs_sched::KernelPolicyKind`): the stock Linux CFS+RT model
@@ -38,9 +45,10 @@
 use std::collections::BTreeMap;
 use std::process::exit;
 
-use sfs_repro::faas::{Cluster, Placement};
+use sfs_repro::cli::{self, ClusterSpec};
+use sfs_repro::faas::Cluster;
 use sfs_repro::metrics::{evaluate_slo, headline_claims, MarkdownTable, Paired, SloRule};
-use sfs_repro::sched::{KernelPolicyKind, MachineParams, SmpParams};
+use sfs_repro::sched::{KernelPolicyKind, MachineParams};
 use sfs_repro::sfs::{
     Baseline, Controller, ControllerFactory, FnFactory, HistoryPriority, Ideal, RequestOutcome,
     RunOutcome, SfsConfig, SfsController, Sim, UserMlfq,
@@ -77,6 +85,8 @@ fn usage_and_exit() -> ! {
            sfs run     --sched sfs|slo-sfs|history|mlfq|cfs|fifo|rr|srtf|eevdf|dl|srp|ideal [--trace FILE | --requests N --load X] [--cores C] [--gantt]\n\
                        [--smp balance=MS[,migration=US][,affinity=US]] [--kpolicy cfs|srtf|eevdf|dl|srp]\n\
            sfs run     --cluster hosts=N,cores=M,placement=P[,affinity=KEEPMS:COLDMS] [--sched S] [--threads T] [--requests N --load X]\n\
+           sfs run     --fleet regions=R,hosts=N[,cores=M][,placement=P][,affinity=KEEPMS:COLDMS][,faults=crash:A+straggler:B+outage:C][,spill=MS][,shed=MS][,seed=S]\n\
+                       [--sched S] [--threads T] [--requests N --load X]\n\
            sfs compare [--requests N] [--cores C] [--load X] [--seed S]\n\
            sfs slo     [--requests N] [--cores C] [--load X] [--seed S]"
     );
@@ -101,11 +111,21 @@ fn parse_flags(rest: &[String]) -> BTreeMap<String, String> {
     flags
 }
 
+/// Fetch a typed flag value, defaulting when absent. A present-but-malformed
+/// value aborts naming the flag and the value — it never silently falls back
+/// to the default (the same contract the `--cluster`/`--smp`/`--fleet`
+/// sub-arg parsers and the `SFS_BENCH_*` env overrides follow).
 fn get<T: std::str::FromStr>(flags: &BTreeMap<String, String>, key: &str, default: T) -> T {
-    flags
-        .get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "--{key}: value `{v}` is not a valid {}",
+                std::any::type_name::<T>()
+            );
+            usage_and_exit();
+        }),
+    }
 }
 
 fn build_workload(flags: &BTreeMap<String, String>, cores: usize) -> Workload {
@@ -238,83 +258,16 @@ fn factory_for(sched: &str, cores: usize) -> Option<Box<dyn ControllerFactory + 
     })
 }
 
-/// A parsed `--cluster` spec.
-struct ClusterSpec {
-    hosts: usize,
-    cores: usize,
-    placement: Placement,
-    /// `(keep_alive_ms, cold_start_ms)` when `affinity=...` was given.
-    affinity: Option<(u64, u64)>,
-}
-
-/// Parse `--cluster hosts=N,cores=M,placement=P[,affinity=KEEPMS:COLDMS]`
-/// (each key optional; defaults 4 hosts × 8 cores, round-robin, no
-/// affinity model — a 1-host cluster then matches the plain `--sched`
-/// run exactly).
-fn parse_cluster_spec(spec: &str) -> Option<ClusterSpec> {
-    let mut parsed = ClusterSpec {
-        hosts: 4,
-        cores: 8,
-        placement: Placement::RoundRobin,
-        affinity: None,
-    };
-    if spec != "true" {
-        for part in spec.split(',').filter(|p| !p.is_empty()) {
-            let (k, v) = part.split_once('=')?;
-            match k {
-                "hosts" => parsed.hosts = v.parse().ok().filter(|&h| h >= 1)?,
-                "cores" => parsed.cores = v.parse().ok().filter(|&c| c >= 1)?,
-                "placement" => parsed.placement = Placement::parse(v)?,
-                "affinity" => {
-                    let (keep, cold) = v.split_once(':')?;
-                    parsed.affinity = Some((keep.parse().ok()?, cold.parse().ok()?));
-                }
-                _ => return None,
-            }
-        }
-    }
-    Some(parsed)
-}
-
-/// Parse `--smp balance=MS[,migration=US][,affinity=US]`. A bare `--smp`
-/// (value "true") uses the bench suite's standard knobs: balance every
-/// 4 ms, 30 µs migration penalty, 15 µs cross-core resume cost.
-fn parse_smp_spec(spec: &str) -> Option<SmpParams> {
-    let mut balance_ms = 4u64;
-    let mut migration_us = 30u64;
-    let mut affinity_us = 15u64;
-    if spec != "true" {
-        for part in spec.split(',').filter(|p| !p.is_empty()) {
-            let (k, v) = part.split_once('=')?;
-            match k {
-                "balance" => balance_ms = v.parse().ok()?,
-                "migration" => migration_us = v.parse().ok()?,
-                "affinity" => affinity_us = v.parse().ok()?,
-                _ => return None,
-            }
-        }
-    }
-    Some(SmpParams::balanced(
-        SimDuration::from_millis(balance_ms),
-        SimDuration::from_micros(migration_us),
-        SimDuration::from_micros(affinity_us),
-    ))
-}
-
 fn cmd_run_cluster(flags: &BTreeMap<String, String>, spec: &str) {
-    let Some(ClusterSpec {
+    let ClusterSpec {
         hosts,
         cores,
         placement,
         affinity,
-    }) = parse_cluster_spec(spec)
-    else {
-        eprintln!(
-            "bad --cluster spec {spec:?} (expected hosts=N,cores=M,placement=\
-             rr|ll|l2l|jsq|hash[,affinity=KEEPMS:COLDMS])"
-        );
+    } = cli::parse_cluster_spec(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
         usage_and_exit();
-    };
+    });
     let sched = flags.get("sched").map(String::as_str).unwrap_or("sfs");
     let Some(factory) = factory_for(sched, cores) else {
         eprintln!("unknown scheduler: {sched}");
@@ -350,7 +303,71 @@ fn cmd_run_cluster(flags: &BTreeMap<String, String>, spec: &str) {
     println!("        per-host requests: {:?}", run.per_host);
 }
 
+fn cmd_run_fleet(flags: &BTreeMap<String, String>, spec: &str) {
+    let fleet_spec = cli::parse_fleet_spec(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage_and_exit();
+    });
+    let sched = flags.get("sched").map(String::as_str).unwrap_or("sfs");
+    let Some(factory) = factory_for(sched, fleet_spec.cores) else {
+        eprintln!("unknown scheduler: {sched}");
+        usage_and_exit();
+    };
+    let threads = get(
+        flags,
+        "threads",
+        sfs_repro::simcore::parallel::default_threads(),
+    );
+    let fleet = fleet_spec.build();
+    let w = build_workload(
+        flags,
+        fleet_spec.regions * fleet_spec.hosts * fleet_spec.cores,
+    );
+    let run = fleet.run_with_threads(fleet_spec.placement, &*factory, &w, threads);
+    summarise(&factory.label(), &run.outcomes);
+    println!(
+        "        fleet: {} regions x {} hosts x {} cores, placement={} ({threads} thread{})",
+        fleet_spec.regions,
+        fleet_spec.hosts,
+        fleet_spec.cores,
+        fleet_spec.placement.name(),
+        if threads == 1 { "" } else { "s" },
+    );
+    println!(
+        "        completed={} shed={} lost={} (conservation {})",
+        run.outcomes.len(),
+        run.shed.len(),
+        run.lost.len(),
+        if run.conservation_holds() {
+            "OK"
+        } else {
+            "VIOLATED"
+        },
+    );
+    println!(
+        "        cold starts={} re-dispatches={} spilled={}",
+        run.cold_starts, run.redispatches, run.spilled,
+    );
+    for (i, stats) in run.per_region.iter().enumerate() {
+        println!(
+            "        region {i}: placed={} cold={} crashes={} boots={} \
+             reactivations={} parks={} releases={} warm-ms={:.0}",
+            stats.placed,
+            stats.cold_starts,
+            stats.crashes,
+            stats.boots,
+            stats.reactivations,
+            stats.parks,
+            stats.releases,
+            stats.warm_host_ms,
+        );
+    }
+}
+
 fn cmd_run(flags: &BTreeMap<String, String>) {
+    if let Some(spec) = flags.get("fleet") {
+        return cmd_run_fleet(flags, spec);
+    }
     if let Some(spec) = flags.get("cluster") {
         return cmd_run_cluster(flags, spec);
     }
@@ -363,8 +380,8 @@ fn cmd_run(flags: &BTreeMap<String, String>) {
         usage_and_exit();
     };
     let smp = flags.get("smp").map(|spec| {
-        parse_smp_spec(spec).unwrap_or_else(|| {
-            eprintln!("bad --smp spec {spec:?} (expected balance=MS[,migration=US][,affinity=US])");
+        cli::parse_smp_spec(spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
             usage_and_exit();
         })
     });

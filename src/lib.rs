@@ -1,4 +1,6 @@
 //! Facade crate re-exporting the SFS reproduction workspace.
+pub mod cli;
+
 pub use sfs_core as sfs;
 pub use sfs_faas as faas;
 pub use sfs_host as host;
